@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: computation-only speedup over the FPGA
+ * (system software excluded).
+ *
+ * Paper reference: P-ASIC-F 1.5x, P-ASIC-G 11.4x, GPU 1.9x on average;
+ * the GPU wins big only on the backpropagation benchmarks (20.3x on
+ * mnist, 12.8x on acoustic) whose batched matrix-matrix products it
+ * executes at high utilization; P-ASIC-F's higher frequency alone does
+ * not help the bandwidth-bound benchmarks.
+ */
+#include <iostream>
+#include <vector>
+
+#include "baselines/gpu_model.h"
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+namespace {
+
+/** Per-node compute time for one mini-batch (no cluster terms). */
+double
+accelComputeSec(const bench::WorkloadSummary &s, int64_t records)
+{
+    accel::PerfEstimator perf(s.perf);
+    return perf.batchTime(records).computeSec;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int64_t b = bench::kDefaultMinibatch;
+    const int nodes = 3;
+    auto fpga = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+    auto pasic_f = bench::buildSuite(accel::PlatformSpec::pasicF());
+    auto pasic_g = bench::buildSuite(accel::PlatformSpec::pasicG());
+    baselines::GpuNodeModel gpu;
+
+    TablePrinter table("Figure 10: Computation speedup over FPGA");
+    table.setHeader({"Benchmark", "P-ASIC-F", "P-ASIC-G", "GPU"});
+
+    std::vector<double> f_sp, g_sp, gpu_sp;
+    for (size_t i = 0; i < fpga.size(); ++i) {
+        const auto &w = ml::Workload::byName(fpga[i].workload);
+        double base = accelComputeSec(fpga[i], b);
+        double tf = accelComputeSec(pasic_f[i], b);
+        double tg = accelComputeSec(pasic_g[i], b);
+        double tgpu = gpu.batchSeconds(
+            w.algorithm, b, fpga[i].flopsPerRecord,
+            fpga[i].bytesPerRecord, fpga[i].modelBytes,
+            w.dataGB * 1e9 / nodes);
+        f_sp.push_back(base / tf);
+        g_sp.push_back(base / tg);
+        gpu_sp.push_back(base / tgpu);
+        table.addRow({fpga[i].workload,
+                      TablePrinter::num(base / tf, 2),
+                      TablePrinter::num(base / tg, 2),
+                      TablePrinter::num(base / tgpu, 2)});
+    }
+    table.addRow({"geomean", TablePrinter::num(geomean(f_sp), 2),
+                  TablePrinter::num(geomean(g_sp), 2),
+                  TablePrinter::num(geomean(gpu_sp), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference averages: P-ASIC-F 1.5x, P-ASIC-G "
+              << "11.4x, GPU 1.9x (mnist 20.3x, acoustic 12.8x).\n";
+    return 0;
+}

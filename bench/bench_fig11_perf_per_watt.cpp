@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Figure 11: performance-per-Watt of the three-node
+ * FPGA and P-ASIC systems relative to the 3-GPU system.
+ *
+ * Paper reference: FPGA 4.2x, P-ASIC-F 6.9x, P-ASIC-G 8.2x higher
+ * performance-per-Watt than the GPU system.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int nodes = 3;
+    const accel::HostSpec host;
+    auto fpga_p = accel::PlatformSpec::ultrascalePlus();
+    auto pf_p = accel::PlatformSpec::pasicF();
+    auto pg_p = accel::PlatformSpec::pasicG();
+
+    auto fpga = bench::buildSuite(fpga_p);
+    auto pasic_f = bench::buildSuite(pf_p);
+    auto pasic_g = bench::buildSuite(pg_p);
+
+    // System power: every node pairs a Xeon host with its accelerator.
+    double w_fpga = nodes * (host.cpuTdpWatts + fpga_p.tdpWatts);
+    double w_pf = nodes * (host.cpuTdpWatts + pf_p.tdpWatts);
+    double w_pg = nodes * (host.cpuTdpWatts + pg_p.tdpWatts);
+    double w_gpu = nodes * (host.cpuTdpWatts + host.gpuTdpWatts);
+
+    TablePrinter table("Figure 11: Performance-per-Watt relative to the "
+                       "3-GPU system");
+    table.setHeader({"Benchmark", "3-FPGA", "3-P-ASIC-F", "3-P-ASIC-G"});
+
+    std::vector<double> r_fpga, r_pf, r_pg;
+    for (size_t i = 0; i < fpga.size(); ++i) {
+        const auto &w = ml::Workload::byName(fpga[i].workload);
+        auto perf = [&](const bench::WorkloadSummary &s) {
+            return bench::cosmicEstimate(s, nodes,
+                                         bench::kDefaultMinibatch,
+                                         w.numVectors)
+                .recordsPerSecond;
+        };
+        double gpu_perf = bench::gpuEstimate(fpga[i], w, nodes,
+                                             bench::kDefaultMinibatch,
+                                             w.numVectors)
+                              .recordsPerSecond;
+        double gpu_ppw = gpu_perf / w_gpu;
+        double fpga_r = perf(fpga[i]) / w_fpga / gpu_ppw;
+        double pf_r = perf(pasic_f[i]) / w_pf / gpu_ppw;
+        double pg_r = perf(pasic_g[i]) / w_pg / gpu_ppw;
+        r_fpga.push_back(fpga_r);
+        r_pf.push_back(pf_r);
+        r_pg.push_back(pg_r);
+        table.addRow({fpga[i].workload, TablePrinter::num(fpga_r, 2),
+                      TablePrinter::num(pf_r, 2),
+                      TablePrinter::num(pg_r, 2)});
+    }
+    table.addRow({"geomean", TablePrinter::num(geomean(r_fpga), 2),
+                  TablePrinter::num(geomean(r_pf), 2),
+                  TablePrinter::num(geomean(r_pg), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference averages: FPGA 4.2x, P-ASIC-F 6.9x, "
+              << "P-ASIC-G 8.2x.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates paper Figure 12: performance of 3-FPGA-CoSMIC (a) and
+ * 3-node Spark (b) as the mini-batch size sweeps from 500 to 100,000;
+ * baseline is 3-node Spark at the default b = 10,000.
+ *
+ * Paper reference: CoSMIC is faster across all combinations; 16.8x at
+ * b=500 shrinking to 9.1x at b=100,000 as Spark's overheads amortize.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int nodes = 3;
+    const std::vector<int64_t> batches = {500, 2000, 10000, 40000,
+                                          100000};
+    auto suite = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+
+    auto run = [&](bool cosmic) {
+        TablePrinter table(
+            std::string("Figure 12") + (cosmic ? "(a): 3-FPGA-CoSMIC"
+                                               : "(b): 3-node Spark") +
+            " performance vs mini-batch size (baseline: 3-node Spark "
+            "at b=10000)");
+        std::vector<std::string> header = {"Benchmark"};
+        for (int64_t b : batches)
+            header.push_back("b=" + std::to_string(b));
+        table.setHeader(header);
+
+        std::vector<std::vector<double>> cols(batches.size());
+        for (const auto &s : suite) {
+            const auto &w = ml::Workload::byName(s.workload);
+            double base =
+                bench::sparkEstimate(s, nodes, 10000, w.numVectors)
+                    .recordsPerSecond;
+            std::vector<std::string> row = {s.workload};
+            for (size_t i = 0; i < batches.size(); ++i) {
+                double rps =
+                    cosmic ? bench::cosmicEstimate(s, nodes, batches[i],
+                                                   w.numVectors)
+                                 .recordsPerSecond
+                           : bench::sparkEstimate(s, nodes, batches[i],
+                                                  w.numVectors)
+                                 .recordsPerSecond;
+                cols[i].push_back(rps / base);
+                row.push_back(TablePrinter::num(rps / base, 2));
+            }
+            table.addRow(std::move(row));
+        }
+        std::vector<std::string> gmean = {"geomean"};
+        for (const auto &col : cols)
+            gmean.push_back(TablePrinter::num(geomean(col), 2));
+        table.addRow(std::move(gmean));
+        table.print(std::cout);
+    };
+
+    run(true);
+    run(false);
+
+    // The paper's summary statistic: CoSMIC over Spark at equal b.
+    std::vector<double> at_500, at_100k;
+    for (const auto &s : suite) {
+        const auto &w = ml::Workload::byName(s.workload);
+        at_500.push_back(
+            bench::cosmicEstimate(s, nodes, 500, w.numVectors)
+                .recordsPerSecond /
+            bench::sparkEstimate(s, nodes, 500, w.numVectors)
+                .recordsPerSecond);
+        at_100k.push_back(
+            bench::cosmicEstimate(s, nodes, 100000, w.numVectors)
+                .recordsPerSecond /
+            bench::sparkEstimate(s, nodes, 100000, w.numVectors)
+                .recordsPerSecond);
+    }
+    std::cout << "\nCoSMIC over Spark at b=500: geomean "
+              << TablePrinter::num(geomean(at_500), 1)
+              << "x (paper 16.8x); at b=100000: "
+              << TablePrinter::num(geomean(at_100k), 1)
+              << "x (paper 9.1x).\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Figure 13: fraction of 3-FPGA-CoSMIC runtime spent
+ * computing (vs communicating/aggregating) as the mini-batch size
+ * grows from 500 to 100,000.
+ *
+ * Paper reference: computation is 12% of the runtime at b=500 and 95%
+ * at b=100,000 on average.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int nodes = 3;
+    const std::vector<int64_t> batches = {500, 2000, 10000, 40000,
+                                          100000};
+    auto suite = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+
+    TablePrinter table("Figure 13: computation fraction of "
+                       "3-FPGA-CoSMIC runtime vs mini-batch size (%)");
+    std::vector<std::string> header = {"Benchmark"};
+    for (int64_t b : batches)
+        header.push_back("b=" + std::to_string(b));
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> cols(batches.size());
+    for (const auto &s : suite) {
+        const auto &w = ml::Workload::byName(s.workload);
+        std::vector<std::string> row = {s.workload};
+        for (size_t i = 0; i < batches.size(); ++i) {
+            auto it = bench::cosmicEstimate(s, nodes, batches[i],
+                                            w.numVectors)
+                          .iteration;
+            double fraction = it.computeSec / it.totalSec();
+            cols[i].push_back(fraction);
+            row.push_back(TablePrinter::num(100.0 * fraction, 1));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> avg = {"average"};
+    for (const auto &col : cols)
+        avg.push_back(TablePrinter::num(100.0 * mean(col), 1));
+    table.addRow(std::move(avg));
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: 12% at b=500, 95% at b=100,000.\n";
+    return 0;
+}

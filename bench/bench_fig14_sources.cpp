@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates paper Figure 14: where 3-FPGA-CoSMIC's speedup over
+ * 3-node Spark comes from — the FPGAs (computation) versus the
+ * specialized system software (aggregation, networking, management).
+ *
+ * Paper reference: the FPGAs provide 20.7x on the computation part and
+ * the specialized system software is 28.4x faster than Spark's, on
+ * average; the communication-sensitive benchmarks gain more from the
+ * system software.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int nodes = 3;
+    const int64_t b = bench::kDefaultMinibatch;
+    auto suite = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+
+    TablePrinter table("Figure 14: speedup breakdown over 3-node Spark "
+                       "(FPGA compute vs system software)");
+    table.setHeader({"Benchmark", "FPGA (compute)",
+                     "System software", "Overall"});
+
+    std::vector<double> fpga_sp, sys_sp, all_sp;
+    for (const auto &s : suite) {
+        const auto &w = ml::Workload::byName(s.workload);
+        auto cosmic = bench::cosmicEstimate(s, nodes, b, w.numVectors)
+                          .iteration;
+        // Spark handles the same records per aggregation round.
+        auto spark = bench::sparkEstimate(s, nodes,
+                                          b * nodes, w.numVectors)
+                         .iteration;
+
+        double fpga = spark.computeSec / cosmic.computeSec;
+        double cosmic_sys = cosmic.networkSec + cosmic.aggregationSec +
+                            cosmic.overheadSec;
+        double spark_sys = spark.networkSec + spark.aggregationSec +
+                           spark.overheadSec;
+        double sys = spark_sys / cosmic_sys;
+        double overall = spark.totalSec() / cosmic.totalSec();
+        fpga_sp.push_back(fpga);
+        sys_sp.push_back(sys);
+        all_sp.push_back(overall);
+        table.addRow({s.workload, TablePrinter::num(fpga, 1),
+                      TablePrinter::num(sys, 1),
+                      TablePrinter::num(overall, 1)});
+    }
+    table.addRow({"geomean", TablePrinter::num(geomean(fpga_sp), 1),
+                  TablePrinter::num(geomean(sys_sp), 1),
+                  TablePrinter::num(geomean(all_sp), 1)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference averages: FPGAs 20.7x, system "
+              << "software 28.4x.\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Regenerates paper Figure 15: accelerator speedup as (a) the number of
+ * PEs sweeps from 192 to 6144 at fixed bandwidth, and (b) the memory
+ * bandwidth sweeps at a fixed 768 PEs.
+ *
+ * Paper reference: the backpropagation and collaborative-filtering
+ * benchmarks (compute-bound) gain from more PEs; the linear/logistic/
+ * SVM benchmarks are bandwidth-bound — more PEs do nothing, more
+ * bandwidth helps. No single fixed design suits every algorithm,
+ * which is the case for template architectures.
+ */
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+namespace {
+
+accel::PlatformSpec
+withRows(int rows)
+{
+    auto p = accel::PlatformSpec::ultrascalePlus();
+    p.maxRows = rows;
+    p.name = "VU9P-PE" + std::to_string(rows * p.columns);
+    // Hypothetical larger fabrics for the estimation sweep.
+    p.dspSlices = static_cast<int64_t>(rows) * p.columns * 6;
+    p.bramBytes = std::max<int64_t>(p.bramBytes,
+                                    rows * p.columns * 4096);
+    return p;
+}
+
+accel::PlatformSpec
+withBandwidthWords(int words_per_cycle)
+{
+    // Fixed 16x48 grid; only the off-chip interface speed changes (a
+    // faster interface delivers several beats per row per cycle).
+    auto p = accel::PlatformSpec::ultrascalePlus();
+    p.memBandwidthBytesPerSec = words_per_cycle * 4.0 * p.frequencyHz;
+    p.name = "VU9P-BW" + std::to_string(words_per_cycle);
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int64_t b = bench::kDefaultMinibatch;
+
+    {
+        TablePrinter table("Figure 15(a): speedup vs number of PEs "
+                           "(baseline: 192 PEs; bandwidth fixed)");
+        const std::vector<int> rows_sweep = {12, 24, 48, 96, 192, 384};
+        std::vector<std::string> header = {"Benchmark"};
+        for (int rows : rows_sweep)
+            header.push_back(std::to_string(rows * 16) + " PEs");
+        table.setHeader(header);
+
+        for (const auto &w : ml::Workload::suite()) {
+            std::vector<std::string> row = {w.name};
+            double base = 0.0;
+            for (int rows : rows_sweep) {
+                auto s = bench::buildSummary(w, withRows(rows));
+                accel::PerfEstimator perf(s.perf);
+                double t = perf.batchTime(b).totalSec();
+                if (base == 0.0)
+                    base = t;
+                row.push_back(TablePrinter::num(base / t, 2));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+
+    {
+        TablePrinter table("Figure 15(b): speedup vs memory bandwidth "
+                           "(baseline: 4 words/cycle; 768 PEs fixed)");
+        const std::vector<int> bw_sweep = {4, 8, 16, 32, 64, 128};
+        std::vector<std::string> header = {"Benchmark"};
+        for (int bw : bw_sweep)
+            header.push_back(TablePrinter::num(bw * 4 * 0.15, 1) +
+                             " GB/s");
+        table.setHeader(header);
+
+        for (const auto &w : ml::Workload::suite()) {
+            std::vector<std::string> row = {w.name};
+            double base = 0.0;
+            for (int bw : bw_sweep) {
+                auto s = bench::buildSummary(w, withBandwidthWords(bw));
+                accel::PerfEstimator perf(s.perf);
+                double t = perf.batchTime(b).totalSec();
+                if (base == 0.0)
+                    base = t;
+                row.push_back(TablePrinter::num(base / t, 2));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPaper reference: mnist/acoustic/movielens/netflix "
+              << "scale with PEs; stock/texture/tumor/cancer1/face/"
+              << "cancer2 scale with bandwidth only.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: speedup over a 4-node Spark system as the
+ * cluster grows from 4 to 8 to 16 nodes, for Spark and FPGA-CoSMIC.
+ *
+ * Paper reference: 4/8/16-FPGA-CoSMIC average 12.6x / 23.1x / 33.8x;
+ * 16-node Spark only 1.8x over 4-node Spark; movielens peaks near
+ * 100x, mnist stays lowest (~7x at 16 nodes vs 16-node Spark = 18.8x
+ * mean ratio).
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    auto suite = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+    const std::vector<int> node_counts = {4, 8, 16};
+
+    TablePrinter table("Figure 7: Speedup over 4-node Spark "
+                       "(baseline: 4-CPU-Spark)");
+    table.setHeader({"Benchmark", "4-CPU", "8-CPU", "16-CPU", "4-FPGA",
+                     "8-FPGA", "16-FPGA"});
+
+    std::vector<std::vector<double>> spark_speedups(3), fpga_speedups(3);
+    std::vector<double> ratio16;
+    for (const auto &s : suite) {
+        const auto &w = ml::Workload::byName(s.workload);
+        double base = bench::sparkEstimate(s, 4, bench::kDefaultMinibatch,
+                                           w.numVectors)
+                          .epochSeconds;
+        std::vector<std::string> row = {s.workload};
+        for (size_t i = 0; i < node_counts.size(); ++i) {
+            double t = bench::sparkEstimate(s, node_counts[i],
+                                            bench::kDefaultMinibatch,
+                                            w.numVectors)
+                           .epochSeconds;
+            spark_speedups[i].push_back(base / t);
+            row.push_back(TablePrinter::num(base / t, 2));
+        }
+        for (size_t i = 0; i < node_counts.size(); ++i) {
+            double t = bench::cosmicEstimate(s, node_counts[i],
+                                             bench::kDefaultMinibatch,
+                                             w.numVectors)
+                           .epochSeconds;
+            fpga_speedups[i].push_back(base / t);
+            row.push_back(TablePrinter::num(base / t, 2));
+        }
+        ratio16.push_back(fpga_speedups[2].back() /
+                          spark_speedups[2].back());
+        table.addRow(std::move(row));
+    }
+
+    std::vector<std::string> gmean_row = {"geomean"};
+    for (auto *group : {&spark_speedups, &fpga_speedups})
+        for (const auto &col : *group)
+            gmean_row.push_back(TablePrinter::num(geomean(col), 2));
+    table.addRow(std::move(gmean_row));
+    table.print(std::cout);
+
+    std::cout << "\n16-FPGA-CoSMIC over 16-CPU-Spark: geomean "
+              << TablePrinter::num(geomean(ratio16), 1) << "x, mean "
+              << TablePrinter::num(mean(ratio16), 1)
+              << "x  (paper: 18.8x mean)\n";
+    std::cout << "Paper reference means: 4/8/16-FPGA = 12.6x / 23.1x / "
+              << "33.8x; 16-CPU Spark = 1.8x.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: scalability of CoSMIC and Spark, each
+ * normalized to its own 4-node configuration.
+ *
+ * Paper reference: CoSMIC 1.8x / 2.7x at 8 / 16 nodes; Spark 1.3x /
+ * 1.8x. The improvement gap is largest for the benchmarks with a high
+ * communication-to-computation ratio (stock, texture, tumor, cancer1,
+ * face, cancer2).
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    auto suite = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+
+    TablePrinter table("Figure 8: Scalability (normalized to each "
+                       "system's own 4-node configuration)");
+    table.setHeader({"Benchmark", "CoSMIC 8-node", "CoSMIC 16-node",
+                     "Spark 8-node", "Spark 16-node"});
+
+    std::vector<double> c8s, c16s, s8s, s16s;
+    for (const auto &s : suite) {
+        const auto &w = ml::Workload::byName(s.workload);
+        auto cosmic_epoch = [&](int nodes) {
+            return bench::cosmicEstimate(s, nodes,
+                                         bench::kDefaultMinibatch,
+                                         w.numVectors)
+                .epochSeconds;
+        };
+        auto spark_epoch = [&](int nodes) {
+            return bench::sparkEstimate(s, nodes,
+                                        bench::kDefaultMinibatch,
+                                        w.numVectors)
+                .epochSeconds;
+        };
+        double c4 = cosmic_epoch(4);
+        double s4 = spark_epoch(4);
+        double c8 = c4 / cosmic_epoch(8);
+        double c16 = c4 / cosmic_epoch(16);
+        double s8 = s4 / spark_epoch(8);
+        double s16 = s4 / spark_epoch(16);
+        c8s.push_back(c8);
+        c16s.push_back(c16);
+        s8s.push_back(s8);
+        s16s.push_back(s16);
+        table.addRow({s.workload, TablePrinter::num(c8, 2),
+                      TablePrinter::num(c16, 2),
+                      TablePrinter::num(s8, 2),
+                      TablePrinter::num(s16, 2)});
+    }
+    table.addRow({"geomean", TablePrinter::num(geomean(c8s), 2),
+                  TablePrinter::num(geomean(c16s), 2),
+                  TablePrinter::num(geomean(s8s), 2),
+                  TablePrinter::num(geomean(s16s), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: CoSMIC 1.8x / 2.7x; Spark 1.3x / "
+              << "1.8x at 8 / 16 nodes.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: system-wide speedup of the three-node
+ * P-ASIC-F, P-ASIC-G, and GPU CoSMIC systems over 3-FPGA-CoSMIC.
+ *
+ * Paper reference: P-ASIC-F 1.2x, P-ASIC-G 2.3x, GPU 1.5x on average —
+ * computation speedups (Fig. 10) do not translate to proportional
+ * system-wide gains, which is the paper's argument for the full-stack
+ * approach.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int nodes = 3;
+    auto fpga = bench::buildSuite(accel::PlatformSpec::ultrascalePlus());
+    auto pasic_f = bench::buildSuite(accel::PlatformSpec::pasicF());
+    auto pasic_g = bench::buildSuite(accel::PlatformSpec::pasicG());
+
+    TablePrinter table("Figure 9: System-wide speedup over "
+                       "3-FPGA-CoSMIC");
+    table.setHeader({"Benchmark", "3-P-ASIC-F", "3-P-ASIC-G", "3-GPU"});
+
+    std::vector<double> f_sp, g_sp, gpu_sp;
+    for (size_t i = 0; i < fpga.size(); ++i) {
+        const auto &w = ml::Workload::byName(fpga[i].workload);
+        double base = bench::cosmicEstimate(fpga[i], nodes,
+                                            bench::kDefaultMinibatch,
+                                            w.numVectors)
+                          .iteration.totalSec();
+        double tf = bench::cosmicEstimate(pasic_f[i], nodes,
+                                          bench::kDefaultMinibatch,
+                                          w.numVectors)
+                        .iteration.totalSec();
+        double tg = bench::cosmicEstimate(pasic_g[i], nodes,
+                                          bench::kDefaultMinibatch,
+                                          w.numVectors)
+                        .iteration.totalSec();
+        double tgpu = bench::gpuEstimate(fpga[i], w, nodes,
+                                         bench::kDefaultMinibatch,
+                                         w.numVectors)
+                          .iteration.totalSec();
+        f_sp.push_back(base / tf);
+        g_sp.push_back(base / tg);
+        gpu_sp.push_back(base / tgpu);
+        table.addRow({fpga[i].workload,
+                      TablePrinter::num(base / tf, 2),
+                      TablePrinter::num(base / tg, 2),
+                      TablePrinter::num(base / tgpu, 2)});
+    }
+    table.addRow({"geomean", TablePrinter::num(geomean(f_sp), 2),
+                  TablePrinter::num(geomean(g_sp), 2),
+                  TablePrinter::num(geomean(gpu_sp), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference averages: P-ASIC-F 1.2x, P-ASIC-G "
+              << "2.3x, GPU 1.5x.\n";
+    return 0;
+}

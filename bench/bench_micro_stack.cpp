@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the stack's building blocks:
+ * DSL parsing, translation, mapping, scheduling, interpretation, and
+ * the system-software primitives. These are wall-clock measurements of
+ * the library itself, not paper figures.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compiler/kernel.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+#include "system/aggregation.h"
+#include "system/circular_buffer.h"
+#include "system/thread_pool.h"
+
+using namespace cosmic;
+
+namespace {
+
+const ml::Workload &
+faceWorkload()
+{
+    return ml::Workload::byName("face");
+}
+
+void
+BM_DslParse(benchmark::State &state)
+{
+    std::string src = faceWorkload().dslSource();
+    for (auto _ : state) {
+        auto prog = dsl::Parser::parse(src);
+        benchmark::DoNotOptimize(&prog);
+    }
+    state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_DslParse);
+
+void
+BM_Translate(benchmark::State &state)
+{
+    auto prog = dsl::Parser::parse(
+        faceWorkload().dslSource(state.range(0)));
+    for (auto _ : state) {
+        auto tr = dfg::Translator::translate(prog);
+        benchmark::DoNotOptimize(&tr);
+        state.counters["nodes"] = static_cast<double>(tr.dfg.size());
+    }
+}
+BENCHMARK(BM_Translate)->Arg(1)->Arg(8);
+
+void
+BM_MapDataFirst(benchmark::State &state)
+{
+    auto prog = dsl::Parser::parse(faceWorkload().dslSource());
+    auto tr = dfg::Translator::translate(prog);
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 4,
+        static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto m = compiler::Mapper::map(
+            tr.dfg, plan, compiler::MappingStrategy::DataFirst);
+        benchmark::DoNotOptimize(&m);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            tr.dfg.operationCount());
+}
+BENCHMARK(BM_MapDataFirst)->Arg(2)->Arg(12);
+
+void
+BM_Schedule(benchmark::State &state)
+{
+    auto prog = dsl::Parser::parse(faceWorkload().dslSource());
+    auto tr = dfg::Translator::translate(prog);
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 4,
+        static_cast<int>(state.range(0)));
+    auto mapping = compiler::Mapper::map(
+        tr.dfg, plan, compiler::MappingStrategy::DataFirst);
+    compiler::InterconnectModel bus(compiler::BusKind::Hierarchical,
+                                    plan.columns, plan.rowsPerThread);
+    for (auto _ : state) {
+        auto sched = compiler::Scheduler::schedule(tr.dfg, mapping, bus);
+        benchmark::DoNotOptimize(&sched);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            tr.dfg.operationCount());
+}
+BENCHMARK(BM_Schedule)->Arg(2)->Arg(12);
+
+void
+BM_InterpretRecord(benchmark::State &state)
+{
+    const auto &w = faceWorkload();
+    auto prog = dsl::Parser::parse(w.dslSource());
+    auto tr = dfg::Translator::translate(prog);
+    dfg::Interpreter interp(tr);
+    Rng rng(1);
+    auto ds = ml::DatasetGenerator::generate(w, 1.0, 4, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, 1.0, rng);
+    std::vector<double> grad;
+    int64_t r = 0;
+    for (auto _ : state) {
+        interp.run(ds.record(r++ % ds.count), model, grad);
+        benchmark::DoNotOptimize(grad.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            tr.dfg.operationCount());
+}
+BENCHMARK(BM_InterpretRecord);
+
+void
+BM_CircularBuffer(benchmark::State &state)
+{
+    sys::CircularBuffer ring(64);
+    sys::Chunk chunk{0, 0, std::vector<double>(1024, 1.0)};
+    for (auto _ : state) {
+        ring.push(chunk);
+        sys::Chunk out;
+        ring.pop(out);
+        benchmark::DoNotOptimize(out.values.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 1024 * 8);
+}
+BENCHMARK(BM_CircularBuffer);
+
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    sys::ThreadPool pool(2);
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            pool.submit([] {});
+        pool.waitIdle();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+void
+BM_AggregationRound(benchmark::State &state)
+{
+    sys::AggregationConfig config;
+    sys::AggregationEngine engine(config);
+    const int senders = 4;
+    const int64_t words = state.range(0);
+    std::vector<double> payload(words, 1.0);
+    for (auto _ : state) {
+        engine.begin(senders, words);
+        for (int s = 0; s < senders; ++s)
+            engine.onMessage(sys::Message{s, 0, payload});
+        auto sum = engine.finish();
+        benchmark::DoNotOptimize(sum.data());
+    }
+    state.SetBytesProcessed(state.iterations() * senders * words * 8);
+}
+BENCHMARK(BM_AggregationRound)->Arg(4096)->Arg(65536);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates paper Table 3: the Planner's chosen threads-per-FPGA and
+ * the resource utilization of the generated UltraScale+ accelerators.
+ */
+#include <iostream>
+
+#include "bench_support.h"
+#include "common/table.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+    auto suite = bench::buildSuite(platform);
+
+    TablePrinter table(
+        "Table 3: Number of threads and FPGA resource utilization "
+        "(UltraScale+ VU9P)");
+    table.setHeader({"Name", "Threads/FPGA", "Rows/Thread", "LUTs",
+                     "LUT %", "Flip Flops", "FF %", "BRAM (KB)",
+                     "BRAM %", "DSP Slices", "DSP %"});
+    for (const auto &s : suite) {
+        table.addRow({s.workload, std::to_string(s.threads),
+                      std::to_string(s.rowsPerThread),
+                      std::to_string(s.usage.luts),
+                      TablePrinter::num(100.0 * s.usage.lutUtil, 1),
+                      std::to_string(s.usage.flipFlops),
+                      TablePrinter::num(100.0 * s.usage.ffUtil, 1),
+                      std::to_string(s.usage.bramBytes / 1024),
+                      TablePrinter::num(100.0 * s.usage.bramUtil, 1),
+                      std::to_string(s.usage.dspSlices),
+                      TablePrinter::num(100.0 * s.usage.dspUtil, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reference: threads/FPGA of 2/2/8/1/4/2/2/1/4/2"
+              << " with ~84-89% BRAM utilization and 19-60% DSP "
+              << "utilization.\n";
+    return 0;
+}

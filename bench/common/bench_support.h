@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared support for the evaluation harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures.
+ * They all need the same expensive artifact — the planned + compiled
+ * accelerator for each (benchmark, platform) pair — so this support
+ * library runs the full stack once and caches the resulting timing
+ * summary (a dozen numbers) in ./bench-cache/. Re-runs of the harness
+ * then take seconds. Delete the directory (or set COSMIC_BENCH_CACHE=0)
+ * to force a full rebuild.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/perf.h"
+#include "accel/platform.h"
+#include "core/cosmic.h"
+#include "ml/workloads.h"
+
+namespace cosmic::bench {
+
+/** Cached result of building one benchmark for one platform. */
+struct WorkloadSummary
+{
+    std::string workload;
+    std::string platform;
+
+    accel::PerfParams perf;
+    double flopsPerRecord = 0.0;
+    double bytesPerRecord = 0.0;
+    int64_t modelBytes = 0;
+
+    int threads = 0;
+    int rowsPerThread = 0;
+    int columns = 0;
+
+    accel::ResourceUsage usage;
+};
+
+/** Builds (or loads) the summary for one benchmark on one platform. */
+WorkloadSummary buildSummary(const ml::Workload &workload,
+                             const accel::PlatformSpec &platform,
+                             double scale = 1.0);
+
+/** Summaries for the whole Table 1 suite on one platform. */
+std::vector<WorkloadSummary>
+buildSuite(const accel::PlatformSpec &platform, double scale = 1.0);
+
+/**
+ * Builds (or loads) the TABLA-baseline summary: single thread over the
+ * whole fabric, operation-first mapping, flat shared bus (Fig. 17).
+ */
+WorkloadSummary buildTablaSummary(const ml::Workload &workload,
+                                  const accel::PlatformSpec &platform,
+                                  double scale = 1.0);
+
+/** Per-node accelerator time for a mini-batch of @p records. */
+double nodeBatchSeconds(const WorkloadSummary &summary, int64_t records);
+
+/** CoSMIC cluster estimate from a cached summary. */
+core::ScaleOutEstimate
+cosmicEstimate(const WorkloadSummary &summary, int nodes,
+               int64_t minibatch_per_node, int64_t total_records,
+               int groups = 0);
+
+/** Spark baseline estimate for the same deployment. */
+core::ScaleOutEstimate
+sparkEstimate(const WorkloadSummary &summary, int nodes,
+              int64_t minibatch_per_node, int64_t total_records);
+
+/** GPU-accelerated CoSMIC estimate (Sec. 7.1's 3-GPU system). */
+core::ScaleOutEstimate
+gpuEstimate(const WorkloadSummary &summary, const ml::Workload &workload,
+            int nodes, int64_t minibatch_per_node, int64_t total_records);
+
+/** The paper's default mini-batch size. */
+constexpr int64_t kDefaultMinibatch = 10000;
+
+} // namespace cosmic::bench

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Authoring a new algorithm the paper never evaluated: Huber-loss
+ * robust regression. This demonstrates the generality claim — any
+ * gradient expressible in the DSL compiles and runs through the same
+ * stack with no C++ changes to the library.
+ *
+ * Huber gradient (delta = 1):
+ *   e = w.x - y
+ *   g = e * x          when |e| <  1   (quadratic region)
+ *   g = sign(e) * x    when |e| >= 1   (linear region, outlier-robust)
+ */
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cosmic.h"
+#include "dfg/interp.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const int n = 512;
+    std::ostringstream dsl;
+    dsl << "model_input x[" << n << "];\n"
+        << "model_output y;\n"
+        << "model w[" << n << "];\n"
+        << "gradient g[" << n << "];\n"
+        << "iterator i[0:" << n << "];\n"
+        << "e = sum[i](w[i] * x[i]) - y;\n"
+        << "c = abs(e) < 1;\n"
+        << "g[i] = c ? e * x[i] : (e > 0 ? x[i] : -x[i]);\n"
+        << "aggregator average;\n"
+        << "minibatch 4096;\n";
+
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+    auto built = core::CosmicStack::buildFromSource(dsl.str(), platform);
+    std::printf("Huber regression compiled: T%d x R%d, %lld ops, "
+                "%lld cycles/record\n",
+                built.planResult.plan.threads,
+                built.planResult.plan.rowsPerThread,
+                static_cast<long long>(built.planResult.kernel.opCount),
+                static_cast<long long>(
+                    built.planResult.kernel.computeCyclesPerRecord));
+
+    // Synthetic data with heavy-tailed label noise: 10% of labels are
+    // wildly corrupted. Huber training must shrug the outliers off.
+    Rng rng(5);
+    std::vector<double> truth(n);
+    for (auto &v : truth)
+        v = rng.gaussian();
+    const int64_t records = 512;
+    const int64_t rw = n + 1;
+    std::vector<double> data(records * rw);
+    for (int64_t r = 0; r < records; ++r) {
+        double dot = 0.0;
+        for (int i = 0; i < n; ++i) {
+            double xv = rng.gaussian() / std::sqrt(double(n));
+            data[r * rw + i] = xv;
+            dot += truth[i] * xv;
+        }
+        double label = dot + rng.gaussian(0.0, 0.02);
+        if (rng.coin(0.1))
+            label += rng.gaussian(0.0, 25.0); // outlier
+        data[r * rw + n] = label;
+    }
+
+    dfg::Interpreter interp(built.translation);
+    std::vector<double> model(n, 0.0), grad;
+    auto model_error = [&] {
+        double err = 0.0;
+        for (int i = 0; i < n; ++i)
+            err += (model[i] - truth[i]) * (model[i] - truth[i]);
+        return std::sqrt(err / n);
+    };
+
+    std::printf("Training on 10%%-corrupted labels:\n");
+    double lr = 0.5; // decayed: the linear region takes fixed-size
+                     // steps, so a constant rate cannot settle
+    for (int epoch = 0; epoch <= 8; ++epoch) {
+        std::printf("  epoch %d: RMS distance to true model %.4f\n",
+                    epoch, model_error());
+        for (int64_t r = 0; r < records; ++r) {
+            interp.run(
+                std::span<const double>(data).subspan(r * rw, rw),
+                model, grad);
+            for (int i = 0; i < n; ++i)
+                model[i] -= lr * grad[i];
+        }
+        lr *= 0.6;
+    }
+    std::printf("The outliers hit the linear (bounded) branch of the "
+                "Select, so training converges anyway.\n");
+    return 0;
+}

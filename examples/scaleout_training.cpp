@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scale-out training with the functional runtime: a 16-node cluster
+ * (System Director roles, Sigma-node thread pools, circular buffers,
+ * hierarchical aggregation) trains logistic regression end to end, and
+ * the analytic cluster model reports where a paper-scale deployment's
+ * time would go.
+ */
+#include <cstdio>
+
+#include "core/cosmic.h"
+#include "system/cluster_runtime.h"
+
+using namespace cosmic;
+
+int
+main()
+{
+    const auto &workload = ml::Workload::byName("tumor");
+    const double scale = 16.0;
+
+    // --- Functional distributed training ---------------------------
+    sys::ClusterConfig cfg;
+    cfg.nodes = 16;
+    cfg.groups = 4;
+    cfg.acceleratorThreadsPerNode = 2;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 128;
+    cfg.learningRate = 0.5;
+
+    sys::ClusterRuntime runtime(workload, scale, cfg);
+
+    std::printf("Cluster topology (System Director):\n");
+    for (const auto &n : runtime.topology().nodes) {
+        std::string parent =
+            n.parent >= 0 ? " -> sigma " + std::to_string(n.parent)
+                          : std::string();
+        std::printf("  node %2d: %-12s group %d%s\n", n.id,
+                    sys::nodeRoleName(n.role).c_str(), n.group,
+                    parent.c_str());
+    }
+
+    auto report = runtime.train(8);
+    std::printf("\nDistributed training of %s (%s), %d iterations:\n",
+                workload.name.c_str(),
+                ml::algorithmName(workload.algorithm).c_str(),
+                report.iterations);
+    for (size_t e = 0; e < report.epochLoss.size(); ++e)
+        std::printf("  epoch %zu: holdout loss %.4f\n", e,
+                    report.epochLoss[e]);
+
+    // --- Where the time goes at paper scale -------------------------
+    auto built = core::CosmicStack::buildWorkload(
+        workload, 1.0, accel::PlatformSpec::ultrascalePlus());
+    core::ScaleOutConfig est_cfg;
+    est_cfg.nodes = 16;
+    est_cfg.groups = 4;
+    auto est = core::ScaleOutEstimator::cosmic(built, est_cfg,
+                                               workload.numVectors);
+    std::printf("\nPaper-scale 16-FPGA estimate (b=10000/node):\n");
+    std::printf("  compute      %8.3f ms\n",
+                est.iteration.computeSec * 1e3);
+    std::printf("  network      %8.3f ms\n",
+                est.iteration.networkSec * 1e3);
+    std::printf("  aggregation  %8.3f ms\n",
+                est.iteration.aggregationSec * 1e3);
+    std::printf("  overhead     %8.3f ms\n",
+                est.iteration.overheadSec * 1e3);
+    std::printf("  => %.1f ms/iteration, %.2f s/epoch\n",
+                est.iteration.totalSec() * 1e3, est.epochSeconds);
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "accel/fixed_point.h"
+
+#include <cmath>
+
+namespace cosmic::accel {
+
+namespace {
+
+int32_t
+saturate(int64_t v)
+{
+    if (v > Fixed::kMax)
+        return Fixed::kMax;
+    if (v < Fixed::kMin)
+        return Fixed::kMin;
+    return static_cast<int32_t>(v);
+}
+
+} // namespace
+
+Fixed
+Fixed::fromDouble(double v)
+{
+    if (std::isnan(v))
+        return fromRaw(0);
+    double scaled = v * static_cast<double>(kOne);
+    if (scaled >= static_cast<double>(kMax))
+        return fromRaw(kMax);
+    if (scaled <= static_cast<double>(kMin))
+        return fromRaw(kMin);
+    return fromRaw(static_cast<int32_t>(std::llround(scaled)));
+}
+
+double
+Fixed::toDouble() const
+{
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+}
+
+Fixed
+Fixed::operator+(Fixed other) const
+{
+    return fromRaw(saturate(static_cast<int64_t>(raw_) + other.raw_));
+}
+
+Fixed
+Fixed::operator-(Fixed other) const
+{
+    return fromRaw(saturate(static_cast<int64_t>(raw_) - other.raw_));
+}
+
+Fixed
+Fixed::operator*(Fixed other) const
+{
+    int64_t wide = static_cast<int64_t>(raw_) * other.raw_;
+    return fromRaw(saturate(wide >> kFractionBits));
+}
+
+Fixed
+Fixed::operator/(Fixed other) const
+{
+    if (other.raw_ == 0)
+        return fromRaw(raw_ >= 0 ? kMax : kMin);
+    int64_t wide = (static_cast<int64_t>(raw_) << kFractionBits) /
+                   other.raw_;
+    return fromRaw(saturate(wide));
+}
+
+Fixed
+Fixed::operator-() const
+{
+    return fromRaw(saturate(-static_cast<int64_t>(raw_)));
+}
+
+double
+quantizeToFixed(double v)
+{
+    return Fixed::fromDouble(v).toDouble();
+}
+
+} // namespace cosmic::accel

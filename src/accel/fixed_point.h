@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-point arithmetic of the PE datapath.
+ *
+ * The template's ALUs are built from DSP slices operating on 32-bit
+ * fixed-point words (Q16.16 here): multiplies keep the high half of
+ * the 64-bit product, and overflow saturates instead of wrapping.
+ * This model quantifies what the hardware's number format does to
+ * training: the quantized-interpreter tests show convergence is
+ * unaffected, which is why the paper can use fixed-point DSPs at all.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace cosmic::accel {
+
+/** Q16.16 saturating fixed-point value. */
+class Fixed
+{
+  public:
+    static constexpr int kFractionBits = 16;
+    static constexpr int64_t kOne = 1LL << kFractionBits;
+    static constexpr int32_t kMax = INT32_MAX;
+    static constexpr int32_t kMin = INT32_MIN;
+
+    constexpr Fixed() = default;
+
+    /** Quantizes a real number (round-to-nearest, saturating). */
+    static Fixed fromDouble(double v);
+
+    /** Reinterprets a raw Q16.16 word. */
+    static constexpr Fixed
+    fromRaw(int32_t raw)
+    {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    double toDouble() const;
+    int32_t raw() const { return raw_; }
+
+    Fixed operator+(Fixed other) const;
+    Fixed operator-(Fixed other) const;
+    Fixed operator*(Fixed other) const;
+    /** Divide; a zero divisor saturates (the LUT unit's guard). */
+    Fixed operator/(Fixed other) const;
+    Fixed operator-() const;
+
+    bool operator==(Fixed other) const { return raw_ == other.raw_; }
+    bool operator<(Fixed other) const { return raw_ < other.raw_; }
+
+    /** Smallest representable increment. */
+    static constexpr double
+    epsilon()
+    {
+        return 1.0 / static_cast<double>(kOne);
+    }
+
+  private:
+    int32_t raw_ = 0;
+};
+
+/**
+ * Quantizes a double through the Q16.16 pipeline: the value a PE
+ * would hold after one writeback. Used by the quantized interpreter
+ * mode to bound the end-to-end effect of the number format.
+ */
+double quantizeToFixed(double v);
+
+} // namespace cosmic::accel

@@ -1,0 +1,128 @@
+#include "accel/lut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::accel {
+
+using dfg::OpKind;
+
+namespace {
+
+/** Steep-near-zero functions get geometric breakpoints. */
+bool
+usesLogSpacing(OpKind op)
+{
+    return op == OpKind::Log || op == OpKind::Div ||
+           op == OpKind::Sqrt;
+}
+
+} // namespace
+
+NonlinearLut::NonlinearLut(OpKind op, double lo, double hi, int entries)
+    : op_(op), lo_(lo), hi_(hi)
+{
+    COSMIC_ASSERT(dfg::isNonlinear(op),
+                  "LUT requested for linear operation "
+                      << dfg::opKindName(op));
+    COSMIC_ASSERT(entries >= 2 && hi > lo, "bad LUT parameters");
+    if (usesLogSpacing(op_)) {
+        COSMIC_ASSERT(lo_ > 0.0,
+                      "geometrically spaced LUT needs a positive "
+                      "lower bound");
+    }
+    table_.resize(entries);
+    for (int i = 0; i < entries; ++i)
+        table_[i] = exact(breakpoint(i));
+}
+
+double
+NonlinearLut::breakpoint(int i) const
+{
+    const double t = static_cast<double>(i) /
+                     static_cast<double>(table_.size() - 1);
+    if (usesLogSpacing(op_))
+        return lo_ * std::pow(hi_ / lo_, t);
+    return lo_ + (hi_ - lo_) * t;
+}
+
+double
+NonlinearLut::exact(double x) const
+{
+    switch (op_) {
+      case OpKind::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case OpKind::Gaussian:
+        return std::exp(-x * x);
+      case OpKind::Log:
+        return std::log(std::max(x, 1e-12));
+      case OpKind::Exp:
+        return std::exp(x);
+      case OpKind::Sqrt:
+        return std::sqrt(std::max(x, 0.0));
+      case OpKind::Div:
+        // The divide unit tabulates the reciprocal of the divisor.
+        return 1.0 / (x == 0.0 ? 1e-12 : x);
+      default:
+        COSMIC_FATAL("no exact function for "
+                     << dfg::opKindName(op_));
+    }
+}
+
+double
+NonlinearLut::evaluate(double x) const
+{
+    x = std::clamp(x, lo_, hi_);
+    double pos;
+    if (usesLogSpacing(op_)) {
+        pos = std::log(x / lo_) / std::log(hi_ / lo_) *
+              static_cast<double>(table_.size() - 1);
+    } else {
+        pos = (x - lo_) / (hi_ - lo_) *
+              static_cast<double>(table_.size() - 1);
+    }
+    size_t idx = std::min<size_t>(static_cast<size_t>(pos),
+                                  table_.size() - 2);
+    double frac = pos - static_cast<double>(idx);
+    return table_[idx] + frac * (table_[idx + 1] - table_[idx]);
+}
+
+double
+NonlinearLut::maxError(int samples) const
+{
+    double worst = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        double t = static_cast<double>(i) / (samples - 1);
+        double x = usesLogSpacing(op_)
+                       ? lo_ * std::pow(hi_ / lo_, t)
+                       : lo_ + (hi_ - lo_) * t;
+        worst = std::max(worst, std::fabs(evaluate(x) - exact(x)));
+    }
+    return worst;
+}
+
+NonlinearLut
+NonlinearLut::forOp(OpKind op, int entries)
+{
+    switch (op) {
+      case OpKind::Sigmoid:
+        return NonlinearLut(op, -8.0, 8.0, entries);
+      case OpKind::Gaussian:
+        return NonlinearLut(op, -4.0, 4.0, entries);
+      case OpKind::Log:
+        return NonlinearLut(op, 1e-3, 16.0, entries);
+      case OpKind::Exp:
+        return NonlinearLut(op, -8.0, 4.0, entries);
+      case OpKind::Sqrt:
+        return NonlinearLut(op, 1e-4, 16.0, entries);
+      case OpKind::Div:
+        return NonlinearLut(op, 1e-2, 16.0, entries);
+      default:
+        COSMIC_FATAL("no default LUT range for "
+                     << dfg::opKindName(op));
+    }
+}
+
+} // namespace cosmic::accel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The PE's nonlinear lookup-table unit.
+ *
+ * Paper Sec. 5.1: expensive operations — sigmoid, gaussian, divide,
+ * logarithm — are implemented as lookup tables, instantiated in a PE
+ * only when the Compiler schedules a nonlinear operation there. This
+ * model is the table generator plus its piecewise-linear evaluator: it
+ * quantifies the approximation error the hardware introduces (the
+ * tests pin it well below stochastic-training noise) and sizes the
+ * BRAM the unit consumes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.h"
+
+namespace cosmic::accel {
+
+/** One generated lookup table with linear interpolation. */
+class NonlinearLut
+{
+  public:
+    /**
+     * Builds the table for @p op over [@p lo, @p hi] with
+     * @p entries breakpoints. Functions that are steep near the low
+     * end of their range (log, sqrt, reciprocal) use geometrically
+     * spaced breakpoints so the interpolation error stays flat across
+     * the range (@p lo must then be positive).
+     */
+    NonlinearLut(dfg::OpKind op, double lo, double hi,
+                 int entries = 1024);
+
+    /** The table/interpolator result; inputs clamp to the range. */
+    double evaluate(double x) const;
+
+    /** The exact function the table approximates. */
+    double exact(double x) const;
+
+    /** Largest |evaluate - exact| over @p samples in-range points. */
+    double maxError(int samples = 10000) const;
+
+    /** BRAM bytes the unit occupies (32-bit entries). */
+    int64_t
+    storageBytes() const
+    {
+        return static_cast<int64_t>(table_.size()) * 4;
+    }
+
+    dfg::OpKind op() const { return op_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** The unit with the default range for one operation kind. */
+    static NonlinearLut forOp(dfg::OpKind op, int entries = 1024);
+
+  private:
+    /** The i-th breakpoint's input value (linear or geometric). */
+    double breakpoint(int i) const;
+
+    dfg::OpKind op_;
+    double lo_;
+    double hi_;
+    std::vector<double> table_;
+};
+
+} // namespace cosmic::accel

@@ -1,0 +1,93 @@
+#include "accel/perf.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::accel {
+
+PerfEstimator::PerfEstimator(const dfg::Translation &translation,
+                             const compiler::CompiledKernel &kernel,
+                             const AcceleratorPlan &plan)
+{
+    COSMIC_ASSERT(plan.threads > 0, "plan has no threads");
+    params_.frequencyHz = plan.platform.frequencyHz;
+    params_.threads = plan.threads;
+    params_.columns = plan.columns;
+    params_.wordsPerCycle = plan.platform.wordsPerCycle();
+    params_.pcieBandwidthBytesPerSec =
+        plan.platform.pcieBandwidthBytesPerSec;
+    params_.computeCyclesPerRecord = kernel.computeCyclesPerRecord;
+    params_.recordWords = translation.recordWords;
+    params_.modelWords = translation.modelWords;
+    params_.gradientWords = translation.gradientWords;
+}
+
+PerfEstimator::PerfEstimator(const PerfParams &params) : params_(params)
+{
+    COSMIC_ASSERT(params_.threads > 0 && params_.frequencyHz > 0,
+                  "invalid performance parameters");
+}
+
+double
+PerfEstimator::cyclesPerRecordPerThread() const
+{
+    double share = params_.wordsPerCycle / params_.threads;
+    double stream_cycles = params_.recordWords / share;
+    return std::max(
+        static_cast<double>(params_.computeCyclesPerRecord),
+        stream_cycles);
+}
+
+bool
+PerfEstimator::memoryBound() const
+{
+    double share = params_.wordsPerCycle / params_.threads;
+    return params_.recordWords / share >
+           static_cast<double>(params_.computeCyclesPerRecord);
+}
+
+double
+PerfEstimator::recordsPerSecond() const
+{
+    return params_.threads * params_.frequencyHz /
+           cyclesPerRecordPerThread();
+}
+
+BatchTime
+PerfEstimator::batchTime(int64_t records) const
+{
+    BatchTime t;
+    const double freq = params_.frequencyHz;
+
+    // Threads process equal sub-partitions of the node's batch slice.
+    int64_t per_thread =
+        (records + params_.threads - 1) / params_.threads;
+    t.computeSec = per_thread * cyclesPerRecordPerThread() / freq;
+
+    // Mini-batch boundary: broadcast updated model to all threads over
+    // the memory-interface bus (one stream serves everyone).
+    t.modelBroadcastSec =
+        params_.modelWords / params_.wordsPerCycle / freq;
+
+    // Local aggregation of the threads' partial gradients over the tree
+    // bus: log2(threads) pairwise combine levels, with the tree lanes of
+    // each column moving words in parallel.
+    if (params_.threads > 1) {
+        int levels = std::bit_width(
+            static_cast<unsigned>(params_.threads - 1));
+        double agg_cycles = static_cast<double>(params_.gradientWords) *
+                            levels / params_.columns;
+        t.localAggregationSec = agg_cycles / freq;
+    }
+
+    // Host transfers: the aggregated gradient out, the new model in.
+    t.pcieSec = (params_.gradientWords * 4.0 +
+                 params_.modelWords * 4.0) /
+                params_.pcieBandwidthBytesPerSec;
+    return t;
+}
+
+} // namespace cosmic::accel

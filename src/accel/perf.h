@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Node-level accelerator performance estimation.
+ *
+ * This is the paper's performance-estimation tool (Sec. 4.4): because
+ * the schedule is static, the datapath is fixed, and there are no
+ * hardware-managed caches, per-record timing can be computed exactly
+ * from the compiled schedule. The estimator combines:
+ *
+ *  - compute: the scheduled makespan of one record on one thread;
+ *  - memory: the thread's round-robin share of off-chip bandwidth,
+ *    which the prefetch buffer overlaps with compute (the thread is
+ *    limited by whichever is larger);
+ *  - mini-batch boundary costs: the broadcast of updated model
+ *    parameters to all threads, the tree-bus local aggregation of the
+ *    threads' partial gradients, and the PCIe hops to the host.
+ *
+ * The estimator's inputs are a handful of plain numbers (PerfParams),
+ * so evaluation harnesses can persist them and re-time deployments
+ * without re-running the compiler.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "accel/plan.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+
+namespace cosmic::accel {
+
+/** Timing breakdown of one mini-batch on one accelerator node. */
+struct BatchTime
+{
+    double computeSec = 0.0;
+    double modelBroadcastSec = 0.0;
+    double localAggregationSec = 0.0;
+    double pcieSec = 0.0;
+
+    double
+    totalSec() const
+    {
+        return computeSec + modelBroadcastSec + localAggregationSec +
+               pcieSec;
+    }
+};
+
+/** The exact set of numbers per-record timing depends on. */
+struct PerfParams
+{
+    double frequencyHz = 0.0;
+    int threads = 0;
+    int columns = 0;
+    /** Chip-wide memory words per cycle. */
+    double wordsPerCycle = 0.0;
+    double pcieBandwidthBytesPerSec = 0.0;
+
+    int64_t computeCyclesPerRecord = 0;
+    int64_t recordWords = 0;
+    int64_t modelWords = 0;
+    int64_t gradientWords = 0;
+};
+
+/** Steady-state and per-batch performance of one compiled accelerator. */
+class PerfEstimator
+{
+  public:
+    /** Derives the params from a freshly compiled kernel. */
+    PerfEstimator(const dfg::Translation &translation,
+                  const compiler::CompiledKernel &kernel,
+                  const AcceleratorPlan &plan);
+
+    /** Re-times a previously summarized design. */
+    explicit PerfEstimator(const PerfParams &params);
+
+    /**
+     * Cycles one worker thread needs per record in steady state: the
+     * larger of the compute makespan and the record's streaming time at
+     * the thread's bandwidth share (prefetch overlaps the two).
+     */
+    double cyclesPerRecordPerThread() const;
+
+    /** Whether steady state is limited by memory rather than compute. */
+    bool memoryBound() const;
+
+    /** Chip-level steady-state training-record throughput. */
+    double recordsPerSecond() const;
+
+    /** Time for one mini-batch of @p records on this node. */
+    BatchTime batchTime(int64_t records) const;
+
+    const PerfParams &params() const { return params_; }
+
+  private:
+    PerfParams params_;
+};
+
+} // namespace cosmic::accel

@@ -1,0 +1,38 @@
+#include "accel/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosmic::accel {
+
+ResourceUsage
+AcceleratorPlan::resourceUsage() const
+{
+    ResourceUsage u;
+    const double pes = static_cast<double>(totalPes());
+    u.luts = static_cast<int64_t>(platform.lutBase +
+                                  platform.lutPerPe * pes);
+    u.flipFlops = static_cast<int64_t>(platform.ffBase +
+                                       platform.ffPerPe * pes);
+    u.dspSlices = static_cast<int64_t>(std::llround(
+        platform.dspPerPe * pes));
+
+    // PE buffers (data + model + interim) for every PE, plus prefetch:
+    // the Planner hands whatever BRAM is left to the prefetch buffers,
+    // rounded down to whole 4 KB block-RAM tiles.
+    int64_t pe_buffers =
+        4 * (dataBufWordsPerPe + modelBufWordsPerPe +
+             interimBufWordsPerPe) * totalPes();
+    int64_t remaining = platform.bramBytes - pe_buffers;
+    int64_t prefetch = std::max<int64_t>(0, (remaining * 9) / 10);
+    prefetch -= prefetch % 4096;
+    u.bramBytes = std::min(platform.bramBytes, pe_buffers + prefetch);
+
+    u.lutUtil = static_cast<double>(u.luts) / platform.luts;
+    u.ffUtil = static_cast<double>(u.flipFlops) / platform.flipFlops;
+    u.bramUtil = static_cast<double>(u.bramBytes) / platform.bramBytes;
+    u.dspUtil = static_cast<double>(u.dspSlices) / platform.dspSlices;
+    return u;
+}
+
+} // namespace cosmic::accel

@@ -1,0 +1,73 @@
+#include "accel/platform.h"
+
+namespace cosmic::accel {
+
+PlatformSpec
+PlatformSpec::ultrascalePlus()
+{
+    PlatformSpec s;
+    s.name = "UltraScale+ VU9P";
+    s.kind = ChipKind::Fpga;
+    s.frequencyHz = 150e6;
+    s.columns = 16;
+    s.maxRows = 48;
+    // One DDR4 channel through AXI-4: 16 words/cycle at 150 MHz.
+    s.memBandwidthBytesPerSec = 16 * 4 * 150e6;
+    s.bramBytes = 9720LL * 1024;
+    s.tdpWatts = 42.0;
+    s.dspSlices = 6840;
+    s.luts = 1182240;
+    s.flipFlops = 2364480;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::pasicF()
+{
+    PlatformSpec s = ultrascalePlus();
+    s.name = "P-ASIC-F";
+    s.kind = ChipKind::Pasic;
+    s.frequencyHz = 1e9;
+    // Same PE count (16x48) and the same *bytes per second* of off-chip
+    // bandwidth as the FPGA; at 1 GHz that is only 2.4 words per cycle,
+    // which is exactly why frequency alone does not buy proportional
+    // speedup for bandwidth-bound algorithms (paper Sec. 7.2).
+    s.tdpWatts = 11.0;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::pasicG()
+{
+    PlatformSpec s;
+    s.name = "P-ASIC-G";
+    s.kind = ChipKind::Pasic;
+    s.frequencyHz = 1e9;
+    s.columns = 60;
+    s.maxRows = 48;
+    // Matches the K40c: 2880 PEs and 288 GB/s.
+    s.memBandwidthBytesPerSec = 288e9;
+    s.bramBytes = 24LL * 1024 * 1024;
+    s.tdpWatts = 37.0;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::zynq()
+{
+    PlatformSpec s;
+    s.name = "Zynq ZC702";
+    s.kind = ChipKind::Fpga;
+    s.frequencyHz = 100e6;
+    s.columns = 8;
+    s.maxRows = 5;
+    s.memBandwidthBytesPerSec = 8 * 4 * 100e6;
+    s.bramBytes = 560LL * 1024;
+    s.tdpWatts = 5.0;
+    s.dspSlices = 220;
+    s.luts = 53200;
+    s.flipFlops = 106400;
+    return s;
+}
+
+} // namespace cosmic::accel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Acceleration platform specifications.
+ *
+ * A PlatformSpec captures what the Planner needs to know about a target
+ * chip (paper Sec. 4.4): compute resources, memory bandwidth, on-chip
+ * storage, frequency, and power — plus a per-PE resource cost model used
+ * to report FPGA utilization (Table 3).
+ *
+ * The four built-in platforms mirror the paper's Table 2: the Xilinx
+ * UltraScale+ VU9P FPGA, the two CoSMIC-generated P-ASICs (P-ASIC-F
+ * matches the FPGA's PE count and off-chip bandwidth at 1 GHz; P-ASIC-G
+ * matches the GPU's core count and bandwidth), and the low-power Zynq
+ * used by TABLA.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosmic::accel {
+
+/** Whether the generated accelerator is reprogrammable fabric or ASIC. */
+enum class ChipKind
+{
+    Fpga,
+    Pasic,
+};
+
+/** Static description of an acceleration platform. */
+struct PlatformSpec
+{
+    std::string name;
+    ChipKind kind = ChipKind::Fpga;
+
+    /** Accelerator clock in Hz. */
+    double frequencyHz = 150e6;
+
+    /**
+     * PEs per row of the template. The Planner sets this to the number
+     * of 4-byte words the memory interface can deliver per cycle at the
+     * chip's nominal design point, so one row consumes exactly one
+     * memory beat (paper Sec. 4.4).
+     */
+    int columns = 16;
+
+    /** Maximum PE rows the fabric can hold. */
+    int maxRows = 48;
+
+    /** Off-chip memory bandwidth in bytes per second. */
+    double memBandwidthBytesPerSec = 9.6e9;
+
+    /** On-chip storage available for PE buffers and prefetch, bytes. */
+    int64_t bramBytes = 9720LL * 1024;
+
+    /** Board power budget in watts (for performance-per-Watt). */
+    double tdpWatts = 42.0;
+
+    /** Host-interface (PCIe) effective bandwidth, bytes per second. */
+    double pcieBandwidthBytesPerSec = 6.0e9;
+
+    // --- FPGA resource cost model (utilization reporting) ---
+    int64_t dspSlices = 6840;
+    int64_t luts = 1182240;
+    int64_t flipFlops = 2364480;
+    double dspPerPe = 5.2;
+    double lutPerPe = 1050.0;
+    double ffPerPe = 990.0;
+    /** Fixed cost of the memory interface, shifter, and controllers. */
+    double lutBase = 10000.0;
+    double ffBase = 8000.0;
+
+    /** Words (4-byte) deliverable from memory per accelerator cycle. */
+    double
+    wordsPerCycle() const
+    {
+        return memBandwidthBytesPerSec / 4.0 / frequencyHz;
+    }
+
+    int64_t
+    maxPes() const
+    {
+        return static_cast<int64_t>(columns) * maxRows;
+    }
+
+    /** Xilinx Virtex UltraScale+ VU9P at 150 MHz (paper Table 2). */
+    static PlatformSpec ultrascalePlus();
+    /** P-ASIC matching the FPGA's PEs and bandwidth at 1 GHz. */
+    static PlatformSpec pasicF();
+    /** P-ASIC matching the GPU's core count and bandwidth at 1 GHz. */
+    static PlatformSpec pasicG();
+    /** Low-power Zynq ZC702 (TABLA's platform, for context). */
+    static PlatformSpec zynq();
+};
+
+/** Non-accelerator platform constants used by the baseline models. */
+struct HostSpec
+{
+    /** Xeon E3-1275 v5: 4 cores @ 3.6 GHz with AVX2. */
+    double cpuPeakFlops = 460.8e9;
+    double cpuMemBandwidthBytesPerSec = 34.1e9;
+    double cpuTdpWatts = 80.0;
+    int cpuCores = 4;
+
+    /** Nvidia Tesla K40c. */
+    double gpuPeakFlops = 4.29e12;
+    double gpuMemBandwidthBytesPerSec = 288e9;
+    double gpuPcieBandwidthBytesPerSec = 12e9;
+    int64_t gpuMemoryBytes = 12LL * 1024 * 1024 * 1024;
+    double gpuTdpWatts = 235.0;
+
+    /** Gigabit Ethernet NIC through the TP-LINK switch: sustained
+     *  user-level TCP throughput (acks, kernel copies, contention). */
+    double nicBandwidthBytesPerSec = 85e6;
+    /** One-way message latency over TCP through the switch. */
+    double nicLatencySec = 120e-6;
+};
+
+} // namespace cosmic::accel

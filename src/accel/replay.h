@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Event-driven replay of a compiled schedule.
+ *
+ * The list scheduler emits issue cycles; the replayer independently
+ * walks the schedule in time order and re-checks every hardware
+ * constraint the template imposes — operand availability including
+ * transfer latency, one issue per PE per cycle, bounded bus occupancy —
+ * and derives the utilization report the Planner's design-space
+ * exploration reasons about. It is the simulator-side witness that the
+ * static schedule the Constructor bakes into ROMs actually executes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/plan.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+
+namespace cosmic::accel {
+
+/** Outcome of replaying one compiled kernel. */
+struct ReplayReport
+{
+    /** False if any hardware constraint was violated. */
+    bool valid = true;
+    /** Description of the first violation found. */
+    std::string violation;
+
+    /** Observed makespan (last writeback), in cycles. */
+    int64_t cycles = 0;
+    /** Operations executed per PE. */
+    std::vector<int64_t> opsPerPe;
+    /** Mean fraction of cycles each PE issues an operation. */
+    double avgPeUtilization = 0.0;
+    /** Utilization of the busiest PE. */
+    double peakPeUtilization = 0.0;
+    /** Operations executed through the nonlinear (LUT) unit. */
+    int64_t nonlinearOps = 0;
+};
+
+/** Replays and validates a compiled kernel. */
+class ScheduleReplayer
+{
+  public:
+    static ReplayReport replay(const dfg::Translation &translation,
+                               const compiler::CompiledKernel &kernel);
+};
+
+} // namespace cosmic::accel

@@ -1,0 +1,130 @@
+#include "accel/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "compiler/interconnect.h"
+#include "compiler/scheduler.h"
+#include "dfg/interp.h"
+
+namespace cosmic::accel {
+
+using dfg::kInvalidNode;
+using dfg::NodeId;
+using dfg::OpKind;
+
+CycleSimulator::CycleSimulator(const dfg::Translation &translation,
+                               const compiler::CompiledKernel &kernel)
+    : tr_(translation), kernel_(kernel)
+{
+    const auto &issue = kernel_.schedule.issueCycle;
+    order_.reserve(tr_.dfg.size());
+    for (NodeId v = 0; v < tr_.dfg.size(); ++v) {
+        const auto &node = tr_.dfg.node(v);
+        if (node.op == OpKind::Const || node.op == OpKind::Input)
+            continue;
+        COSMIC_ASSERT(issue[v] >= 0, "unscheduled op " << v);
+        order_.push_back(v);
+    }
+    std::sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+        if (issue[a] != issue[b])
+            return issue[a] < issue[b];
+        return a < b;
+    });
+}
+
+SimulationResult
+CycleSimulator::run(std::span<const double> record,
+                    std::span<const double> model) const
+{
+    const dfg::Dfg &dfg = tr_.dfg;
+    const auto &mapping = kernel_.mapping;
+    const auto &issue = kernel_.schedule.issueCycle;
+    compiler::InterconnectModel bus(compiler::BusKind::Hierarchical,
+                                    mapping.columns,
+                                    mapping.rowsPerThread);
+
+    SimulationResult result;
+    COSMIC_ASSERT(static_cast<int64_t>(record.size()) >=
+                      tr_.recordWords,
+                  "record too short");
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr_.modelWords,
+                  "model too short");
+
+    // Per-node value and finish time. Inputs/constants are resident in
+    // their buffers from cycle 0 (the memory interface prefetched).
+    std::vector<double> value(dfg.size(), 0.0);
+    std::vector<int64_t> finish(dfg.size(), 0);
+    std::vector<char> produced(dfg.size(), 0);
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const auto &node = dfg.node(v);
+        if (node.op == OpKind::Const)
+            value[v] = dfg.constValue(v);
+        else if (node.op == OpKind::Input)
+            value[v] = node.category == dfg::Category::Data
+                           ? record[dfg.inputPos(v)]
+                           : model[dfg.inputPos(v)];
+    }
+
+    auto fail = [&](NodeId v, NodeId o, int64_t arrival) {
+        if (!result.ok)
+            return;
+        result.ok = false;
+        std::ostringstream oss;
+        oss << "op " << v << " on PE " << mapping.peOf[v]
+            << " issues at cycle " << issue[v] << " but operand " << o
+            << " from PE " << mapping.peOf[o] << " only arrives at "
+            << arrival;
+        result.violation = oss.str();
+    };
+
+    for (NodeId v : order_) {
+        const auto &node = dfg.node(v);
+        const int pe = mapping.peOf[v];
+        double operands[3] = {0.0, 0.0, 0.0};
+        NodeId ids[3] = {node.a, node.b, node.c};
+        for (int k = 0; k < 3; ++k) {
+            NodeId o = ids[k];
+            if (o == kInvalidNode)
+                continue;
+            const auto &op_node = dfg.node(o);
+            bool is_op = op_node.op != OpKind::Const &&
+                         op_node.op != OpKind::Input;
+            if (is_op) {
+                if (!produced[o]) {
+                    // Executed in time order, so an unproduced operand
+                    // means the schedule runs the consumer first.
+                    fail(v, o, -1);
+                }
+                int64_t arrival = finish[o];
+                if (mapping.peOf[o] != pe) {
+                    arrival +=
+                        bus.route(mapping.peOf[o], pe).latency;
+                    ++result.messages;
+                    // The scheduler reserved the transfer's bus slot;
+                    // arrival at pure route latency is the earliest
+                    // physically possible time.
+                    if (issue[v] + 1 < arrival)
+                        fail(v, o, arrival);
+                } else if (issue[v] < arrival) {
+                    fail(v, o, arrival);
+                }
+            }
+            operands[k] = value[o];
+        }
+        value[v] = dfg::evaluateOp(node.op, operands[0], operands[1],
+                                   operands[2]);
+        finish[v] = issue[v] + compiler::Scheduler::opLatency(node.op);
+        produced[v] = 1;
+        result.cycles = std::max(result.cycles, finish[v]);
+    }
+
+    const auto &grads = dfg.gradientNodes();
+    result.gradient.assign(grads.size(), 0.0);
+    for (size_t g = 0; g < grads.size(); ++g)
+        result.gradient[g] = value[grads[g]];
+    return result;
+}
+
+} // namespace cosmic::accel

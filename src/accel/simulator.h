@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional cycle simulation of one worker thread's PE array.
+ *
+ * The replayer (replay.h) checks the schedule's timing; this simulator
+ * additionally moves *values*: every PE owns a register file for its
+ * interim results, operands produced on other PEs travel as messages
+ * that arrive `route.latency` cycles after their transfer starts, and
+ * an operation may only consume values that have physically arrived.
+ * The simulated gradient must match the golden interpreter bit-for-bit
+ * modulo floating-point association — this is the end-to-end witness
+ * that the compiler's mapping + schedule + interconnect actually
+ * compute the right thing, not just on time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/plan.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+
+namespace cosmic::accel {
+
+/** Result of simulating one training record. */
+struct SimulationResult
+{
+    bool ok = true;
+    /** First data-flow violation found (value consumed pre-arrival). */
+    std::string violation;
+    /** The gradient the simulated hardware produced. */
+    std::vector<double> gradient;
+    /** Cycle of the last writeback. */
+    int64_t cycles = 0;
+    /** Values that crossed PEs (message count). */
+    int64_t messages = 0;
+};
+
+/** Executes a compiled kernel on one record, with value movement. */
+class CycleSimulator
+{
+  public:
+    CycleSimulator(const dfg::Translation &translation,
+                   const compiler::CompiledKernel &kernel);
+
+    /**
+     * Runs one record through the array.
+     *
+     * @param record The training record (the memory interface is
+     *        assumed to have streamed it into the data buffers).
+     * @param model The flattened model (resident in model buffers).
+     */
+    SimulationResult run(std::span<const double> record,
+                         std::span<const double> model) const;
+
+  private:
+    const dfg::Translation &tr_;
+    const compiler::CompiledKernel &kernel_;
+    /** Operations in issue order (precomputed). */
+    std::vector<dfg::NodeId> order_;
+};
+
+} // namespace cosmic::accel

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Roofline model of the distributed GPU (Tesla K40c) baseline.
+ *
+ * The paper extends CoSMIC's runtime to drive GPUs with hand-optimized
+ * CUDA (cuBLAS / cuDNN / LibSVM-GPU). Two mechanisms decide GPU
+ * per-node time, and they explain Fig. 10's shape:
+ *
+ *  - compute: backpropagation batches into large matrix-matrix products
+ *    that GPUs execute at high utilization — hence the outsized mnist /
+ *    acoustic wins; the GLM/SVM kernels are BLAS-1-like and sustain far
+ *    less;
+ *  - data movement: datasets larger than the 12 GB device memory
+ *    stream over PCIe each epoch, which caps the bandwidth-bound
+ *    benchmarks near the FPGA's DDR throughput.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "accel/platform.h"
+#include "ml/workloads.h"
+
+namespace cosmic::baselines {
+
+/** Calibration knobs of the GPU node model. */
+struct GpuModelConfig
+{
+    accel::HostSpec host;
+
+    /** Peak-FLOPS fraction for batched matrix-matrix (backprop). */
+    double matmulUtilization = 0.18;
+    /** Peak-FLOPS fraction for vector-style kernels (GLM / SVM / CF). */
+    double vectorUtilization = 0.04;
+    /** Sustained fraction of device memory bandwidth. */
+    double memEfficiency = 0.75;
+    /** Sustained fraction of PCIe bandwidth when streaming the set. */
+    double pcieEfficiency = 0.85;
+    /** Kernel-launch plus driver cost per mini-batch. */
+    double perBatchOverheadSec = 250e-6;
+};
+
+/** Per-node GPU batch timing. */
+class GpuNodeModel
+{
+  public:
+    explicit GpuNodeModel(const GpuModelConfig &config = {});
+
+    /**
+     * Time for one mini-batch of @p records on one GPU node.
+     *
+     * @param algorithm Chooses the compute-utilization regime.
+     * @param flops_per_record Arithmetic work per record.
+     * @param bytes_per_record Streamed bytes per record.
+     * @param model_bytes Model size (PCIe round trip per batch).
+     * @param dataset_bytes_per_node Whether the partition fits on-card.
+     */
+    double batchSeconds(ml::Algorithm algorithm, int64_t records,
+                        double flops_per_record, double bytes_per_record,
+                        int64_t model_bytes,
+                        double dataset_bytes_per_node) const;
+
+    /** Whether a partition of this size streams over PCIe. */
+    bool
+    streamsOverPcie(double dataset_bytes_per_node) const
+    {
+        return dataset_bytes_per_node >
+               static_cast<double>(config_.host.gpuMemoryBytes);
+    }
+
+  private:
+    GpuModelConfig config_;
+};
+
+} // namespace cosmic::baselines

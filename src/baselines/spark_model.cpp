@@ -1,0 +1,63 @@
+#include "baselines/spark_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosmic::baselines {
+
+SparkModel::SparkModel(const SparkModelConfig &config) : config_(config)
+{}
+
+double
+SparkModel::computeEfficiency(ml::Algorithm algorithm) const
+{
+    switch (algorithm) {
+      case ml::Algorithm::Backpropagation:
+        return config_.backpropComputeEfficiency;
+      case ml::Algorithm::CollaborativeFiltering:
+        return config_.cfComputeEfficiency;
+      default:
+        return config_.glmComputeEfficiency;
+    }
+}
+
+sys::IterationBreakdown
+SparkModel::iteration(ml::Algorithm algorithm, int nodes,
+                      int64_t records_per_node, double flops_per_record,
+                      double bytes_per_record, int64_t model_bytes) const
+{
+    const auto &host = config_.host;
+    sys::IterationBreakdown b;
+
+    // Executor compute: roofline between JVM-efficiency-scaled FLOPS
+    // and RDD-traversal memory bandwidth.
+    double flop_time = records_per_node * flops_per_record /
+                       (host.cpuPeakFlops *
+                        computeEfficiency(algorithm));
+    double mem_time = records_per_node * bytes_per_record /
+                      (host.cpuMemBandwidthBytesPerSec *
+                       config_.mllibMemoryEfficiency);
+    b.computeSec = std::max(flop_time, mem_time);
+
+    // treeAggregate (depth 2): executors combine in sqrt(N)-ish fan-in
+    // stages; serialized bytes ride the NIC, merges run on executors.
+    double wire_bytes = model_bytes * config_.serializationFactor;
+    int fan_in = std::max(1, static_cast<int>(std::ceil(
+                                  std::sqrt(static_cast<double>(nodes)))));
+    double shuffle = 2.0 * fan_in * wire_bytes /
+                     host.nicBandwidthBytesPerSec;
+    double broadcast = wire_bytes *
+                       std::ceil(std::log2(std::max(2, nodes))) /
+                       host.nicBandwidthBytesPerSec;
+    b.networkSec = shuffle + broadcast;
+
+    // Merge cost at the aggregating executors and the driver.
+    b.aggregationSec = fan_in * wire_bytes /
+                       config_.mergeThroughputBytesPerSec;
+
+    b.overheadSec = config_.schedulerOverheadSec +
+                    nodes * config_.perTaskOverheadSec;
+    return b;
+}
+
+} // namespace cosmic::baselines

@@ -1,0 +1,31 @@
+#include "baselines/tabla_model.h"
+
+#include <algorithm>
+
+#include "accel/perf.h"
+#include "planner/planner.h"
+
+namespace cosmic::baselines {
+
+TablaResult
+TablaModel::build(const dfg::Translation &translation,
+                  const accel::PlatformSpec &platform)
+{
+    TablaResult result;
+    result.plan = planner::Planner::makePlan(translation, platform, 1,
+                                             platform.maxRows);
+
+    compiler::CompileOptions options;
+    options.strategy = compiler::MappingStrategy::OperationFirst;
+    options.bus = compiler::BusKind::SingleShared;
+    result.kernel = compiler::KernelCompiler::compile(translation,
+                                                      result.plan,
+                                                      options);
+
+    accel::PerfEstimator perf(translation, result.kernel, result.plan);
+    result.cyclesPerRecord = perf.cyclesPerRecordPerThread();
+    result.recordsPerSecond = perf.recordsPerSecond();
+    return result;
+}
+
+} // namespace cosmic::baselines

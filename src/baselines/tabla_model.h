@@ -1,0 +1,49 @@
+/**
+ * @file
+ * TABLA baseline: single-threaded, operation-first, flat-bus design.
+ *
+ * TABLA (HPCA'16) is the prior template-based generator the paper
+ * compares against head-to-head on the same UltraScale+ part (Fig. 17).
+ * Its three scalability limiters, reproduced here, are:
+ *  - one worker thread: the whole fabric accelerates a single instance
+ *    of the gradient DFG, so utilization is capped by the DFG's
+ *    fine-grained parallelism;
+ *  - operation-first mapping: the compiler minimizes latency without
+ *    considering where data lives, so cross-PE traffic grows with PEs;
+ *  - a flat shared bus whose arbitration latency grows linearly with
+ *    the PE count.
+ */
+#pragma once
+
+#include "accel/plan.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+
+namespace cosmic::baselines {
+
+/** Timing of a TABLA-style accelerator for one program. */
+struct TablaResult
+{
+    accel::AcceleratorPlan plan;
+    compiler::CompiledKernel kernel;
+    /** Steady-state records per second on the chip. */
+    double recordsPerSecond = 0.0;
+    /** Steady-state cycles per record. */
+    double cyclesPerRecord = 0.0;
+};
+
+/** Generates and times a TABLA-style accelerator. */
+class TablaModel
+{
+  public:
+    /**
+     * Compiles @p translation for @p platform the TABLA way: one
+     * thread spanning all rows, operation-first mapping, single shared
+     * bus. Uses the same scheduler as CoSMIC, so the comparison
+     * isolates the architecture and mapping differences.
+     */
+    static TablaResult build(const dfg::Translation &translation,
+                             const accel::PlatformSpec &platform);
+};
+
+} // namespace cosmic::baselines

@@ -1,0 +1,37 @@
+#include "circuit/encoding.h"
+
+namespace cosmic::circuit {
+
+uint64_t
+encodeMicroOp(const MicroOp &op)
+{
+    uint64_t word = 0;
+    word |= (static_cast<uint64_t>(op.opcode) & 0x1F) << 59;
+    word |= (static_cast<uint64_t>(op.srcA) & 0x7) << 56;
+    word |= (static_cast<uint64_t>(op.srcB) & 0x7) << 53;
+    word |= (static_cast<uint64_t>(op.srcC) & 0x7) << 50;
+    word |= (static_cast<uint64_t>(op.addrA) & 0xFFFF) << 34;
+    word |= (static_cast<uint64_t>(op.addrB) & 0xFFFF) << 18;
+    word |= (static_cast<uint64_t>(op.dest) & 0xFFFF) << 2;
+    word |= op.emitToBus ? 0x1ULL : 0x0ULL;
+    word |= op.gradientOutput ? 0x2ULL : 0x0ULL;
+    return word;
+}
+
+MicroOp
+decodeMicroOp(uint64_t word)
+{
+    MicroOp op;
+    op.opcode = static_cast<dfg::OpKind>((word >> 59) & 0x1F);
+    op.srcA = static_cast<OperandSource>((word >> 56) & 0x7);
+    op.srcB = static_cast<OperandSource>((word >> 53) & 0x7);
+    op.srcC = static_cast<OperandSource>((word >> 50) & 0x7);
+    op.addrA = static_cast<uint16_t>((word >> 34) & 0xFFFF);
+    op.addrB = static_cast<uint16_t>((word >> 18) & 0xFFFF);
+    op.dest = static_cast<uint16_t>((word >> 2) & 0xFFFF);
+    op.emitToBus = (word & 0x1) != 0;
+    op.gradientOutput = (word & 0x2) != 0;
+    return op;
+}
+
+} // namespace cosmic::circuit

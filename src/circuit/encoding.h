@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microinstruction encoding for the PE control ROMs.
+ *
+ * The circuit layer turns the Compiler's static schedule into per-PE
+ * control streams (paper Sec. 4.5): on the FPGA these are ROM images
+ * driving the PE's five-stage pipeline through a counter-based state
+ * machine (no instruction fetch/decode — the von Neumann bypass); on a
+ * P-ASIC the same words are the microcode the programmable control
+ * unit executes.
+ *
+ * Each microinstruction is one 64-bit word:
+ *
+ *   [63:59] opcode            (OpKind)
+ *   [58:56] operand-A source  (OperandSource)
+ *   [55:53] operand-B source
+ *   [52:50] operand-C source
+ *   [49:34] operand-A address (buffer slot or bus tag, 16 bits)
+ *   [33:18] operand-B address
+ *   [17:2]  destination address (interim-buffer slot)
+ *   [1:0]   flags: bit0 = emit to bus, bit1 = gradient output
+ *
+ * The encoding is deliberately lossy about operand-C's address (the
+ * select condition always arrives via the forwarding path or interim
+ * buffer slot named by A/B in practice); round-trip tests cover the
+ * fields the hardware actually decodes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/graph.h"
+
+namespace cosmic::circuit {
+
+/** Where a PE pipeline reads an operand from (paper Fig. 6). */
+enum class OperandSource : uint8_t
+{
+    None = 0,
+    DataBuffer = 1,
+    ModelBuffer = 2,
+    InterimBuffer = 3,
+    NeighborLink = 4,
+    RowBus = 5,
+    TreeBus = 6,
+    Immediate = 7,
+};
+
+/** One decoded microinstruction. */
+struct MicroOp
+{
+    dfg::OpKind opcode = dfg::OpKind::Add;
+    OperandSource srcA = OperandSource::None;
+    OperandSource srcB = OperandSource::None;
+    OperandSource srcC = OperandSource::None;
+    uint16_t addrA = 0;
+    uint16_t addrB = 0;
+    uint16_t dest = 0;
+    bool emitToBus = false;
+    bool gradientOutput = false;
+};
+
+/** Packs a microinstruction into its 64-bit ROM word. */
+uint64_t encodeMicroOp(const MicroOp &op);
+
+/** Unpacks a ROM word (hardware decoder reference model). */
+MicroOp decodeMicroOp(uint64_t word);
+
+} // namespace cosmic::circuit

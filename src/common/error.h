@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error handling for the CoSMIC stack.
+ *
+ * Two failure classes, mirroring the gem5 fatal/panic split:
+ *  - CosmicError: user-facing failures (bad DSL program, impossible plan,
+ *    invalid configuration). Thrown, catchable, carries a message.
+ *  - COSMIC_ASSERT: internal invariant violations (stack bugs). Aborts.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosmic {
+
+/** Exception for user-caused failures anywhere in the stack. */
+class CosmicError : public std::runtime_error
+{
+  public:
+    explicit CosmicError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Throw a CosmicError with a streamed message. */
+#define COSMIC_FATAL(msg)                                                  \
+    do {                                                                   \
+        std::ostringstream cosmic_fatal_oss_;                              \
+        cosmic_fatal_oss_ << msg;                                          \
+        throw ::cosmic::CosmicError(cosmic_fatal_oss_.str());              \
+    } while (0)
+
+/** Internal invariant check; failure indicates a bug in the stack. */
+#define COSMIC_ASSERT(cond, msg)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream cosmic_assert_oss_;                         \
+            cosmic_assert_oss_ << "internal error: " << msg                \
+                               << " (" << #cond << ") at "                 \
+                               << __FILE__ << ":" << __LINE__;             \
+            throw ::cosmic::CosmicError(cosmic_assert_oss_.str());         \
+        }                                                                  \
+    } while (0)
+
+} // namespace cosmic

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Small statistical helpers used by the evaluation harness.
+ */
+#pragma once
+
+#include <vector>
+
+namespace cosmic {
+
+/** Arithmetic mean; 0 for an empty sequence. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty sequence. Requires positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Largest element; 0 for an empty sequence. */
+double maxOf(const std::vector<double> &xs);
+
+/** Smallest element; 0 for an empty sequence. */
+double minOf(const std::vector<double> &xs);
+
+} // namespace cosmic

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosmic {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    COSMIC_ASSERT(row.size() == header_.size(),
+                  "row width " << row.size() << " != header width "
+                               << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    os << "\n== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 3)
+               << row[c];
+        os << "\n";
+    };
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    os.flush();
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+} // namespace cosmic

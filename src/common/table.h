@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * rows of text; TablePrinter keeps the output aligned and diff-friendly.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosmic {
+
+/** Accumulates rows of string cells and renders them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Heading printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Sets the column headers; must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Appends one data row; its width must match the header's. */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Formats a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cosmic

@@ -1,0 +1,27 @@
+#include "compiler/kernel.h"
+
+#include "dfg/analysis.h"
+
+namespace cosmic::compiler {
+
+CompiledKernel
+KernelCompiler::compile(const dfg::Translation &tr,
+                        const accel::AcceleratorPlan &plan,
+                        const CompileOptions &options)
+{
+    CompiledKernel kernel;
+    kernel.mapping = Mapper::map(tr.dfg, plan, options.strategy);
+    InterconnectModel interconnect(options.bus, plan.columns,
+                                   plan.rowsPerThread);
+    kernel.schedule =
+        Scheduler::schedule(tr.dfg, kernel.mapping, interconnect);
+    kernel.memory = MemoryScheduleBuilder::build(tr, plan);
+
+    kernel.computeCyclesPerRecord = kernel.schedule.makespan;
+    kernel.streamWordsPerRecord = tr.recordWords;
+    kernel.opCount = tr.dfg.operationCount();
+    kernel.criticalPath = dfg::criticalPathLength(tr.dfg);
+    return kernel;
+}
+
+} // namespace cosmic::compiler

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The kernel compiler: maps, schedules, and programs one accelerator.
+ *
+ * One CompiledKernel bundles everything the circuit layer would need to
+ * emit Verilog: the data/operation map, the static cycle schedule, and
+ * the memory-interface program. Because every worker thread runs the
+ * same gradient rule on different data, the Compiler generates the map
+ * and schedule once and reuses it across threads (paper Sec. 6).
+ */
+#pragma once
+
+#include "accel/plan.h"
+#include "compiler/interconnect.h"
+#include "compiler/mapper.h"
+#include "compiler/memory_schedule.h"
+#include "compiler/scheduler.h"
+#include "dfg/translator.h"
+
+namespace cosmic::compiler {
+
+/** Compilation knobs (the defaults are the CoSMIC design point). */
+struct CompileOptions
+{
+    MappingStrategy strategy = MappingStrategy::DataFirst;
+    BusKind bus = BusKind::Hierarchical;
+};
+
+/** The fully compiled accelerator program for one plan. */
+struct CompiledKernel
+{
+    Mapping mapping;
+    ScheduleResult schedule;
+    MemorySchedule memory;
+
+    /** Compute cycles one thread spends per training record. */
+    int64_t computeCyclesPerRecord = 0;
+    /** Words streamed from memory per training record. */
+    int64_t streamWordsPerRecord = 0;
+    /** Executable operations per record. */
+    int64_t opCount = 0;
+    /** Longest dependence chain in the DFG. */
+    int64_t criticalPath = 0;
+};
+
+/** Front door of the compilation layer. */
+class KernelCompiler
+{
+  public:
+    static CompiledKernel compile(const dfg::Translation &translation,
+                                  const accel::AcceleratorPlan &plan,
+                                  const CompileOptions &options = {});
+};
+
+} // namespace cosmic::compiler

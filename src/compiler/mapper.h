@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Data/operation mapping onto the PE array of one worker thread.
+ *
+ * CoSMIC's key compilation idea (paper Sec. 6, Algorithm 1) is to map
+ * *data before operations*: training-data elements are pinned to the PE
+ * fed by the memory-interface column that delivers them (no marshaling),
+ * then operations are mapped to the PEs that already hold their
+ * operands, and model parameters are placed next to the operations that
+ * consume them. This minimizes inter-PE communication.
+ *
+ * The OperationFirst strategy reproduces TABLA's conventional approach:
+ * operations are assigned level-by-level round-robin across PEs to
+ * minimize latency, ignoring where the data lives. It exists as the
+ * head-to-head baseline for Fig. 17 and the mapping ablation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/plan.h"
+#include "dfg/graph.h"
+
+namespace cosmic::compiler {
+
+/** Which mapping algorithm to run. */
+enum class MappingStrategy
+{
+    /** CoSMIC Algorithm 1: minimum-communication, data-first. */
+    DataFirst,
+    /** TABLA-style: latency-oriented, operation-first. */
+    OperationFirst,
+};
+
+/** Result of mapping one thread's DFG onto its PE sub-array. */
+struct Mapping
+{
+    /** PE index per node; -1 for compile-time constants. */
+    std::vector<int32_t> peOf;
+    /** PEs available to the thread (rowsPerThread x columns). */
+    int numPes = 0;
+    int columns = 0;
+    int rowsPerThread = 0;
+
+    /** Edges whose producer and consumer sit on different PEs. */
+    int64_t crossPeEdges = 0;
+    /** All producer-consumer edges between mapped values. */
+    int64_t totalEdges = 0;
+
+    int rowOf(int pe) const { return pe / columns; }
+    int colOf(int pe) const { return pe % columns; }
+};
+
+/** Maps a DFG per the selected strategy. */
+class Mapper
+{
+  public:
+    /**
+     * @param dfg The per-record gradient DFG.
+     * @param plan Shape of the accelerator; only the per-thread
+     *        sub-array matters here (all threads share one mapping,
+     *        offset by the Thread Index Table at runtime).
+     */
+    static Mapping map(const dfg::Dfg &dfg,
+                       const accel::AcceleratorPlan &plan,
+                       MappingStrategy strategy);
+
+  private:
+    static Mapping mapDataFirst(const dfg::Dfg &dfg,
+                                const accel::AcceleratorPlan &plan);
+    static Mapping mapOperationFirst(const dfg::Dfg &dfg,
+                                     const accel::AcceleratorPlan &plan);
+    static void countCrossEdges(const dfg::Dfg &dfg, Mapping &mapping);
+};
+
+} // namespace cosmic::compiler

@@ -1,0 +1,96 @@
+#include "compiler/memory_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosmic::compiler {
+
+int64_t
+MemorySchedule::modelWords() const
+{
+    int64_t words = 0;
+    for (const auto &e : modelEntries)
+        words += e.sizeWords;
+    return words;
+}
+
+int64_t
+MemorySchedule::gradientWords() const
+{
+    int64_t words = 0;
+    for (const auto &e : gradientEntries)
+        words += e.sizeWords;
+    return words;
+}
+
+MemorySchedule
+MemoryScheduleBuilder::build(const dfg::Translation &tr,
+                             const accel::AcceleratorPlan &plan)
+{
+    COSMIC_ASSERT(plan.columns > 0 && plan.rowsPerThread > 0 &&
+                  plan.threads > 0, "degenerate plan");
+    MemorySchedule sched;
+    sched.wordsPerRecord = tr.recordWords;
+
+    // Record stream: consecutive beats of one row width, walking the
+    // thread's rows cyclically — the same pattern the data map in
+    // Algorithm 1 assumes, so no marshaling is ever needed.
+    int64_t remaining = tr.recordWords;
+    int32_t row = 0;
+    while (remaining > 0) {
+        MemoryScheduleEntry e;
+        e.basePeRow = row;
+        e.write = false;
+        e.broadcast = false;
+        e.sizeWords = static_cast<int32_t>(
+            std::min<int64_t>(plan.columns, remaining));
+        sched.recordEntries.push_back(e);
+        remaining -= e.sizeWords;
+        row = (row + 1) % plan.rowsPerThread;
+    }
+
+    // Model broadcast: one read per beat with the Broadcast bit set so
+    // the updated parameters reach every worker thread (paper Sec. 5.2).
+    remaining = tr.modelWords;
+    row = 0;
+    while (remaining > 0) {
+        MemoryScheduleEntry e;
+        e.basePeRow = row;
+        e.write = false;
+        e.broadcast = true;
+        e.sizeWords = static_cast<int32_t>(
+            std::min<int64_t>(plan.columns, remaining));
+        sched.modelEntries.push_back(e);
+        remaining -= e.sizeWords;
+        row = (row + 1) % plan.rowsPerThread;
+    }
+
+    // Gradient write-back: the locally-aggregated partial gradient is
+    // drained to memory for the host to ship to the Sigma node.
+    remaining = tr.gradientWords;
+    row = 0;
+    while (remaining > 0) {
+        MemoryScheduleEntry e;
+        e.basePeRow = row;
+        e.write = true;
+        e.broadcast = false;
+        e.sizeWords = static_cast<int32_t>(
+            std::min<int64_t>(plan.columns, remaining));
+        sched.gradientEntries.push_back(e);
+        remaining -= e.sizeWords;
+        row = (row + 1) % plan.rowsPerThread;
+    }
+
+    // Thread Index Table: contiguous equal sub-partitions; addresses are
+    // rebased by the runtime when it loads the node's data partition.
+    for (int t = 0; t < plan.threads; ++t) {
+        ThreadIndexEntry entry;
+        entry.memAddr = static_cast<int64_t>(t) * tr.recordWords * 4;
+        entry.peRowOffset = t * plan.rowsPerThread;
+        sched.threadTable.push_back(entry);
+    }
+    return sched;
+}
+
+} // namespace cosmic::compiler

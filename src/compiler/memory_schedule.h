@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Programmable memory-interface schedule generation.
+ *
+ * The template architecture's smart memory interface streams data to the
+ * PEs without the PEs ever issuing requests (paper Sec. 5.1-5.2). The
+ * Compiler emits one shared Memory Schedule — a queue of transfer
+ * entries — plus a Thread Index Table holding each thread's data
+ * sub-partition address and first-PE-row offset. At runtime the
+ * interface walks threads round-robin, adding each thread's PE offset
+ * to the entry's base PE index, so one schedule serves every thread.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/plan.h"
+#include "dfg/translator.h"
+
+namespace cosmic::compiler {
+
+/** One entry of the Memory Schedule queue (paper Fig. 5). */
+struct MemoryScheduleEntry
+{
+    /** Base PE row the beat targets (thread offset added at runtime). */
+    int32_t basePeRow = 0;
+    /** RD/WR bit: true when the accelerator writes back to memory. */
+    bool write = false;
+    /** Broadcast bit: deliver one read to all worker threads. */
+    bool broadcast = false;
+    /** Transfer size in 4-byte words (at most one row's columns). */
+    int32_t sizeWords = 0;
+};
+
+/** One row of the Thread Index Table. */
+struct ThreadIndexEntry
+{
+    /** Start of the thread's data sub-partition in off-chip memory. */
+    int64_t memAddr = 0;
+    /** Index of the thread's first PE row. */
+    int32_t peRowOffset = 0;
+};
+
+/** The complete memory-interface program for one accelerator. */
+struct MemorySchedule
+{
+    /** Record-streaming entries (executed once per training record). */
+    std::vector<MemoryScheduleEntry> recordEntries;
+    /** Model-broadcast entries (once per mini-batch). */
+    std::vector<MemoryScheduleEntry> modelEntries;
+    /** Gradient write-back entries (once per mini-batch). */
+    std::vector<MemoryScheduleEntry> gradientEntries;
+    std::vector<ThreadIndexEntry> threadTable;
+
+    int64_t wordsPerRecord = 0;
+
+    /** Total words moved per record / per mini-batch boundary. */
+    int64_t modelWords() const;
+    int64_t gradientWords() const;
+};
+
+/** Builds the schedule from the translation layout and the plan. */
+class MemoryScheduleBuilder
+{
+  public:
+    static MemorySchedule build(const dfg::Translation &translation,
+                                const accel::AcceleratorPlan &plan);
+};
+
+} // namespace cosmic::compiler

@@ -1,0 +1,182 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "dfg/analysis.h"
+
+namespace cosmic::compiler {
+
+using dfg::Dfg;
+using dfg::kInvalidNode;
+using dfg::NodeId;
+using dfg::OpKind;
+
+namespace {
+
+/** Ready-queue entry ordered by longest dependence chain first. */
+struct ReadyOp
+{
+    int32_t height;
+    NodeId id;
+
+    bool
+    operator<(const ReadyOp &other) const
+    {
+        // priority_queue is a max-heap: taller chains first, then lower
+        // ids for determinism.
+        if (height != other.height)
+            return height < other.height;
+        return id > other.id;
+    }
+};
+
+bool
+isOperation(const Dfg &dfg, NodeId v)
+{
+    OpKind op = dfg.node(v).op;
+    return op != OpKind::Const && op != OpKind::Input;
+}
+
+} // namespace
+
+ScheduleResult
+Scheduler::schedule(const Dfg &dfg, const Mapping &mapping,
+                    const InterconnectModel &interconnect)
+{
+    const int64_t n = dfg.size();
+    ScheduleResult result;
+    result.issueCycle.assign(n, -1);
+
+    std::vector<int32_t> height = dfg::computeHeights(dfg);
+    dfg::SuccessorCsr succ = dfg::buildSuccessors(dfg);
+
+    // Unscheduled operation-operand count per node.
+    std::vector<int32_t> pending(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+        if (!isOperation(dfg, v))
+            continue;
+        const auto &node = dfg.node(v);
+        for (NodeId o : {node.a, node.b, node.c})
+            if (o != kInvalidNode && isOperation(dfg, o))
+                ++pending[v];
+    }
+
+    std::priority_queue<ReadyOp> ready;
+    for (NodeId v = 0; v < n; ++v)
+        if (isOperation(dfg, v) && pending[v] == 0)
+            ready.push(ReadyOp{height[v], v});
+
+    std::vector<int64_t> finish(n, 0);
+    std::vector<int64_t> pe_free(mapping.numPes, 0);
+    std::vector<int64_t> bus_free(interconnect.busCount(), 0);
+    std::vector<int64_t> pe_busy(mapping.numPes, 0);
+    std::vector<int64_t> bus_busy(interconnect.busCount(), 0);
+
+    // Buses deliver to a whole row at once (the shared row bus and the
+    // tree lanes are broadcast media, paper Sec. 5.1), so a value with
+    // many consumers in one destination row pays for a single transfer.
+    // Key: producer node x destination row (or 0 for the flat bus).
+    std::unordered_map<uint64_t, int64_t> delivered;
+    const uint64_t row_stride =
+        static_cast<uint64_t>(mapping.rowsPerThread) + 1;
+
+    int64_t scheduled = 0;
+    while (!ready.empty()) {
+        ReadyOp top = ready.top();
+        ready.pop();
+        NodeId v = top.id;
+        const auto &node = dfg.node(v);
+        const int pe = mapping.peOf[v];
+        COSMIC_ASSERT(pe >= 0 && pe < mapping.numPes,
+                      "operation " << v << " is unmapped");
+
+        int64_t operands_ready = 0;
+        for (NodeId o : {node.a, node.b, node.c}) {
+            if (o == kInvalidNode || dfg.node(o).op == OpKind::Const)
+                continue;
+            int src_pe = mapping.peOf[o];
+            int64_t avail = finish[o];
+            if (src_pe != pe) {
+                Route r = interconnect.route(src_pe, pe);
+                if (r.bus < 0) {
+                    // Dedicated neighbour link: contention-free.
+                    avail += r.latency;
+                    ++result.neighborTransfers;
+                } else {
+                    int dst_row =
+                        interconnect.kind() == BusKind::SingleShared
+                            ? 0
+                            : pe / mapping.columns;
+                    uint64_t key = static_cast<uint64_t>(o) * row_stride +
+                                   static_cast<uint64_t>(dst_row);
+                    auto it = delivered.find(key);
+                    if (it != delivered.end()) {
+                        // Already broadcast onto this row's bus.
+                        avail = std::max(avail, it->second);
+                    } else {
+                        int64_t start =
+                            std::max(avail, bus_free[r.bus]);
+                        bus_free[r.bus] = start + 1;
+                        ++bus_busy[r.bus];
+                        avail = start + r.latency;
+                        delivered.emplace(key, avail);
+                        if (interconnect.kind() ==
+                            BusKind::SingleShared) {
+                            ++result.sharedBusTransfers;
+                        } else if (r.bus < mapping.rowsPerThread) {
+                            ++result.rowBusTransfers;
+                        } else {
+                            ++result.treeBusTransfers;
+                        }
+                    }
+                }
+            }
+            operands_ready = std::max(operands_ready, avail);
+        }
+
+        int64_t issue = std::max(operands_ready, pe_free[pe]);
+        pe_free[pe] = issue + 1;
+        ++pe_busy[pe];
+        result.issueCycle[v] = issue;
+        finish[v] = issue + opLatency(node.op);
+        result.makespan = std::max(result.makespan, finish[v]);
+        ++scheduled;
+
+        auto [begin, end] = succ.successors(v);
+        for (const NodeId *s = begin; s != end; ++s) {
+            if (--pending[*s] == 0)
+                ready.push(ReadyOp{height[*s], *s});
+        }
+    }
+    COSMIC_ASSERT(scheduled == dfg.operationCount(),
+                  "cycle in DFG or unscheduled operations: " << scheduled
+                  << " of " << dfg.operationCount());
+
+    // Per-record gradient accumulation: one add per gradient element on
+    // the PE that owns it, serialized with that PE's other work.
+    std::vector<int64_t> grad_per_pe(mapping.numPes, 0);
+    for (NodeId g : dfg.gradientNodes()) {
+        if (g == kInvalidNode)
+            continue;
+        int pe = mapping.peOf[g];
+        if (pe >= 0) {
+            ++grad_per_pe[pe];
+            ++pe_busy[pe];
+        }
+    }
+    int64_t max_grad = 0;
+    for (int64_t c : grad_per_pe)
+        max_grad = std::max(max_grad, c);
+    result.makespan += max_grad;
+
+    for (int64_t b : pe_busy)
+        result.maxPeBusy = std::max(result.maxPeBusy, b);
+    for (int64_t b : bus_busy)
+        result.maxBusBusy = std::max(result.maxBusBusy, b);
+    return result;
+}
+
+} // namespace cosmic::compiler

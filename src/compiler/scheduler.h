@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cycle-level static scheduling of a mapped DFG.
+ *
+ * The scheduler produces the per-PE issue cycles that the Constructor
+ * turns into state machines (FPGA) or microcode (P-ASIC). It is a list
+ * scheduler that prioritizes operations with the longest dependence
+ * chain (paper Sec. 6) and reserves the contended interconnect
+ * resources greedily, so the resulting makespan reflects both compute
+ * and communication — the property that makes it usable as the
+ * Planner's performance-estimation tool (paper Sec. 4.4).
+ *
+ * PE timing follows the five-stage pipeline of Sec. 5.1: one operation
+ * issues per PE per cycle; the writeback-to-ALU bypass lets dependent
+ * operations on the same PE issue back-to-back; nonlinear operations
+ * take an extra cycle in the lookup-table unit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/interconnect.h"
+#include "compiler/mapper.h"
+#include "dfg/graph.h"
+
+namespace cosmic::compiler {
+
+/** The static schedule and its summary metrics. */
+struct ScheduleResult
+{
+    /** Issue cycle per node; -1 for constants and inputs. */
+    std::vector<int64_t> issueCycle;
+
+    /** Cycles from record availability to the last gradient value,
+     *  including the per-record gradient accumulation into the interim
+     *  buffers. This is the compute cycles-per-record of one thread. */
+    int64_t makespan = 0;
+
+    /** Busiest PE: operations it executes per record. */
+    int64_t maxPeBusy = 0;
+    /** Busiest shared bus: transfers it carries per record. */
+    int64_t maxBusBusy = 0;
+
+    int64_t neighborTransfers = 0;
+    int64_t rowBusTransfers = 0;
+    int64_t treeBusTransfers = 0;
+    int64_t sharedBusTransfers = 0;
+
+    int64_t
+    totalTransfers() const
+    {
+        return neighborTransfers + rowBusTransfers + treeBusTransfers +
+               sharedBusTransfers;
+    }
+};
+
+/** Schedules a mapped DFG onto the thread's PE array. */
+class Scheduler
+{
+  public:
+    static ScheduleResult schedule(const dfg::Dfg &dfg,
+                                   const Mapping &mapping,
+                                   const InterconnectModel &interconnect);
+
+    /** Latency of one operation in the PE pipeline. */
+    static int64_t
+    opLatency(dfg::OpKind op)
+    {
+        return dfg::isNonlinear(op) ? 2 : 1;
+    }
+};
+
+} // namespace cosmic::compiler

@@ -1,0 +1,79 @@
+#include "core/cosmic.h"
+
+#include "common/error.h"
+#include "dsl/parser.h"
+
+namespace cosmic::core {
+
+double
+BuildResult::nodeBatchSeconds(int64_t records) const
+{
+    accel::PerfEstimator perf(translation, planResult.kernel,
+                              planResult.plan);
+    return perf.batchTime(records).totalSec();
+}
+
+BuildResult
+CosmicStack::buildFromSource(const std::string &source,
+                             const accel::PlatformSpec &platform,
+                             const compiler::CompileOptions &options)
+{
+    BuildResult result;
+    auto program = dsl::Parser::parse(source);
+    result.translation = dfg::Translator::translate(program);
+    result.planResult =
+        planner::Planner::plan(result.translation, platform, options);
+    result.flopsPerRecord = static_cast<double>(
+        result.translation.dfg.operationCount() +
+        result.translation.gradientWords);
+    result.bytesPerRecord = 4.0 * result.translation.recordWords;
+    result.modelBytes = 4 * result.translation.modelWords;
+    return result;
+}
+
+BuildResult
+CosmicStack::buildWorkload(const ml::Workload &workload, double scale,
+                           const accel::PlatformSpec &platform,
+                           const compiler::CompileOptions &options)
+{
+    return buildFromSource(workload.dslSource(scale), platform, options);
+}
+
+ScaleOutEstimate
+ScaleOutEstimator::cosmic(const BuildResult &built,
+                          const ScaleOutConfig &config,
+                          int64_t total_records)
+{
+    return withNodeTime(
+        built.nodeBatchSeconds(config.minibatchPerNode),
+        built.modelBytes, config, total_records);
+}
+
+ScaleOutEstimate
+ScaleOutEstimator::withNodeTime(double node_batch_sec,
+                                int64_t model_bytes,
+                                const ScaleOutConfig &config,
+                                int64_t total_records)
+{
+    COSMIC_ASSERT(config.nodes >= 1, "cluster needs nodes");
+    sys::ClusterModelConfig cluster = config.cluster;
+    cluster.nodes = config.nodes;
+    cluster.groups = config.groups;
+    sys::CosmicClusterModel model(cluster, model_bytes);
+
+    ScaleOutEstimate est;
+    est.iteration = model.iteration(node_batch_sec);
+
+    double records_per_node =
+        static_cast<double>(total_records) / config.nodes;
+    est.iterationsPerEpoch = records_per_node /
+                             static_cast<double>(config.minibatchPerNode);
+    est.epochSeconds = est.iterationsPerEpoch *
+                       est.iteration.totalSec();
+    double records_per_iter = static_cast<double>(
+        config.minibatchPerNode) * config.nodes;
+    est.recordsPerSecond = records_per_iter / est.iteration.totalSec();
+    return est;
+}
+
+} // namespace cosmic::core

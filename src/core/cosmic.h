@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CosmicStack: the public front door of the library.
+ *
+ * One call takes a DSL program (or a suite benchmark) through the whole
+ * stack — parse, translate, plan, compile — and returns everything a
+ * user needs: the translation, the chosen accelerator plan with its
+ * compiled kernel and exploration record, and the derived per-record
+ * work metrics the scale-out estimators consume.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ * @code
+ *   auto built = core::CosmicStack::buildFromSource(
+ *       dsl_text, accel::PlatformSpec::ultrascalePlus());
+ *   auto est = core::ScaleOutEstimator::cosmic(
+ *       built, 16, records_total);
+ * @endcode
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accel/perf.h"
+#include "accel/platform.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+#include "system/cluster_model.h"
+
+namespace cosmic::core {
+
+/** Everything produced by one pass through the stack. */
+struct BuildResult
+{
+    dfg::Translation translation;
+    planner::PlanResult planResult;
+
+    /** Arithmetic operations per training record (from the DFG). */
+    double flopsPerRecord = 0.0;
+    /** Bytes streamed from memory per training record. */
+    double bytesPerRecord = 0.0;
+    /** Partial-update size on the wire. */
+    int64_t modelBytes = 0;
+
+    /** Per-node accelerator batch time for @p records. */
+    double nodeBatchSeconds(int64_t records) const;
+};
+
+/** Compiles DSL programs / suite benchmarks through the full stack. */
+class CosmicStack
+{
+  public:
+    static BuildResult
+    buildFromSource(const std::string &source,
+                    const accel::PlatformSpec &platform,
+                    const compiler::CompileOptions &options = {});
+
+    /** Builds a Table 1 benchmark at the given scale. */
+    static BuildResult
+    buildWorkload(const ml::Workload &workload, double scale,
+                  const accel::PlatformSpec &platform,
+                  const compiler::CompileOptions &options = {});
+};
+
+/** Scale-out deployment shape. */
+struct ScaleOutConfig
+{
+    int nodes = 4;
+    /** 0 = Director default. */
+    int groups = 0;
+    /** Mini-batch records per node per iteration. */
+    int64_t minibatchPerNode = 10000;
+    sys::ClusterModelConfig cluster;
+};
+
+/** Cluster-level estimate for one workload. */
+struct ScaleOutEstimate
+{
+    sys::IterationBreakdown iteration;
+    double iterationsPerEpoch = 0.0;
+    double epochSeconds = 0.0;
+    /** Whole-cluster steady training throughput. */
+    double recordsPerSecond = 0.0;
+};
+
+/** Combines node batch times with the cluster model. */
+class ScaleOutEstimator
+{
+  public:
+    /**
+     * CoSMIC deployment of a built workload.
+     * @param total_records Training records in the full dataset
+     *        (Table 1 "# Input Vectors" for paper-scale runs).
+     */
+    static ScaleOutEstimate cosmic(const BuildResult &built,
+                                   const ScaleOutConfig &config,
+                                   int64_t total_records);
+
+    /**
+     * Same cluster, nodes computing with a caller-supplied batch time
+     * (used for the GPU-accelerated CoSMIC runtime of Sec. 7.1).
+     */
+    static ScaleOutEstimate withNodeTime(double node_batch_sec,
+                                         int64_t model_bytes,
+                                         const ScaleOutConfig &config,
+                                         int64_t total_records);
+};
+
+} // namespace cosmic::core

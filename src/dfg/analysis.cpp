@@ -1,0 +1,128 @@
+#include "dfg/analysis.h"
+
+#include <algorithm>
+
+namespace cosmic::dfg {
+
+SuccessorCsr
+buildSuccessors(const Dfg &dfg)
+{
+    const int64_t n = dfg.size();
+    SuccessorCsr csr;
+    csr.offsets.assign(n + 1, 0);
+
+    auto for_each_operand = [&](NodeId id, auto &&fn) {
+        const Node &node = dfg.node(id);
+        if (node.a != kInvalidNode)
+            fn(node.a);
+        if (node.b != kInvalidNode)
+            fn(node.b);
+        if (node.c != kInvalidNode)
+            fn(node.c);
+    };
+
+    for (NodeId v = 0; v < n; ++v)
+        for_each_operand(v, [&](NodeId op) { ++csr.offsets[op + 1]; });
+    for (int64_t i = 1; i <= n; ++i)
+        csr.offsets[i] += csr.offsets[i - 1];
+
+    csr.targets.resize(csr.offsets[n]);
+    std::vector<int64_t> cursor(csr.offsets.begin(),
+                                csr.offsets.end() - 1);
+    for (NodeId v = 0; v < n; ++v)
+        for_each_operand(v, [&](NodeId op) {
+            csr.targets[cursor[op]++] = v;
+        });
+    return csr;
+}
+
+std::vector<int32_t>
+computeHeights(const Dfg &dfg)
+{
+    const int64_t n = dfg.size();
+    std::vector<int32_t> height(n, 0);
+    // Ids are topological, so one reverse sweep relaxing operands
+    // computes the longest downstream chain exactly.
+    for (NodeId v = static_cast<NodeId>(n) - 1; v >= 0; --v) {
+        const Node &node = dfg.node(v);
+        bool is_op = node.op != OpKind::Const && node.op != OpKind::Input;
+        int32_t through = height[v] + (is_op ? 1 : 0);
+        if (node.a != kInvalidNode)
+            height[node.a] = std::max(height[node.a], through);
+        if (node.b != kInvalidNode)
+            height[node.b] = std::max(height[node.b], through);
+        if (node.c != kInvalidNode)
+            height[node.c] = std::max(height[node.c], through);
+    }
+    return height;
+}
+
+int64_t
+criticalPathLength(const Dfg &dfg)
+{
+    auto height = computeHeights(dfg);
+    int64_t longest = 0;
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &node = dfg.node(v);
+        bool is_op = node.op != OpKind::Const && node.op != OpKind::Input;
+        longest = std::max<int64_t>(longest,
+                                    height[v] + (is_op ? 1 : 0));
+    }
+    return longest;
+}
+
+int64_t
+maxLiveInterim(const Dfg &dfg)
+{
+    const int64_t n = dfg.size();
+    std::vector<NodeId> last_use(n, kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        if (node.a != kInvalidNode)
+            last_use[node.a] = v;
+        if (node.b != kInvalidNode)
+            last_use[node.b] = v;
+        if (node.c != kInvalidNode)
+            last_use[node.c] = v;
+    }
+    // Values with no consumer (gradient outputs among them) die right
+    // after production: gradients are folded into the thread's local
+    // model copy in place, so they never occupy a long-lived buffer.
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        bool is_op = node.op != OpKind::Const && node.op != OpKind::Input;
+        if (is_op && last_use[v] == kInvalidNode)
+            last_use[v] = v;
+    }
+
+    // Sweep in execution order counting births and deaths.
+    std::vector<int32_t> deaths(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        bool interim = node.op != OpKind::Const &&
+                       node.op != OpKind::Input;
+        if (interim && last_use[v] != kInvalidNode)
+            ++deaths[last_use[v]];
+    }
+    int64_t alive = 0;
+    int64_t high_water = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        bool interim = node.op != OpKind::Const &&
+                       node.op != OpKind::Input;
+        if (interim && last_use[v] != kInvalidNode) {
+            ++alive;
+            high_water = std::max(high_water, alive);
+        }
+        alive -= deaths[v];
+    }
+    return high_water;
+}
+
+int64_t
+storageWords(const Dfg &dfg, int64_t record_words, int64_t model_words)
+{
+    return 2 * record_words + model_words + maxLiveInterim(dfg);
+}
+
+} // namespace cosmic::dfg

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static analyses over the dataflow graph.
+ *
+ * These feed the Planner (storage footprint for the thread-count bound,
+ * critical path for quick feasibility checks) and the Compiler (heights
+ * for longest-dependence-chain scheduling priority).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.h"
+
+namespace cosmic::dfg {
+
+/** Successor adjacency in compressed sparse row form. */
+struct SuccessorCsr
+{
+    std::vector<int64_t> offsets;
+    std::vector<NodeId> targets;
+
+    /** Successors of node @p id as a begin/end pair into targets. */
+    std::pair<const NodeId *, const NodeId *>
+    successors(NodeId id) const
+    {
+        return {targets.data() + offsets[id],
+                targets.data() + offsets[id + 1]};
+    }
+};
+
+/** Builds the successor CSR (one linear pass; ids are topological). */
+SuccessorCsr buildSuccessors(const Dfg &dfg);
+
+/**
+ * Height of each node: the number of operations on the longest
+ * dependence chain from the node to any sink (inclusive of the node
+ * itself when it is an operation). Scheduling priority uses this.
+ */
+std::vector<int32_t> computeHeights(const Dfg &dfg);
+
+/** Length (in operations) of the longest dependence chain in the DFG. */
+int64_t criticalPathLength(const Dfg &dfg);
+
+/**
+ * High-water mark of simultaneously-live interim values, assuming
+ * execution in node-id order. Gradient outputs die on production: each
+ * worker thread folds them straight into its local model copy
+ * (parallelized SGD, Eq. 3a), so they need no long-lived buffer. This
+ * sizes the PE interim buffers: the paper's DFG.storage() term
+ * (Sec. 4.4).
+ */
+int64_t maxLiveInterim(const Dfg &dfg);
+
+/**
+ * Per-thread storage footprint in words: a double-buffered training
+ * record in the data buffers (the prefetch overlap needs two), the full
+ * model in the model buffers, and the interim high-water mark in the
+ * interim buffers.
+ */
+int64_t storageWords(const Dfg &dfg, int64_t record_words,
+                     int64_t model_words);
+
+} // namespace cosmic::dfg

@@ -1,0 +1,71 @@
+#include "dfg/dot.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosmic::dfg {
+
+std::string
+toDot(const Translation &tr, const DotOptions &options)
+{
+    const Dfg &dfg = tr.dfg;
+    if (dfg.size() > options.maxNodes)
+        COSMIC_FATAL("DFG has " << dfg.size()
+                     << " nodes; raise DotOptions::maxNodes ("
+                     << options.maxNodes << ") to render it anyway");
+
+    std::vector<char> is_gradient(dfg.size(), 0);
+    for (NodeId g : dfg.gradientNodes())
+        if (g != kInvalidNode)
+            is_gradient[g] = 1;
+
+    std::ostringstream out;
+    out << "digraph dfg {\n"
+        << "  rankdir=TB;\n"
+        << "  node [fontname=\"monospace\"];\n";
+
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &node = dfg.node(v);
+        out << "  n" << v << " [";
+        switch (node.op) {
+          case OpKind::Const:
+            out << "shape=plaintext, label=\"" << dfg.constValue(v)
+                << "\"";
+            break;
+          case OpKind::Input:
+            if (node.category == Category::Data) {
+                out << "shape=box, style=filled, fillcolor=lightblue, "
+                    << "label=\"DATA[" << dfg.inputPos(v) << "]\"";
+            } else {
+                out << "shape=box, style=filled, "
+                    << "fillcolor=lightyellow, label=\"MODEL["
+                    << dfg.inputPos(v) << "]\"";
+            }
+            break;
+          default:
+            out << "shape=ellipse, label=\"" << opKindName(node.op);
+            if (options.peOf && (*options.peOf)[v] >= 0)
+                out << "\\npe" << (*options.peOf)[v];
+            out << "\"";
+            if (is_gradient[v])
+                out << ", style=filled, fillcolor=lightgreen, "
+                    << "peripheries=2";
+            break;
+        }
+        out << "];\n";
+    }
+
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &node = dfg.node(v);
+        for (NodeId o : {node.a, node.b, node.c}) {
+            if (o == kInvalidNode)
+                continue;
+            out << "  n" << o << " -> n" << v << ";\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace cosmic::dfg

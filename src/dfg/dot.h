@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Graphviz DOT export of dataflow graphs.
+ *
+ * Renders the Translator's output the way the paper draws it
+ * (Fig. 4b): operation nodes, typed value edges, DATA/MODEL inputs as
+ * distinctly styled leaves, gradient outputs highlighted. Intended for
+ * debugging DSL programs and for documentation; guarded by a node
+ * limit so a million-node benchmark cannot be dumped by accident.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/translator.h"
+
+namespace cosmic::dfg {
+
+/** DOT rendering options. */
+struct DotOptions
+{
+    /** Refuse to render graphs larger than this many nodes. */
+    int64_t maxNodes = 4096;
+    /** Include a PE-assignment label per node when provided. */
+    const std::vector<int32_t> *peOf = nullptr;
+};
+
+/**
+ * Renders the translation's DFG as a DOT digraph.
+ * @throws CosmicError when the graph exceeds options.maxNodes.
+ */
+std::string toDot(const Translation &translation,
+                  const DotOptions &options = {});
+
+} // namespace cosmic::dfg

@@ -1,0 +1,199 @@
+#include "dfg/graph.h"
+
+#include "common/error.h"
+
+namespace cosmic::dfg {
+
+std::string
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::Const: return "const";
+      case OpKind::Input: return "input";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Div: return "div";
+      case OpKind::Neg: return "neg";
+      case OpKind::CmpGt: return "cmpgt";
+      case OpKind::CmpLt: return "cmplt";
+      case OpKind::CmpGe: return "cmpge";
+      case OpKind::CmpLe: return "cmple";
+      case OpKind::CmpEq: return "cmpeq";
+      case OpKind::Select: return "select";
+      case OpKind::Sigmoid: return "sigmoid";
+      case OpKind::Gaussian: return "gaussian";
+      case OpKind::Log: return "log";
+      case OpKind::Exp: return "exp";
+      case OpKind::Sqrt: return "sqrt";
+      case OpKind::Abs: return "abs";
+      case OpKind::Min: return "min";
+      case OpKind::Max: return "max";
+    }
+    return "?";
+}
+
+bool
+isNonlinear(OpKind op)
+{
+    switch (op) {
+      case OpKind::Div:
+      case OpKind::Sigmoid:
+      case OpKind::Gaussian:
+      case OpKind::Log:
+      case OpKind::Exp:
+      case OpKind::Sqrt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Data: return "DATA";
+      case Category::Model: return "MODEL";
+      case Category::Interim: return "INTERIM";
+      case Category::Immed: return "IMMED";
+    }
+    return "?";
+}
+
+NodeId
+Dfg::addConst(double value)
+{
+    auto it = constCache_.find(value);
+    if (it != constCache_.end())
+        return it->second;
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{OpKind::Const, Category::Immed, kInvalidNode,
+                          kInvalidNode, kInvalidNode});
+    payload_.push_back(value);
+    refs_.push_back(ElementRef{});
+    constCache_.emplace(value, id);
+    return id;
+}
+
+NodeId
+Dfg::addDataInput(int64_t stream_pos, ElementRef ref)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{OpKind::Input, Category::Data, kInvalidNode,
+                          kInvalidNode, kInvalidNode});
+    payload_.push_back(static_cast<double>(stream_pos));
+    refs_.push_back(ref);
+    ++numData_;
+    return id;
+}
+
+NodeId
+Dfg::addModelInput(int64_t model_pos, ElementRef ref)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{OpKind::Input, Category::Model, kInvalidNode,
+                          kInvalidNode, kInvalidNode});
+    payload_.push_back(static_cast<double>(model_pos));
+    refs_.push_back(ref);
+    ++numModel_;
+    return id;
+}
+
+NodeId
+Dfg::addOp(OpKind op, NodeId a, NodeId b, NodeId c)
+{
+    COSMIC_ASSERT(op != OpKind::Const && op != OpKind::Input,
+                  "addOp used for a non-operation node");
+    NodeId next = static_cast<NodeId>(nodes_.size());
+    COSMIC_ASSERT(a != kInvalidNode && a < next, "bad operand a");
+    COSMIC_ASSERT(b == kInvalidNode || b < next, "bad operand b");
+    COSMIC_ASSERT(c == kInvalidNode || c < next, "bad operand c");
+
+    // CSE for ops over leaf operands only (inputs and constants):
+    // interim operands are single-assignment per statement expansion
+    // and rarely recur, while leaf-only expressions recur per element.
+    auto is_leaf = [&](NodeId n) {
+        return n == kInvalidNode || nodes_[n].op == OpKind::Const ||
+               nodes_[n].op == OpKind::Input;
+    };
+    uint64_t key = 0;
+    bool cacheable = is_leaf(a) && is_leaf(b) && is_leaf(c);
+    if (cacheable) {
+        // Leaf ids are created early, so 19 bits each suffice for any
+        // graph we build; fall back to no caching beyond that.
+        if (a < (1 << 19) - 1 && b < (1 << 19) - 1 &&
+            c < (1 << 19) - 1) {
+            key = (static_cast<uint64_t>(op) << 57) |
+                  (static_cast<uint64_t>(a + 1) << 38) |
+                  (static_cast<uint64_t>(b + 1) << 19) |
+                  static_cast<uint64_t>(c + 1);
+            auto it = leafOpCache_.find(key);
+            if (it != leafOpCache_.end())
+                return it->second;
+        } else {
+            cacheable = false;
+        }
+    }
+
+    nodes_.push_back(Node{op, Category::Interim, a, b, c});
+    payload_.push_back(0.0);
+    refs_.push_back(ElementRef{});
+    if (cacheable)
+        leafOpCache_.emplace(key, next);
+    return next;
+}
+
+void
+Dfg::markGradient(NodeId id, int64_t grad_pos, ElementRef ref)
+{
+    COSMIC_ASSERT(id >= 0 && id < size(), "bad gradient node id");
+    if (static_cast<int64_t>(grads_.size()) <= grad_pos)
+        grads_.resize(grad_pos + 1, kInvalidNode);
+    grads_[grad_pos] = id;
+    refs_[id] = ref;
+}
+
+double
+Dfg::constValue(NodeId id) const
+{
+    COSMIC_ASSERT(nodes_[id].op == OpKind::Const,
+                  "constValue on non-const node");
+    return payload_[id];
+}
+
+int64_t
+Dfg::inputPos(NodeId id) const
+{
+    COSMIC_ASSERT(nodes_[id].op == OpKind::Input,
+                  "inputPos on non-input node");
+    return static_cast<int64_t>(payload_[id]);
+}
+
+const ElementRef &
+Dfg::elementRef(NodeId id) const
+{
+    return refs_[id];
+}
+
+int64_t
+Dfg::operationCount() const
+{
+    int64_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.op != OpKind::Const && node.op != OpKind::Input)
+            ++n;
+    return n;
+}
+
+std::unordered_map<OpKind, int64_t>
+Dfg::opHistogram() const
+{
+    std::unordered_map<OpKind, int64_t> histo;
+    for (const auto &node : nodes_)
+        if (node.op != OpKind::Const && node.op != OpKind::Input)
+            ++histo[node.op];
+    return histo;
+}
+
+} // namespace cosmic::dfg

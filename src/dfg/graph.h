@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Typed dataflow graph (DFG) — the compiler's central representation.
+ *
+ * The Translator lowers a DSL program into one DFG describing the
+ * partial-gradient computation for a single training record. Nodes are
+ * scalar operations; edges are implied by operand references. Every
+ * value carries a semantic category (DATA / MODEL / INTERIM), which is
+ * what lets the compiler's Algorithm 1 map data before operations
+ * (paper Sec. 6).
+ *
+ * Node ids are assigned in construction order, which is a topological
+ * order by design (operands always precede their consumers), so analyses
+ * and the interpreter can make a single linear pass.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cosmic::dfg {
+
+/** Dense node identifier; kInvalidNode marks an absent operand. */
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/** Scalar operation kinds executable by a PE. */
+enum class OpKind : uint8_t
+{
+    Const,   ///< Immediate constant (free; encoded in the schedule).
+    Input,   ///< Value streamed from memory (DATA) or resident (MODEL).
+    Add,
+    Sub,
+    Mul,
+    Div,     ///< Lookup-table assisted divide (nonlinear unit).
+    Neg,
+    CmpGt,
+    CmpLt,
+    CmpGe,
+    CmpLe,
+    CmpEq,
+    Select,  ///< Ternary select: operands (cond, then, else).
+    Sigmoid, ///< Nonlinear unit (lookup table).
+    Gaussian,
+    Log,
+    Exp,
+    Sqrt,
+    Abs,
+    Min,    ///< Two-operand minimum (ALU compare-select).
+    Max,    ///< Two-operand maximum (ALU compare-select).
+};
+
+std::string opKindName(OpKind op);
+
+/** True for operations served by the PE's lookup-table nonlinear unit. */
+bool isNonlinear(OpKind op);
+
+/** Semantic category of a value (paper Sec. 6). */
+enum class Category : uint8_t
+{
+    Data,    ///< Training-data element (model_input / model_output).
+    Model,   ///< Model parameter.
+    Interim, ///< Intermediate value produced by an operation.
+    Immed,   ///< Compile-time constant.
+};
+
+std::string categoryName(Category cat);
+
+/** One DFG node; kept small since graphs reach millions of nodes. */
+struct Node
+{
+    OpKind op = OpKind::Const;
+    Category category = Category::Immed;
+    /** Operand node ids; Select uses all three, unary ops only a. */
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    NodeId c = kInvalidNode;
+};
+
+/** Identifies an element of a named tensor (for inputs and gradients). */
+struct ElementRef
+{
+    /** Index into the owning translation's tensor table. */
+    int32_t tensor = -1;
+    /** Row-major linear element index within the tensor. */
+    int64_t element = 0;
+};
+
+/**
+ * The dataflow graph.
+ *
+ * Beyond the node array, the graph tracks: constant values, the memory
+ * stream position of each DATA input (which memory-interface column
+ * delivers it), the model-parameter index of each MODEL input, and the
+ * list of gradient output nodes.
+ */
+class Dfg
+{
+  public:
+    /** Adds (or reuses) a constant node. */
+    NodeId addConst(double value);
+
+    /**
+     * Adds a DATA input node.
+     *
+     * @param stream_pos Position of the element inside the training
+     *        record as laid out in off-chip memory; determines the
+     *        memory-interface column that delivers it.
+     * @param ref Tensor element identity (for diagnostics).
+     */
+    NodeId addDataInput(int64_t stream_pos, ElementRef ref);
+
+    /**
+     * Adds a MODEL input node.
+     * @param model_pos Linear index into the flattened model vector.
+     */
+    NodeId addModelInput(int64_t model_pos, ElementRef ref);
+
+    /**
+     * Adds an operation node; operands must already exist.
+     *
+     * Operations whose operands are all inputs or constants are
+     * value-numbered: statement expansion re-evaluates expressions
+     * like `-y` once per LHS element, and without CSE every copy of
+     * that negate would pile onto y's PE under the data-first mapping
+     * rule (a real serialization hotspot).
+     */
+    NodeId addOp(OpKind op, NodeId a, NodeId b = kInvalidNode,
+                 NodeId c = kInvalidNode);
+
+    /**
+     * Marks a node as producing gradient element @p grad_pos of the
+     * flattened gradient vector.
+     */
+    void markGradient(NodeId id, int64_t grad_pos, ElementRef ref);
+
+    int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+    const Node &node(NodeId id) const { return nodes_[id]; }
+
+    double constValue(NodeId id) const;
+    /** Stream position for a DATA input / model index for a MODEL one. */
+    int64_t inputPos(NodeId id) const;
+    const ElementRef &elementRef(NodeId id) const;
+
+    /** Gradient outputs in flattened-gradient order. */
+    const std::vector<NodeId> &gradientNodes() const { return grads_; }
+
+    int64_t dataInputCount() const { return numData_; }
+    int64_t modelInputCount() const { return numModel_; }
+
+    /** Number of executable operations (excludes Const and Input). */
+    int64_t operationCount() const;
+
+    /** Per-opkind operation counts. */
+    std::unordered_map<OpKind, int64_t> opHistogram() const;
+
+  private:
+    std::vector<Node> nodes_;
+    /** Parallel side table: const value or input position per node. */
+    std::vector<double> payload_;
+    std::vector<ElementRef> refs_;
+    std::vector<NodeId> grads_;
+    std::unordered_map<double, NodeId> constCache_;
+    /** Value-numbering cache for ops over leaf (input/const) operands;
+     *  key packs (op, a, b, c). */
+    std::unordered_map<uint64_t, NodeId> leafOpCache_;
+    int64_t numData_ = 0;
+    int64_t numModel_ = 0;
+};
+
+} // namespace cosmic::dfg

@@ -1,0 +1,123 @@
+#include "dfg/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::dfg {
+
+double
+evaluateOp(OpKind op, double a, double b, double c)
+{
+    switch (op) {
+      case OpKind::Add:
+        return a + b;
+      case OpKind::Sub:
+        return a - b;
+      case OpKind::Mul:
+        return a * b;
+      case OpKind::Div:
+        return a / (b == 0.0 ? 1e-12 : b);
+      case OpKind::Neg:
+        return -a;
+      case OpKind::CmpGt:
+        return a > b ? 1.0 : 0.0;
+      case OpKind::CmpLt:
+        return a < b ? 1.0 : 0.0;
+      case OpKind::CmpGe:
+        return a >= b ? 1.0 : 0.0;
+      case OpKind::CmpLe:
+        return a <= b ? 1.0 : 0.0;
+      case OpKind::CmpEq:
+        return a == b ? 1.0 : 0.0;
+      case OpKind::Select:
+        return a != 0.0 ? b : c;
+      case OpKind::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-a));
+      case OpKind::Gaussian:
+        return std::exp(-a * a);
+      case OpKind::Log:
+        return std::log(std::max(a, 1e-12));
+      case OpKind::Exp:
+        return std::exp(a);
+      case OpKind::Sqrt:
+        return std::sqrt(std::max(a, 0.0));
+      case OpKind::Abs:
+        return std::fabs(a);
+      case OpKind::Min:
+        return std::min(a, b);
+      case OpKind::Max:
+        return std::max(a, b);
+      case OpKind::Const:
+      case OpKind::Input:
+        break;
+    }
+    COSMIC_FATAL("evaluateOp on non-operation " << opKindName(op));
+}
+
+Interpreter::Interpreter(const Translation &translation,
+                         double (*quantizer)(double))
+    : tr_(translation), quantizer_(quantizer)
+{
+    values_.resize(tr_.dfg.size(), 0.0);
+}
+
+void
+Interpreter::run(std::span<const double> record,
+                 std::span<const double> model,
+                 std::vector<double> &grad_out) const
+{
+    const Dfg &dfg = tr_.dfg;
+    COSMIC_ASSERT(static_cast<int64_t>(record.size()) >= tr_.recordWords,
+                  "record shorter than the translation's stream layout");
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr_.modelWords,
+                  "model shorter than the translation's layout");
+
+    const int64_t n = dfg.size();
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        switch (node.op) {
+          case OpKind::Const:
+            values_[v] = dfg.constValue(v);
+            break;
+          case OpKind::Input:
+            values_[v] = (node.category == Category::Data)
+                             ? record[dfg.inputPos(v)]
+                             : model[dfg.inputPos(v)];
+            break;
+          default:
+            values_[v] = evaluateOp(
+                node.op, values_[node.a],
+                node.b != kInvalidNode ? values_[node.b] : 0.0,
+                node.c != kInvalidNode ? values_[node.c] : 0.0);
+            break;
+        }
+        if (quantizer_)
+            values_[v] = quantizer_(values_[v]);
+    }
+
+    grad_out.assign(tr_.gradientWords, 0.0);
+    const auto &grads = dfg.gradientNodes();
+    for (size_t g = 0; g < grads.size(); ++g)
+        grad_out[g] = values_[grads[g]];
+}
+
+void
+Interpreter::accumulate(std::span<const double> records,
+                        int64_t record_count,
+                        std::span<const double> model,
+                        std::vector<double> &grad_out) const
+{
+    grad_out.assign(tr_.gradientWords, 0.0);
+    std::vector<double> scratch;
+    for (int64_t r = 0; r < record_count; ++r) {
+        auto record = records.subspan(r * tr_.recordWords,
+                                      tr_.recordWords);
+        run(record, model, scratch);
+        for (int64_t i = 0; i < tr_.gradientWords; ++i)
+            grad_out[i] += scratch[i];
+    }
+}
+
+} // namespace cosmic::dfg

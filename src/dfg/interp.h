@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional interpreter for translated dataflow graphs.
+ *
+ * Executes the partial-gradient DFG on real data, making the whole
+ * CoSMIC stack runnable end-to-end without hardware: the distributed
+ * runtime uses it as the "accelerator" compute kernel, and the tests use
+ * it to cross-check the Translator against hand-written reference
+ * gradients.
+ *
+ * The arithmetic follows what the PE datapath implements: comparisons
+ * produce 0/1, select picks on nonzero, and the nonlinear lookup-table
+ * operations are evaluated in double precision (the table quantization
+ * is below the noise floor of stochastic training).
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/translator.h"
+
+namespace cosmic::dfg {
+
+/**
+ * Arithmetic of one PE operation — the single source of truth for the
+ * datapath semantics, shared by the interpreter and the cycle
+ * simulator. Unary operations ignore b and c; Select reads all three.
+ */
+double evaluateOp(OpKind op, double a, double b, double c);
+
+/** Evaluates a DFG over one training record. */
+class Interpreter
+{
+  public:
+    /**
+     * @param quantizer Optional value-rounding hook applied to every
+     *        buffered value (inputs and operation results) — used to
+     *        model the PEs' 32-bit fixed-point datapath
+     *        (accel::quantizeToFixed). Null = exact doubles.
+     */
+    explicit Interpreter(const Translation &translation,
+                         double (*quantizer)(double) = nullptr);
+
+    /**
+     * Computes the partial gradient for a single record.
+     *
+     * @param record The training record (inputs then outputs), laid out
+     *        exactly as the Translation's record stream.
+     * @param model The flattened model vector.
+     * @param grad_out Receives the flattened gradient (resized).
+     */
+    void run(std::span<const double> record,
+             std::span<const double> model,
+             std::vector<double> &grad_out) const;
+
+    /**
+     * Accumulates the gradient over a span of records (convenience for
+     * the worker-thread loop): grad_out += sum of per-record gradients.
+     */
+    void accumulate(std::span<const double> records, int64_t record_count,
+                    std::span<const double> model,
+                    std::vector<double> &grad_out) const;
+
+  private:
+    const Translation &tr_;
+    double (*quantizer_)(double) = nullptr;
+    /** Scratch value per node, reused across calls. */
+    mutable std::vector<double> values_;
+};
+
+} // namespace cosmic::dfg

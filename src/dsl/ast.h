@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Abstract syntax tree for the CoSMIC DSL.
+ *
+ * The AST mirrors the mathematical structure of the gradient formula: it
+ * has tensors indexed by iterators, reductions (sum / pi) over iterator
+ * ranges, arithmetic, comparisons, a ternary selector for piecewise
+ * gradients (e.g. the SVM hinge loss), and a small set of nonlinear
+ * builtins that map onto the PE's lookup-table unit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cosmic::dsl {
+
+/** Binary operators available in DSL expressions. */
+enum class BinOp
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    Eq,
+};
+
+/** Reduction flavors; both are supported by the tree-bus ALUs. */
+enum class ReduceKind
+{
+    Sum,
+    Prod,
+};
+
+/** Builtins: nonlinear lookup-table functions plus min/max, which the
+ *  PE ALU implements as a compare-select. */
+enum class Builtin
+{
+    Sigmoid,
+    Gaussian,
+    Log,
+    Exp,
+    Sqrt,
+    Abs,
+    Min,
+    Max,
+};
+
+/** Number of arguments a builtin takes (1 or 2). */
+int builtinArity(Builtin b);
+
+/** Returns the builtin for a function name, or nullopt semantics via flag. */
+bool lookupBuiltin(const std::string &name, Builtin &out);
+
+/** Printable operator / builtin names. */
+std::string binOpName(BinOp op);
+std::string builtinName(Builtin b);
+
+/**
+ * A single subscript inside a tensor reference.
+ *
+ * Either a literal (x[3]) or an iterator with a constant offset
+ * (x[i], x[i+1], x[i-2]).
+ */
+struct IndexExpr
+{
+    bool isLiteral = false;
+    int64_t literal = 0;
+    std::string iterator;
+    int64_t offset = 0;
+
+    static IndexExpr
+    lit(int64_t v)
+    {
+        IndexExpr e;
+        e.isLiteral = true;
+        e.literal = v;
+        return e;
+    }
+
+    static IndexExpr
+    iter(std::string name, int64_t off = 0)
+    {
+        IndexExpr e;
+        e.iterator = std::move(name);
+        e.offset = off;
+        return e;
+    }
+};
+
+/** Expression node discriminator. */
+enum class ExprKind
+{
+    Number,
+    Var,
+    Binary,
+    Neg,
+    Ternary,
+    Reduce,
+    Call,
+};
+
+/** Base class for all expression nodes. */
+struct Expr
+{
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+    const ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Numeric literal. */
+struct NumberExpr : Expr
+{
+    explicit NumberExpr(double v) : Expr(ExprKind::Number), value(v) {}
+    double value;
+};
+
+/** Tensor or scalar variable reference with optional subscripts. */
+struct VarExpr : Expr
+{
+    VarExpr(std::string n, std::vector<IndexExpr> idx)
+        : Expr(ExprKind::Var), name(std::move(n)), indices(std::move(idx))
+    {}
+    std::string name;
+    std::vector<IndexExpr> indices;
+};
+
+/** Binary arithmetic or comparison. */
+struct BinaryExpr : Expr
+{
+    BinaryExpr(BinOp o, ExprPtr l, ExprPtr r)
+        : Expr(ExprKind::Binary), op(o), lhs(std::move(l)),
+          rhs(std::move(r))
+    {}
+    BinOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Unary negation. */
+struct NegExpr : Expr
+{
+    explicit NegExpr(ExprPtr e) : Expr(ExprKind::Neg), arg(std::move(e)) {}
+    ExprPtr arg;
+};
+
+/** cond ? thenExpr : elseExpr — piecewise gradient selector. */
+struct TernaryExpr : Expr
+{
+    TernaryExpr(ExprPtr c, ExprPtr t, ExprPtr f)
+        : Expr(ExprKind::Ternary), cond(std::move(c)),
+          thenExpr(std::move(t)), elseExpr(std::move(f))
+    {}
+    ExprPtr cond;
+    ExprPtr thenExpr;
+    ExprPtr elseExpr;
+};
+
+/** sum[i](body) or pi[i](body) over an iterator's declared range. */
+struct ReduceExpr : Expr
+{
+    ReduceExpr(ReduceKind k, std::string it, ExprPtr b)
+        : Expr(ExprKind::Reduce), reduce(k), iterator(std::move(it)),
+          body(std::move(b))
+    {}
+    ReduceKind reduce;
+    std::string iterator;
+    ExprPtr body;
+};
+
+/** Builtin invocation, e.g. sigmoid(e) or max(a, b). */
+struct CallExpr : Expr
+{
+    CallExpr(Builtin b, ExprPtr a, ExprPtr a2 = nullptr)
+        : Expr(ExprKind::Call), builtin(b), arg(std::move(a)),
+          arg2(std::move(a2))
+    {}
+    Builtin builtin;
+    ExprPtr arg;
+    /** Second argument for two-argument builtins; null otherwise. */
+    ExprPtr arg2;
+};
+
+/** One assignment statement: lhs[iter...] = expr. */
+struct Statement
+{
+    std::string lhsName;
+    /** LHS subscripts; must all be iterators for implicit loop nests. */
+    std::vector<IndexExpr> lhsIndices;
+    ExprPtr rhs;
+    int line = 0;
+};
+
+/** Renders an expression back to DSL-like text (diagnostics, tests). */
+std::string exprToString(const Expr &expr);
+
+} // namespace cosmic::dsl

@@ -1,0 +1,186 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace cosmic::dsl {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"model_input", TokenKind::KwModelInput},
+    {"model_output", TokenKind::KwModelOutput},
+    {"model", TokenKind::KwModel},
+    {"gradient", TokenKind::KwGradient},
+    {"iterator", TokenKind::KwIterator},
+    {"sum", TokenKind::KwSum},
+    {"pi", TokenKind::KwPi},
+    {"aggregator", TokenKind::KwAggregator},
+    {"minibatch", TokenKind::KwMinibatch},
+};
+
+} // namespace
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+char
+Lexer::peek() const
+{
+    return pos_ < source_.size() ? source_[pos_] : '\0';
+}
+
+char
+Lexer::peekNext() const
+{
+    return pos_ + 1 < source_.size() ? source_[pos_ + 1] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = peek();
+    ++pos_;
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '#' || (c == '/' && peekNext() == '/')) {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokenKind kind) const
+{
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token t = makeToken(TokenKind::Number);
+    std::string digits;
+    while (std::isdigit(static_cast<unsigned char>(peek())) ||
+           peek() == '.' ||
+           ((peek() == 'e' || peek() == 'E') &&
+            (std::isdigit(static_cast<unsigned char>(peekNext())) ||
+             peekNext() == '-' || peekNext() == '+'))) {
+        char c = advance();
+        digits.push_back(c);
+        if (c == 'e' || c == 'E') {
+            if (peek() == '-' || peek() == '+')
+                digits.push_back(advance());
+        }
+    }
+    t.text = digits;
+    t.value = std::strtod(digits.c_str(), nullptr);
+    return t;
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    Token t = makeToken(TokenKind::Identifier);
+    std::string name;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_') {
+        name.push_back(advance());
+    }
+    t.text = name;
+    auto it = kKeywords.find(name);
+    if (it != kKeywords.end())
+        t.kind = it->second;
+    return t;
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        skipWhitespaceAndComments();
+        char c = peek();
+        if (c == '\0')
+            break;
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            tokens.push_back(lexNumber());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            tokens.push_back(lexIdentifierOrKeyword());
+            continue;
+        }
+        Token t = makeToken(TokenKind::EndOfFile);
+        advance();
+        switch (c) {
+          case '[': t.kind = TokenKind::LBracket; break;
+          case ']': t.kind = TokenKind::RBracket; break;
+          case '(': t.kind = TokenKind::LParen; break;
+          case ')': t.kind = TokenKind::RParen; break;
+          case ';': t.kind = TokenKind::Semicolon; break;
+          case ',': t.kind = TokenKind::Comma; break;
+          case ':': t.kind = TokenKind::Colon; break;
+          case '?': t.kind = TokenKind::Question; break;
+          case '+': t.kind = TokenKind::Plus; break;
+          case '-': t.kind = TokenKind::Minus; break;
+          case '*': t.kind = TokenKind::Star; break;
+          case '/': t.kind = TokenKind::Slash; break;
+          case '=':
+            if (peek() == '=') {
+                advance();
+                t.kind = TokenKind::EqEq;
+            } else {
+                t.kind = TokenKind::Assign;
+            }
+            break;
+          case '>':
+            if (peek() == '=') {
+                advance();
+                t.kind = TokenKind::Ge;
+            } else {
+                t.kind = TokenKind::Gt;
+            }
+            break;
+          case '<':
+            if (peek() == '=') {
+                advance();
+                t.kind = TokenKind::Le;
+            } else {
+                t.kind = TokenKind::Lt;
+            }
+            break;
+          default:
+            COSMIC_FATAL("DSL lexer: unexpected character '" << c
+                         << "' at line " << line_ << ", column "
+                         << column_);
+        }
+        tokens.push_back(t);
+    }
+    tokens.push_back(makeToken(TokenKind::EndOfFile));
+    return tokens;
+}
+
+} // namespace cosmic::dsl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Lexer for the CoSMIC DSL.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/token.h"
+
+namespace cosmic::dsl {
+
+/**
+ * Converts DSL source text into a token stream.
+ *
+ * Supports line comments beginning with '//' and '#'. Throws CosmicError
+ * with line/column information on any unrecognized character.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Tokenizes the whole input; the last token is always EndOfFile. */
+    std::vector<Token> tokenize();
+
+  private:
+    /** Returns the current character or '\0' at end of input. */
+    char peek() const;
+    /** Returns the character after the current one or '\0'. */
+    char peekNext() const;
+    /** Consumes and returns the current character. */
+    char advance();
+
+    void skipWhitespaceAndComments();
+    Token lexNumber();
+    Token lexIdentifierOrKeyword();
+    Token makeToken(TokenKind kind) const;
+
+    std::string source_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+} // namespace cosmic::dsl

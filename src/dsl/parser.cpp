@@ -1,0 +1,336 @@
+#include "dsl/parser.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsl/lexer.h"
+
+namespace cosmic::dsl {
+
+Program
+Parser::parse(const std::string &source)
+{
+    Lexer lexer(source);
+    Parser parser(lexer.tokenize());
+    return parser.run();
+}
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+const Token &
+Parser::advance()
+{
+    const Token &t = tokens_[pos_];
+    if (t.kind != TokenKind::EndOfFile)
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::match(TokenKind kind)
+{
+    if (!check(kind))
+        return false;
+    advance();
+    return true;
+}
+
+const Token &
+Parser::expect(TokenKind kind, const std::string &context)
+{
+    if (!check(kind)) {
+        fail("expected '" + tokenKindName(kind) + "' " + context +
+             ", found '" +
+             (peek().text.empty() ? tokenKindName(peek().kind)
+                                  : peek().text) + "'");
+    }
+    return advance();
+}
+
+void
+Parser::fail(const std::string &msg) const
+{
+    COSMIC_FATAL("DSL parse error at line " << peek().line << ", column "
+                 << peek().column << ": " << msg);
+}
+
+Program
+Parser::run()
+{
+    Program prog;
+    while (!check(TokenKind::EndOfFile)) {
+        switch (peek().kind) {
+          case TokenKind::KwModelInput:
+            advance();
+            parseDeclaration(prog, VarClass::ModelInput);
+            break;
+          case TokenKind::KwModelOutput:
+            advance();
+            parseDeclaration(prog, VarClass::ModelOutput);
+            break;
+          case TokenKind::KwModel:
+            advance();
+            parseDeclaration(prog, VarClass::Model);
+            break;
+          case TokenKind::KwGradient:
+            advance();
+            parseDeclaration(prog, VarClass::Gradient);
+            break;
+          case TokenKind::KwIterator:
+            advance();
+            parseIterator(prog);
+            break;
+          case TokenKind::KwAggregator:
+          case TokenKind::KwMinibatch:
+            parseDirective(prog);
+            break;
+          case TokenKind::Identifier:
+            parseAssignment(prog);
+            break;
+          default:
+            fail("expected a declaration, directive, or assignment");
+        }
+    }
+    prog.validate();
+    return prog;
+}
+
+int64_t
+Parser::parseIntLiteral(const std::string &context)
+{
+    const Token &t = expect(TokenKind::Number, context);
+    double v = t.value;
+    int64_t i = static_cast<int64_t>(v);
+    if (std::abs(v - static_cast<double>(i)) > 1e-9)
+        fail("expected an integer " + context);
+    return i;
+}
+
+void
+Parser::parseDeclaration(Program &prog, VarClass cls)
+{
+    VarDecl decl;
+    decl.cls = cls;
+    decl.name = expect(TokenKind::Identifier, "in declaration").text;
+    while (match(TokenKind::LBracket)) {
+        decl.dims.push_back(parseIntLiteral("as a dimension size"));
+        expect(TokenKind::RBracket, "after dimension size");
+    }
+    expect(TokenKind::Semicolon, "after declaration");
+    prog.addVar(std::move(decl));
+}
+
+void
+Parser::parseIterator(Program &prog)
+{
+    IterDecl decl;
+    decl.name = expect(TokenKind::Identifier, "in iterator declaration")
+                    .text;
+    expect(TokenKind::LBracket, "after iterator name");
+    decl.lo = parseIntLiteral("as iterator lower bound");
+    expect(TokenKind::Colon, "between iterator bounds");
+    decl.hi = parseIntLiteral("as iterator upper bound");
+    expect(TokenKind::RBracket, "after iterator bounds");
+    expect(TokenKind::Semicolon, "after iterator declaration");
+    prog.addIterator(std::move(decl));
+}
+
+void
+Parser::parseDirective(Program &prog)
+{
+    if (match(TokenKind::KwAggregator)) {
+        // 'sum' is also the reduction keyword, so it arrives as KwSum.
+        if (match(TokenKind::KwSum)) {
+            prog.setAggregator(Aggregator::Sum);
+        } else {
+            const Token &t = expect(TokenKind::Identifier,
+                                    "after 'aggregator'");
+            if (t.text == "average") {
+                prog.setAggregator(Aggregator::Average);
+            } else {
+                fail("unknown aggregator '" + t.text +
+                     "' (expected 'average' or 'sum')");
+            }
+        }
+        expect(TokenKind::Semicolon, "after aggregator directive");
+        return;
+    }
+    expect(TokenKind::KwMinibatch, "directive");
+    prog.setMinibatch(parseIntLiteral("as mini-batch size"));
+    expect(TokenKind::Semicolon, "after minibatch directive");
+}
+
+IndexExpr
+Parser::parseIndex()
+{
+    if (check(TokenKind::Number))
+        return IndexExpr::lit(parseIntLiteral("as subscript"));
+    const Token &name = expect(TokenKind::Identifier, "in subscript");
+    int64_t offset = 0;
+    if (match(TokenKind::Plus))
+        offset = parseIntLiteral("as subscript offset");
+    else if (match(TokenKind::Minus))
+        offset = -parseIntLiteral("as subscript offset");
+    return IndexExpr::iter(name.text, offset);
+}
+
+std::vector<IndexExpr>
+Parser::parseIndexList()
+{
+    std::vector<IndexExpr> indices;
+    while (match(TokenKind::LBracket)) {
+        indices.push_back(parseIndex());
+        expect(TokenKind::RBracket, "after subscript");
+    }
+    return indices;
+}
+
+void
+Parser::parseAssignment(Program &prog)
+{
+    Statement stmt;
+    const Token &name = expect(TokenKind::Identifier, "at statement start");
+    stmt.lhsName = name.text;
+    stmt.line = name.line;
+    stmt.lhsIndices = parseIndexList();
+    expect(TokenKind::Assign, "in assignment");
+    stmt.rhs = parseExpr();
+    expect(TokenKind::Semicolon, "after assignment");
+    prog.addStatement(std::move(stmt));
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    ExprPtr cond = parseCmp();
+    if (match(TokenKind::Question)) {
+        ExprPtr then_e = parseExpr();
+        expect(TokenKind::Colon, "in ternary expression");
+        ExprPtr else_e = parseExpr();
+        return std::make_unique<TernaryExpr>(
+            std::move(cond), std::move(then_e), std::move(else_e));
+    }
+    return cond;
+}
+
+ExprPtr
+Parser::parseCmp()
+{
+    ExprPtr lhs = parseAddSub();
+    BinOp op;
+    if (check(TokenKind::Gt)) {
+        op = BinOp::Gt;
+    } else if (check(TokenKind::Lt)) {
+        op = BinOp::Lt;
+    } else if (check(TokenKind::Ge)) {
+        op = BinOp::Ge;
+    } else if (check(TokenKind::Le)) {
+        op = BinOp::Le;
+    } else if (check(TokenKind::EqEq)) {
+        op = BinOp::Eq;
+    } else {
+        return lhs;
+    }
+    advance();
+    ExprPtr rhs = parseAddSub();
+    return std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                        std::move(rhs));
+}
+
+ExprPtr
+Parser::parseAddSub()
+{
+    ExprPtr lhs = parseMulDiv();
+    for (;;) {
+        BinOp op;
+        if (check(TokenKind::Plus)) {
+            op = BinOp::Add;
+        } else if (check(TokenKind::Minus)) {
+            op = BinOp::Sub;
+        } else {
+            return lhs;
+        }
+        advance();
+        ExprPtr rhs = parseMulDiv();
+        lhs = std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                           std::move(rhs));
+    }
+}
+
+ExprPtr
+Parser::parseMulDiv()
+{
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+        BinOp op;
+        if (check(TokenKind::Star)) {
+            op = BinOp::Mul;
+        } else if (check(TokenKind::Slash)) {
+            op = BinOp::Div;
+        } else {
+            return lhs;
+        }
+        advance();
+        ExprPtr rhs = parseUnary();
+        lhs = std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                           std::move(rhs));
+    }
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    if (match(TokenKind::Minus))
+        return std::make_unique<NegExpr>(parseUnary());
+    return parsePrimary();
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    if (check(TokenKind::Number)) {
+        const Token &t = advance();
+        return std::make_unique<NumberExpr>(t.value);
+    }
+    if (check(TokenKind::KwSum) || check(TokenKind::KwPi)) {
+        ReduceKind kind = check(TokenKind::KwSum) ? ReduceKind::Sum
+                                                  : ReduceKind::Prod;
+        advance();
+        expect(TokenKind::LBracket, "after reduction keyword");
+        const Token &it = expect(TokenKind::Identifier,
+                                 "as reduction iterator");
+        expect(TokenKind::RBracket, "after reduction iterator");
+        expect(TokenKind::LParen, "before reduction body");
+        ExprPtr body = parseExpr();
+        expect(TokenKind::RParen, "after reduction body");
+        return std::make_unique<ReduceExpr>(kind, it.text,
+                                            std::move(body));
+    }
+    if (match(TokenKind::LParen)) {
+        ExprPtr inner = parseExpr();
+        expect(TokenKind::RParen, "after parenthesized expression");
+        return inner;
+    }
+    if (check(TokenKind::Identifier)) {
+        const Token &name = advance();
+        Builtin builtin;
+        if (check(TokenKind::LParen) &&
+            lookupBuiltin(name.text, builtin)) {
+            advance();
+            ExprPtr arg = parseExpr();
+            ExprPtr arg2;
+            if (builtinArity(builtin) == 2) {
+                expect(TokenKind::Comma, "between builtin arguments");
+                arg2 = parseExpr();
+            }
+            expect(TokenKind::RParen, "after builtin argument");
+            return std::make_unique<CallExpr>(builtin, std::move(arg),
+                                              std::move(arg2));
+        }
+        std::vector<IndexExpr> indices = parseIndexList();
+        return std::make_unique<VarExpr>(name.text, std::move(indices));
+    }
+    fail("expected an expression");
+}
+
+} // namespace cosmic::dsl

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Recursive-descent parser for the CoSMIC DSL.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/program.h"
+#include "dsl/token.h"
+
+namespace cosmic::dsl {
+
+/**
+ * Parses DSL source text into a validated Program.
+ *
+ * Grammar (informal):
+ * @verbatim
+ *   program    := { declaration | directive | assignment }
+ *   declaration:= class ident { '[' INT ']' } ';'
+ *               | 'iterator' ident '[' INT ':' INT ']' ';'
+ *   directive  := 'aggregator' ('average'|'sum') ';'
+ *               | 'minibatch' INT ';'
+ *   assignment := ident { '[' index ']' } '=' expr ';'
+ *   expr       := cmp [ '?' expr ':' expr ]
+ *   cmp        := addsub [ ('>'|'<'|'>='|'<='|'==') addsub ]
+ *   addsub     := muldiv { ('+'|'-') muldiv }
+ *   muldiv     := unary { ('*'|'/') unary }
+ *   unary      := '-' unary | primary
+ *   primary    := NUMBER | reduce | call | varref | '(' expr ')'
+ *   reduce     := ('sum'|'pi') '[' ident ']' '(' expr ')'
+ *   call       := BUILTIN '(' expr ')'
+ *   varref     := ident { '[' index ']' }
+ *   index      := INT | ident [ ('+'|'-') INT ]
+ * @endverbatim
+ */
+class Parser
+{
+  public:
+    /** Parses and validates; throws CosmicError with positions. */
+    static Program parse(const std::string &source);
+
+  private:
+    explicit Parser(std::vector<Token> tokens);
+
+    Program run();
+
+    const Token &peek() const { return tokens_[pos_]; }
+    const Token &advance();
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+    bool match(TokenKind kind);
+    const Token &expect(TokenKind kind, const std::string &context);
+    [[noreturn]] void fail(const std::string &msg) const;
+
+    void parseDeclaration(Program &prog, VarClass cls);
+    void parseIterator(Program &prog);
+    void parseDirective(Program &prog);
+    void parseAssignment(Program &prog);
+
+    int64_t parseIntLiteral(const std::string &context);
+    IndexExpr parseIndex();
+    std::vector<IndexExpr> parseIndexList();
+
+    ExprPtr parseExpr();
+    ExprPtr parseCmp();
+    ExprPtr parseAddSub();
+    ExprPtr parseMulDiv();
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace cosmic::dsl

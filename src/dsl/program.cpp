@@ -1,0 +1,238 @@
+#include "dsl/program.h"
+
+#include "common/error.h"
+
+namespace cosmic::dsl {
+
+std::string
+varClassName(VarClass cls)
+{
+    switch (cls) {
+      case VarClass::ModelInput: return "model_input";
+      case VarClass::ModelOutput: return "model_output";
+      case VarClass::Model: return "model";
+      case VarClass::Gradient: return "gradient";
+      case VarClass::Interim: return "interim";
+    }
+    return "?";
+}
+
+void
+Program::addVar(VarDecl decl)
+{
+    if (varIndex_.count(decl.name))
+        COSMIC_FATAL("DSL: duplicate variable declaration '" << decl.name
+                     << "'");
+    if (iterIndex_.count(decl.name))
+        COSMIC_FATAL("DSL: '" << decl.name
+                     << "' already declared as an iterator");
+    for (int64_t d : decl.dims) {
+        if (d <= 0)
+            COSMIC_FATAL("DSL: variable '" << decl.name
+                         << "' has non-positive dimension " << d);
+    }
+    varIndex_[decl.name] = vars_.size();
+    vars_.push_back(std::move(decl));
+}
+
+void
+Program::addIterator(IterDecl decl)
+{
+    if (iterIndex_.count(decl.name) || varIndex_.count(decl.name))
+        COSMIC_FATAL("DSL: duplicate declaration '" << decl.name << "'");
+    if (decl.extent() <= 0)
+        COSMIC_FATAL("DSL: iterator '" << decl.name
+                     << "' has empty range [" << decl.lo << ":" << decl.hi
+                     << "]");
+    iterIndex_[decl.name] = iters_.size();
+    iters_.push_back(std::move(decl));
+}
+
+void
+Program::addStatement(Statement stmt)
+{
+    stmts_.push_back(std::move(stmt));
+}
+
+const VarDecl *
+Program::findVar(const std::string &name) const
+{
+    auto it = varIndex_.find(name);
+    return it == varIndex_.end() ? nullptr : &vars_[it->second];
+}
+
+const IterDecl *
+Program::findIterator(const std::string &name) const
+{
+    auto it = iterIndex_.find(name);
+    return it == iterIndex_.end() ? nullptr : &iters_[it->second];
+}
+
+int64_t
+Program::elementCount(VarClass cls) const
+{
+    int64_t n = 0;
+    for (const auto &v : vars_)
+        if (v.cls == cls)
+            n += v.elementCount();
+    return n;
+}
+
+void
+Program::checkExpr(const Expr &expr,
+                   std::unordered_map<std::string, int> &bound,
+                   int line)
+{
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return;
+      case ExprKind::Var: {
+        const auto &v = static_cast<const VarExpr &>(expr);
+        const VarDecl *decl = findVar(v.name);
+        if (!decl)
+            COSMIC_FATAL("DSL line " << line << ": use of undeclared "
+                         << "variable '" << v.name << "'");
+        if (v.indices.size() != decl->dims.size())
+            COSMIC_FATAL("DSL line " << line << ": variable '" << v.name
+                         << "' has rank " << decl->dims.size()
+                         << " but is subscripted with "
+                         << v.indices.size() << " indices");
+        for (size_t d = 0; d < v.indices.size(); ++d) {
+            const IndexExpr &idx = v.indices[d];
+            if (idx.isLiteral) {
+                if (idx.literal < 0 || idx.literal >= decl->dims[d])
+                    COSMIC_FATAL("DSL line " << line << ": index "
+                                 << idx.literal << " out of bounds for '"
+                                 << v.name << "' dim " << d << " (size "
+                                 << decl->dims[d] << ")");
+            } else {
+                if (!findIterator(idx.iterator))
+                    COSMIC_FATAL("DSL line " << line << ": '"
+                                 << idx.iterator
+                                 << "' is not a declared iterator");
+                auto it = bound.find(idx.iterator);
+                if (it == bound.end() || it->second == 0)
+                    COSMIC_FATAL("DSL line " << line << ": iterator '"
+                                 << idx.iterator << "' used in subscript "
+                                 << "of '" << v.name << "' is not bound "
+                                 << "by the statement LHS or an "
+                                 << "enclosing reduction");
+            }
+        }
+        return;
+      }
+      case ExprKind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(expr);
+        checkExpr(*b.lhs, bound, line);
+        checkExpr(*b.rhs, bound, line);
+        return;
+      }
+      case ExprKind::Neg:
+        checkExpr(*static_cast<const NegExpr &>(expr).arg, bound, line);
+        return;
+      case ExprKind::Ternary: {
+        const auto &t = static_cast<const TernaryExpr &>(expr);
+        checkExpr(*t.cond, bound, line);
+        checkExpr(*t.thenExpr, bound, line);
+        checkExpr(*t.elseExpr, bound, line);
+        return;
+      }
+      case ExprKind::Reduce: {
+        const auto &r = static_cast<const ReduceExpr &>(expr);
+        if (!findIterator(r.iterator))
+            COSMIC_FATAL("DSL line " << line << ": reduction over "
+                         << "undeclared iterator '" << r.iterator << "'");
+        ++bound[r.iterator];
+        checkExpr(*r.body, bound, line);
+        --bound[r.iterator];
+        return;
+      }
+      case ExprKind::Call: {
+        const auto &c = static_cast<const CallExpr &>(expr);
+        checkExpr(*c.arg, bound, line);
+        if (c.arg2)
+            checkExpr(*c.arg2, bound, line);
+        return;
+      }
+    }
+}
+
+void
+Program::validate()
+{
+    // Pass 1: infer declarations for assigned-but-undeclared variables
+    // (interim values such as the dot product in the SVM example).
+    for (const auto &stmt : stmts_) {
+        if (findVar(stmt.lhsName))
+            continue;
+        if (iterIndex_.count(stmt.lhsName))
+            COSMIC_FATAL("DSL line " << stmt.line << ": cannot assign to "
+                         << "iterator '" << stmt.lhsName << "'");
+        VarDecl decl;
+        decl.cls = VarClass::Interim;
+        decl.name = stmt.lhsName;
+        for (const auto &idx : stmt.lhsIndices) {
+            if (idx.isLiteral || idx.offset != 0)
+                COSMIC_FATAL("DSL line " << stmt.line << ": LHS subscript"
+                             << " of inferred variable '" << stmt.lhsName
+                             << "' must be a bare iterator");
+            const IterDecl *it = findIterator(idx.iterator);
+            if (!it)
+                COSMIC_FATAL("DSL line " << stmt.line << ": LHS iterator "
+                             << "'" << idx.iterator << "' is undeclared");
+            decl.dims.push_back(it->extent());
+        }
+        addVar(std::move(decl));
+    }
+
+    // Pass 2: check every statement.
+    bool has_gradient_stmt = false;
+    for (const auto &stmt : stmts_) {
+        const VarDecl *lhs = findVar(stmt.lhsName);
+        COSMIC_ASSERT(lhs, "LHS missing after inference pass");
+        if (lhs->cls == VarClass::ModelInput ||
+            lhs->cls == VarClass::ModelOutput) {
+            COSMIC_FATAL("DSL line " << stmt.line << ": cannot assign to "
+                         << varClassName(lhs->cls) << " variable '"
+                         << stmt.lhsName << "'");
+        }
+        if (lhs->cls == VarClass::Gradient)
+            has_gradient_stmt = true;
+        if (stmt.lhsIndices.size() != lhs->dims.size())
+            COSMIC_FATAL("DSL line " << stmt.line << ": LHS '"
+                         << stmt.lhsName << "' has rank "
+                         << lhs->dims.size() << " but "
+                         << stmt.lhsIndices.size() << " subscripts");
+
+        std::unordered_map<std::string, int> bound;
+        for (size_t d = 0; d < stmt.lhsIndices.size(); ++d) {
+            const IndexExpr &idx = stmt.lhsIndices[d];
+            if (idx.isLiteral || idx.offset != 0)
+                COSMIC_FATAL("DSL line " << stmt.line << ": LHS subscript "
+                             << d << " must be a bare iterator");
+            const IterDecl *it = findIterator(idx.iterator);
+            if (!it)
+                COSMIC_FATAL("DSL line " << stmt.line << ": LHS iterator '"
+                             << idx.iterator << "' is undeclared");
+            if (it->extent() != lhs->dims[d])
+                COSMIC_FATAL("DSL line " << stmt.line << ": iterator '"
+                             << idx.iterator << "' extent " << it->extent()
+                             << " does not match dim " << d << " of '"
+                             << stmt.lhsName << "' (size " << lhs->dims[d]
+                             << ")");
+            ++bound[idx.iterator];
+        }
+        checkExpr(*stmt.rhs, bound, stmt.line);
+    }
+
+    if (elementCount(VarClass::Gradient) == 0)
+        COSMIC_FATAL("DSL: program declares no gradient variables");
+    if (!has_gradient_stmt)
+        COSMIC_FATAL("DSL: program never assigns a gradient variable");
+    if (minibatch_ <= 0)
+        COSMIC_FATAL("DSL: mini-batch size must be positive, got "
+                     << minibatch_);
+    validated_ = true;
+}
+
+} // namespace cosmic::dsl

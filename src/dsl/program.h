@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The parsed representation of one CoSMIC DSL program.
+ *
+ * A program captures the entirety of a learning algorithm in the three
+ * constructs the paper requires (Sec. 1): the partial-gradient formula,
+ * the aggregation operator, and the mini-batch size.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/ast.h"
+
+namespace cosmic::dsl {
+
+/** Semantic classes of DSL variables (paper Sec. 4.1). */
+enum class VarClass
+{
+    /** Training-data input vector element (streamed from memory). */
+    ModelInput,
+    /** Expected output element (streamed from memory with the inputs). */
+    ModelOutput,
+    /** Learned model parameter (persistent across iterations). */
+    Model,
+    /** Partial-gradient output element (sent to the Sigma node). */
+    Gradient,
+    /** Intermediate value inferred for undeclared assigned variables. */
+    Interim,
+};
+
+std::string varClassName(VarClass cls);
+
+/** How partial gradients from workers / nodes are combined (Eq. 3b). */
+enum class Aggregator
+{
+    /** Parallelized SGD: average of the partial updates. */
+    Average,
+    /** Batched gradient descent: plain summation. */
+    Sum,
+};
+
+/** Declaration of a tensor variable with its dimension sizes. */
+struct VarDecl
+{
+    VarClass cls = VarClass::Interim;
+    std::string name;
+    /** Dimension sizes; empty means scalar. */
+    std::vector<int64_t> dims;
+
+    /** Total number of scalar elements. */
+    int64_t
+    elementCount() const
+    {
+        int64_t n = 1;
+        for (int64_t d : dims)
+            n *= d;
+        return n;
+    }
+};
+
+/** Declaration of an iterator: a named half-open-free range [lo, hi). */
+struct IterDecl
+{
+    std::string name;
+    int64_t lo = 0;
+    int64_t hi = 0;
+
+    int64_t extent() const { return hi - lo; }
+};
+
+/**
+ * A validated DSL program.
+ *
+ * Holds the declarations, the assignment statements in source order, the
+ * aggregation operator, and the mini-batch size. The Translator walks
+ * the statements to build the dataflow graph.
+ */
+class Program
+{
+  public:
+    /** Registers a tensor declaration; rejects duplicates. */
+    void addVar(VarDecl decl);
+
+    /** Registers an iterator declaration; rejects duplicates. */
+    void addIterator(IterDecl decl);
+
+    /** Appends an assignment statement. */
+    void addStatement(Statement stmt);
+
+    void setAggregator(Aggregator a) { aggregator_ = a; }
+    void setMinibatch(int64_t b) { minibatch_ = b; }
+
+    /**
+     * Validates the program and infers declarations for interim
+     * variables assigned with iterator subscripts.
+     *
+     * Checks: every referenced variable is declared (or inferable),
+     * every iterator used in a subscript is declared and either bound by
+     * an enclosing reduction or by the statement's LHS, subscript counts
+     * match declared ranks, and at least one gradient statement exists.
+     *
+     * @throws CosmicError on any violation.
+     */
+    void validate();
+
+    const VarDecl *findVar(const std::string &name) const;
+    const IterDecl *findIterator(const std::string &name) const;
+
+    const std::vector<VarDecl> &vars() const { return vars_; }
+    const std::vector<IterDecl> &iterators() const { return iters_; }
+    const std::vector<Statement> &statements() const { return stmts_; }
+    Aggregator aggregator() const { return aggregator_; }
+    int64_t minibatch() const { return minibatch_; }
+
+    /** Elements across all variables of the given class. */
+    int64_t elementCount(VarClass cls) const;
+
+    /** Model footprint in bytes assuming 4-byte fixed-point words. */
+    int64_t modelBytes() const { return 4 * elementCount(VarClass::Model); }
+
+    /** Bytes streamed from memory per training record (inputs+outputs). */
+    int64_t
+    recordBytes() const
+    {
+        return 4 * (elementCount(VarClass::ModelInput) +
+                    elementCount(VarClass::ModelOutput));
+    }
+
+  private:
+    /** Walks an expression checking variable/iterator usage. */
+    void checkExpr(const Expr &expr,
+                   std::unordered_map<std::string, int> &bound,
+                   int line);
+
+    std::vector<VarDecl> vars_;
+    std::vector<IterDecl> iters_;
+    std::vector<Statement> stmts_;
+    std::unordered_map<std::string, size_t> varIndex_;
+    std::unordered_map<std::string, size_t> iterIndex_;
+    Aggregator aggregator_ = Aggregator::Average;
+    int64_t minibatch_ = 10000;
+    bool validated_ = false;
+};
+
+} // namespace cosmic::dsl

@@ -1,0 +1,43 @@
+#include "dsl/token.h"
+
+namespace cosmic::dsl {
+
+std::string
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Number: return "number";
+      case TokenKind::KwModelInput: return "model_input";
+      case TokenKind::KwModelOutput: return "model_output";
+      case TokenKind::KwModel: return "model";
+      case TokenKind::KwGradient: return "gradient";
+      case TokenKind::KwIterator: return "iterator";
+      case TokenKind::KwSum: return "sum";
+      case TokenKind::KwPi: return "pi";
+      case TokenKind::KwAggregator: return "aggregator";
+      case TokenKind::KwMinibatch: return "minibatch";
+      case TokenKind::LBracket: return "[";
+      case TokenKind::RBracket: return "]";
+      case TokenKind::LParen: return "(";
+      case TokenKind::RParen: return ")";
+      case TokenKind::Semicolon: return ";";
+      case TokenKind::Comma: return ",";
+      case TokenKind::Colon: return ":";
+      case TokenKind::Question: return "?";
+      case TokenKind::Assign: return "=";
+      case TokenKind::Plus: return "+";
+      case TokenKind::Minus: return "-";
+      case TokenKind::Star: return "*";
+      case TokenKind::Slash: return "/";
+      case TokenKind::Gt: return ">";
+      case TokenKind::Lt: return "<";
+      case TokenKind::Ge: return ">=";
+      case TokenKind::Le: return "<=";
+      case TokenKind::EqEq: return "==";
+      case TokenKind::EndOfFile: return "<eof>";
+    }
+    return "<unknown>";
+}
+
+} // namespace cosmic::dsl

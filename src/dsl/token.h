@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Token definitions for the CoSMIC domain-specific language.
+ *
+ * The DSL is the programming layer of the stack (paper Sec. 4.1): a
+ * math-oriented textual language in which the programmer expresses the
+ * partial-gradient formula, the aggregation operator, and the mini-batch
+ * size. It extends the TABLA language with scale-out directives.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosmic::dsl {
+
+/** All lexical token categories of the DSL. */
+enum class TokenKind
+{
+    // Literals and names.
+    Identifier,
+    Number,
+
+    // Data-type keywords (paper Sec. 4.1: the five DSL data types).
+    KwModelInput,
+    KwModelOutput,
+    KwModel,
+    KwGradient,
+    KwIterator,
+
+    // Reduction keywords.
+    KwSum,
+    KwPi,
+
+    // Scale-out directives.
+    KwAggregator,
+    KwMinibatch,
+
+    // Punctuation and operators.
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Semicolon,
+    Comma,
+    Colon,
+    Question,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    EqEq,
+
+    EndOfFile,
+};
+
+/** One lexical token with its source position for error reporting. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    /** Identifier or keyword spelling; empty for punctuation. */
+    std::string text;
+    /** Numeric value when kind == Number. */
+    double value = 0.0;
+    int line = 0;
+    int column = 0;
+};
+
+/** Human-readable name of a token kind (for diagnostics). */
+std::string tokenKindName(TokenKind kind);
+
+} // namespace cosmic::dsl

@@ -1,0 +1,150 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::ml {
+
+int64_t
+DatasetGenerator::recordWords(const Workload &w, double scale)
+{
+    switch (w.algorithm) {
+      case Algorithm::Backpropagation:
+        return w.scaled1(scale) + w.scaled3(scale);
+      case Algorithm::LinearRegression:
+      case Algorithm::LogisticRegression:
+      case Algorithm::Svm:
+        return w.scaled1(scale) + 1;
+      case Algorithm::CollaborativeFiltering:
+        return w.scaled1(scale);
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+int64_t
+DatasetGenerator::modelWords(const Workload &w, double scale)
+{
+    switch (w.algorithm) {
+      case Algorithm::Backpropagation:
+        return w.scaled1(scale) * w.scaled2(scale) +
+               w.scaled2(scale) * w.scaled3(scale);
+      case Algorithm::LinearRegression:
+      case Algorithm::LogisticRegression:
+      case Algorithm::Svm:
+        return w.scaled1(scale);
+      case Algorithm::CollaborativeFiltering:
+        return w.scaled1(scale) * w.scaled2(scale);
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+std::vector<double>
+DatasetGenerator::initialModel(const Workload &w, double scale, Rng &rng)
+{
+    int64_t words = modelWords(w, scale);
+    std::vector<double> model(words);
+    // Small symmetric init keeps sigmoids in their active region.
+    for (auto &v : model)
+        v = rng.gaussian(0.0, 0.1);
+    return model;
+}
+
+Dataset
+DatasetGenerator::generate(const Workload &w, double scale,
+                           int64_t count, Rng &rng)
+{
+    Dataset ds;
+    ds.recordWords = recordWords(w, scale);
+    ds.count = count;
+    ds.data.resize(ds.recordWords * count);
+
+    const int64_t n = w.scaled1(scale);
+    const double xscale = 1.0 / std::sqrt(static_cast<double>(n));
+
+    switch (w.algorithm) {
+      case Algorithm::LinearRegression:
+      case Algorithm::LogisticRegression:
+      case Algorithm::Svm: {
+        // Hidden linear teacher.
+        std::vector<double> truth(n);
+        for (auto &v : truth)
+            v = rng.gaussian();
+        for (int64_t r = 0; r < count; ++r) {
+            double *rec = ds.data.data() + r * ds.recordWords;
+            double dot = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                rec[i] = rng.gaussian() * xscale;
+                dot += truth[i] * rec[i];
+            }
+            switch (w.algorithm) {
+              case Algorithm::LinearRegression:
+                rec[n] = dot + rng.gaussian(0.0, 0.01);
+                break;
+              case Algorithm::LogisticRegression:
+                rec[n] = rng.coin(1.0 / (1.0 + std::exp(-4.0 * dot)))
+                             ? 1.0 : 0.0;
+                break;
+              default: // SVM
+                rec[n] = dot >= 0.0 ? 1.0 : -1.0;
+                break;
+            }
+        }
+        break;
+      }
+      case Algorithm::Backpropagation: {
+        // Hidden two-layer teacher network.
+        const int64_t nh = w.scaled2(scale);
+        const int64_t no = w.scaled3(scale);
+        std::vector<double> t1(n * nh);
+        std::vector<double> t2(nh * no);
+        for (auto &v : t1)
+            v = rng.gaussian(0.0, 1.0) * xscale;
+        for (auto &v : t2)
+            v = rng.gaussian(0.0, 1.0) /
+                std::sqrt(static_cast<double>(nh));
+        std::vector<double> hidden(nh);
+        for (int64_t r = 0; r < count; ++r) {
+            double *rec = ds.data.data() + r * ds.recordWords;
+            for (int64_t i = 0; i < n; ++i)
+                rec[i] = rng.gaussian();
+            for (int64_t j = 0; j < nh; ++j) {
+                double s = 0.0;
+                for (int64_t i = 0; i < n; ++i)
+                    s += t1[i * nh + j] * rec[i];
+                hidden[j] = 1.0 / (1.0 + std::exp(-s));
+            }
+            for (int64_t k = 0; k < no; ++k) {
+                double s = 0.0;
+                for (int64_t j = 0; j < nh; ++j)
+                    s += t2[j * no + k] * hidden[j];
+                rec[n + k] = 1.0 / (1.0 + std::exp(-s));
+            }
+        }
+        break;
+      }
+      case Algorithm::CollaborativeFiltering: {
+        // Low-rank ground truth: x = V* z + noise.
+        const int64_t rank = w.scaled2(scale);
+        std::vector<double> factors(n * rank);
+        for (auto &v : factors)
+            v = rng.gaussian(0.0, 1.0) * xscale;
+        std::vector<double> z(rank);
+        for (int64_t r = 0; r < count; ++r) {
+            double *rec = ds.data.data() + r * ds.recordWords;
+            for (int64_t k = 0; k < rank; ++k)
+                z[k] = rng.gaussian();
+            for (int64_t i = 0; i < n; ++i) {
+                double s = 0.0;
+                for (int64_t k = 0; k < rank; ++k)
+                    s += factors[i * rank + k] * z[k];
+                rec[i] = s + rng.gaussian(0.0, 0.01);
+            }
+        }
+        break;
+      }
+    }
+    return ds;
+}
+
+} // namespace cosmic::ml

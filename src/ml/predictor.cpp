@@ -1,0 +1,125 @@
+#include "ml/predictor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::ml {
+
+namespace {
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+Predictor::Predictor(const Workload &workload, double scale)
+    : w_(workload), n1_(workload.scaled1(scale)),
+      n2_(workload.scaled2(scale)), n3_(workload.scaled3(scale))
+{}
+
+double
+Predictor::predict(std::span<const double> record,
+                   std::span<const double> model) const
+{
+    switch (w_.algorithm) {
+      case Algorithm::LinearRegression:
+      case Algorithm::LogisticRegression:
+      case Algorithm::Svm: {
+        double s = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            s += model[i] * record[i];
+        return w_.algorithm == Algorithm::LogisticRegression
+                   ? sigmoid(s)
+                   : s;
+      }
+      case Algorithm::Backpropagation: {
+        const double *w1 = model.data();
+        const double *w2 = model.data() + n1_ * n2_;
+        std::vector<double> h(n2_);
+        for (int64_t j = 0; j < n2_; ++j) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n1_; ++i)
+                s += w1[i * n2_ + j] * record[i];
+            h[j] = sigmoid(s);
+        }
+        double err = 0.0;
+        for (int64_t k = 0; k < n3_; ++k) {
+            double s = 0.0;
+            for (int64_t j = 0; j < n2_; ++j)
+                s += w2[j * n3_ + k] * h[j];
+            double e = sigmoid(s) - record[n1_ + k];
+            err += e * e;
+        }
+        return std::sqrt(err / static_cast<double>(n3_));
+      }
+      case Algorithm::CollaborativeFiltering: {
+        const int64_t rank = n2_;
+        std::vector<double> u(rank, 0.0);
+        for (int64_t r = 0; r < rank; ++r)
+            for (int64_t i = 0; i < n1_; ++i)
+                u[r] += model[i * rank + r] * record[i];
+        double err = 0.0;
+        for (int64_t i = 0; i < n1_; ++i) {
+            double p = 0.0;
+            for (int64_t r = 0; r < rank; ++r)
+                p += model[i * rank + r] * u[r];
+            double e = p - record[i];
+            err += e * e;
+        }
+        return std::sqrt(err / static_cast<double>(n1_));
+      }
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+PredictionMetrics
+Predictor::evaluate(const Dataset &dataset,
+                    std::span<const double> model) const
+{
+    PredictionMetrics m;
+    int64_t correct = 0;
+    double sq = 0.0;
+    for (int64_t r = 0; r < dataset.count; ++r) {
+        auto record = dataset.record(r);
+        double p = predict(record, model);
+        switch (w_.algorithm) {
+          case Algorithm::LinearRegression: {
+            double e = p - record[n1_];
+            sq += e * e;
+            break;
+          }
+          case Algorithm::LogisticRegression: {
+            m.isClassifier = true;
+            double y = record[n1_];
+            correct += (p > 0.5) == (y > 0.5);
+            double e = p - y;
+            sq += e * e;
+            break;
+          }
+          case Algorithm::Svm: {
+            m.isClassifier = true;
+            double y = record[n1_];
+            correct += (p >= 0.0) == (y >= 0.0);
+            break;
+          }
+          case Algorithm::Backpropagation:
+          case Algorithm::CollaborativeFiltering:
+            // predict() already returns the per-record RMSE.
+            sq += p * p;
+            break;
+        }
+    }
+    m.accuracy = dataset.count > 0
+                     ? static_cast<double>(correct) / dataset.count
+                     : 0.0;
+    m.rmse = dataset.count > 0
+                 ? std::sqrt(sq / static_cast<double>(dataset.count))
+                 : 0.0;
+    return m;
+}
+
+} // namespace cosmic::ml

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Prediction (inference) with trained models.
+ *
+ * Training subsumes prediction (paper Sec. 2.1) — every forward pass
+ * of the gradient program is a prediction — so a trained model can
+ * serve inference immediately. This helper runs the forward half of
+ * each algorithm and scores it, giving the convergence tests an
+ * external measure of model quality (accuracy / RMSE) beyond the loss.
+ */
+#pragma once
+
+#include <span>
+
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+
+namespace cosmic::ml {
+
+/** Quality metrics of a model over a dataset. */
+struct PredictionMetrics
+{
+    /** Fraction of correct classifications (classifiers only). */
+    double accuracy = 0.0;
+    /** Root-mean-square error of the predictions (regressors). */
+    double rmse = 0.0;
+    /** Whether `accuracy` is meaningful for this algorithm. */
+    bool isClassifier = false;
+};
+
+/** Forward-pass evaluation for one workload. */
+class Predictor
+{
+  public:
+    Predictor(const Workload &workload, double scale);
+
+    /**
+     * Scalar prediction for one record: the dot-product score (GLMs,
+     * SVM), the mean output activation error proxy (backprop), or the
+     * reconstruction error (CF).
+     */
+    double predict(std::span<const double> record,
+                   std::span<const double> model) const;
+
+    /** Scores the model over a dataset. */
+    PredictionMetrics evaluate(const Dataset &dataset,
+                               std::span<const double> model) const;
+
+  private:
+    const Workload &w_;
+    int64_t n1_;
+    int64_t n2_;
+    int64_t n3_;
+};
+
+} // namespace cosmic::ml

@@ -1,0 +1,207 @@
+#include "ml/reference.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cosmic::ml {
+
+namespace {
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+Reference::Reference(const Workload &workload, double scale)
+    : w_(workload), scale_(scale), n1_(workload.scaled1(scale)),
+      n2_(workload.scaled2(scale)), n3_(workload.scaled3(scale))
+{}
+
+int64_t
+Reference::gradientWords() const
+{
+    switch (w_.algorithm) {
+      case Algorithm::Backpropagation:
+        return n1_ * n2_ + n2_ * n3_;
+      case Algorithm::CollaborativeFiltering:
+        return n1_ * n2_;
+      default:
+        return n1_;
+    }
+}
+
+void
+Reference::gradient(std::span<const double> record,
+                    std::span<const double> model,
+                    std::vector<double> &grad) const
+{
+    grad.assign(gradientWords(), 0.0);
+    switch (w_.algorithm) {
+      case Algorithm::LinearRegression: {
+        double s = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            s += model[i] * record[i];
+        double e = s - record[n1_];
+        for (int64_t i = 0; i < n1_; ++i)
+            grad[i] = e * record[i];
+        return;
+      }
+      case Algorithm::LogisticRegression: {
+        double s = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            s += model[i] * record[i];
+        double e = sigmoid(s) - record[n1_];
+        for (int64_t i = 0; i < n1_; ++i)
+            grad[i] = e * record[i];
+        return;
+      }
+      case Algorithm::Svm: {
+        double y = record[n1_];
+        double m = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            m += model[i] * record[i];
+        m *= y;
+        if (m < 1.0)
+            for (int64_t i = 0; i < n1_; ++i)
+                grad[i] = -y * record[i];
+        return;
+      }
+      case Algorithm::Backpropagation: {
+        // Gradient layout: g1 (n1 x n2) then g2 (n2 x n3), matching the
+        // model's w1-then-w2 declaration order.
+        const double *w1 = model.data();
+        const double *w2 = model.data() + n1_ * n2_;
+        double *g1 = grad.data();
+        double *g2 = grad.data() + n1_ * n2_;
+
+        std::vector<double> h(n2_), o(n3_), e(n3_), eh(n2_);
+        for (int64_t j = 0; j < n2_; ++j) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n1_; ++i)
+                s += w1[i * n2_ + j] * record[i];
+            h[j] = sigmoid(s);
+        }
+        for (int64_t k = 0; k < n3_; ++k) {
+            double s = 0.0;
+            for (int64_t j = 0; j < n2_; ++j)
+                s += w2[j * n3_ + k] * h[j];
+            o[k] = sigmoid(s);
+            e[k] = (o[k] - record[n1_ + k]) * o[k] * (1.0 - o[k]);
+        }
+        for (int64_t j = 0; j < n2_; ++j)
+            for (int64_t k = 0; k < n3_; ++k)
+                g2[j * n3_ + k] = e[k] * h[j];
+        for (int64_t j = 0; j < n2_; ++j) {
+            double s = 0.0;
+            for (int64_t k = 0; k < n3_; ++k)
+                s += e[k] * w2[j * n3_ + k];
+            eh[j] = s * h[j] * (1.0 - h[j]);
+        }
+        for (int64_t i = 0; i < n1_; ++i)
+            for (int64_t j = 0; j < n2_; ++j)
+                g1[i * n2_ + j] = eh[j] * record[i];
+        return;
+      }
+      case Algorithm::CollaborativeFiltering: {
+        const int64_t rank = n2_;
+        std::vector<double> u(rank, 0.0);
+        for (int64_t r = 0; r < rank; ++r)
+            for (int64_t i = 0; i < n1_; ++i)
+                u[r] += model[i * rank + r] * record[i];
+        for (int64_t i = 0; i < n1_; ++i) {
+            double p = 0.0;
+            for (int64_t r = 0; r < rank; ++r)
+                p += model[i * rank + r] * u[r];
+            double e = p - record[i];
+            for (int64_t r = 0; r < rank; ++r)
+                grad[i * rank + r] = e * u[r];
+        }
+        return;
+      }
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+double
+Reference::loss(std::span<const double> record,
+                std::span<const double> model) const
+{
+    switch (w_.algorithm) {
+      case Algorithm::LinearRegression: {
+        double s = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            s += model[i] * record[i];
+        double e = s - record[n1_];
+        return 0.5 * e * e;
+      }
+      case Algorithm::LogisticRegression: {
+        double s = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            s += model[i] * record[i];
+        double p = sigmoid(s);
+        double y = record[n1_];
+        p = std::min(std::max(p, 1e-9), 1.0 - 1e-9);
+        return -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+      }
+      case Algorithm::Svm: {
+        double m = 0.0;
+        for (int64_t i = 0; i < n1_; ++i)
+            m += model[i] * record[i];
+        return std::max(0.0, 1.0 - record[n1_] * m);
+      }
+      case Algorithm::Backpropagation: {
+        const double *w1 = model.data();
+        const double *w2 = model.data() + n1_ * n2_;
+        std::vector<double> h(n2_);
+        for (int64_t j = 0; j < n2_; ++j) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n1_; ++i)
+                s += w1[i * n2_ + j] * record[i];
+            h[j] = sigmoid(s);
+        }
+        double loss = 0.0;
+        for (int64_t k = 0; k < n3_; ++k) {
+            double s = 0.0;
+            for (int64_t j = 0; j < n2_; ++j)
+                s += w2[j * n3_ + k] * h[j];
+            double e = sigmoid(s) - record[n1_ + k];
+            loss += 0.5 * e * e;
+        }
+        return loss;
+      }
+      case Algorithm::CollaborativeFiltering: {
+        const int64_t rank = n2_;
+        std::vector<double> u(rank, 0.0);
+        for (int64_t r = 0; r < rank; ++r)
+            for (int64_t i = 0; i < n1_; ++i)
+                u[r] += model[i * rank + r] * record[i];
+        double loss = 0.0;
+        for (int64_t i = 0; i < n1_; ++i) {
+            double p = 0.0;
+            for (int64_t r = 0; r < rank; ++r)
+                p += model[i * rank + r] * u[r];
+            double e = p - record[i];
+            loss += 0.5 * e * e;
+        }
+        return loss / static_cast<double>(n1_);
+      }
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+double
+Reference::meanLoss(std::span<const double> records, int64_t count,
+                    std::span<const double> model) const
+{
+    const int64_t rw = static_cast<int64_t>(records.size()) / count;
+    double total = 0.0;
+    for (int64_t r = 0; r < count; ++r)
+        total += loss(records.subspan(r * rw, rw), model);
+    return total / static_cast<double>(count);
+}
+
+} // namespace cosmic::ml

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hand-written reference gradients and losses for the five algorithms.
+ *
+ * These plain-loop implementations mirror the DSL programs exactly
+ * (same record and model layouts) and serve two purposes: the tests
+ * cross-check the Translator + Interpreter against them element by
+ * element, and the convergence tests use the losses to verify that
+ * distributed training actually learns.
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/workloads.h"
+
+namespace cosmic::ml {
+
+/** Reference math for one workload at one scale. */
+class Reference
+{
+  public:
+    Reference(const Workload &workload, double scale);
+
+    /** Gradient of the per-record loss, matching the DSL layout. */
+    void gradient(std::span<const double> record,
+                  std::span<const double> model,
+                  std::vector<double> &grad_out) const;
+
+    /** Per-record loss value (0.5 squared error / logistic / hinge). */
+    double loss(std::span<const double> record,
+                std::span<const double> model) const;
+
+    /** Mean loss over a whole dataset slice. */
+    double meanLoss(std::span<const double> records, int64_t count,
+                    std::span<const double> model) const;
+
+    int64_t gradientWords() const;
+
+  private:
+    const Workload &w_;
+    double scale_;
+    int64_t n1_;
+    int64_t n2_;
+    int64_t n3_;
+};
+
+} // namespace cosmic::ml

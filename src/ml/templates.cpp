@@ -1,0 +1,195 @@
+#include "ml/templates.h"
+
+#include <sstream>
+
+namespace cosmic::ml::templates {
+
+std::string
+linearRegression(int64_t n, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Linear regression: g = (w.x - y) * x\n"
+      << "model_input x[" << n << "];\n"
+      << "model_output y;\n"
+      << "model w[" << n << "];\n"
+      << "gradient g[" << n << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "s = sum[i](w[i] * x[i]);\n"
+      << "e = s - y;\n"
+      << "g[i] = e * x[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+logisticRegression(int64_t n, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Logistic regression: g = (sigmoid(w.x) - y) * x\n"
+      << "model_input x[" << n << "];\n"
+      << "model_output y;\n"
+      << "model w[" << n << "];\n"
+      << "gradient g[" << n << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "s = sum[i](w[i] * x[i]);\n"
+      << "p = sigmoid(s);\n"
+      << "e = p - y;\n"
+      << "g[i] = e * x[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+svm(int64_t n, int64_t minibatch)
+{
+    // Hinge-loss subgradient (paper Eq. 4 with the margin test oriented
+    // so that violating records, margin < 1, contribute -y*x).
+    std::ostringstream s;
+    s << "// SVM: g = margin < 1 ? -y*x : 0\n"
+      << "model_input x[" << n << "];\n"
+      << "model_output y;\n"
+      << "model w[" << n << "];\n"
+      << "gradient g[" << n << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "m = sum[i](w[i] * x[i]) * y;\n"
+      << "c = m < 1;\n"
+      << "g[i] = c ? -y * x[i] : 0;\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+mlp(int64_t ni, int64_t nh, int64_t no, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Two-layer MLP with sigmoid activations, squared error.\n"
+      << "model_input x[" << ni << "];\n"
+      << "model_output ystar[" << no << "];\n"
+      << "model w1[" << ni << "][" << nh << "];\n"
+      << "model w2[" << nh << "][" << no << "];\n"
+      << "gradient g1[" << ni << "][" << nh << "];\n"
+      << "gradient g2[" << nh << "][" << no << "];\n"
+      << "iterator i[0:" << ni << "];\n"
+      << "iterator j[0:" << nh << "];\n"
+      << "iterator k[0:" << no << "];\n"
+      << "h[j] = sigmoid(sum[i](w1[i][j] * x[i]));\n"
+      << "o[k] = sigmoid(sum[j](w2[j][k] * h[j]));\n"
+      << "e[k] = (o[k] - ystar[k]) * o[k] * (1 - o[k]);\n"
+      << "g2[j][k] = e[k] * h[j];\n"
+      << "eh[j] = sum[k](e[k] * w2[j][k]) * h[j] * (1 - h[j]);\n"
+      << "g1[i][j] = eh[j] * x[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+collaborativeFiltering(int64_t items, int64_t rank, int64_t minibatch)
+{
+    // Linear autoencoder factorization: project the user's rating
+    // vector onto the item-factor matrix, reconstruct, and descend on
+    // the reconstruction error.
+    std::ostringstream s;
+    s << "// Collaborative filtering via item-factor reconstruction.\n"
+      << "model_input x[" << items << "];\n"
+      << "model v[" << items << "][" << rank << "];\n"
+      << "gradient g[" << items << "][" << rank << "];\n"
+      << "iterator i[0:" << items << "];\n"
+      << "iterator r[0:" << rank << "];\n"
+      << "u[r] = sum[i](v[i][r] * x[i]);\n"
+      << "p[i] = sum[r](v[i][r] * u[r]);\n"
+      << "e[i] = p[i] - x[i];\n"
+      << "g[i][r] = e[i] * u[r];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+softmaxRegression(int64_t n, int64_t classes, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Softmax regression with one-hot targets.\n"
+      << "model_input x[" << n << "];\n"
+      << "model_output ystar[" << classes << "];\n"
+      << "model w[" << n << "][" << classes << "];\n"
+      << "gradient g[" << n << "][" << classes << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "iterator k[0:" << classes << "];\n"
+      << "iterator j[0:" << classes << "];\n"
+      << "s[k] = sum[i](w[i][k] * x[i]);\n"
+      << "e[k] = exp(s[k]);\n"
+      << "z = sum[j](e[j]);\n"
+      << "p[k] = e[k] / z;\n"
+      << "g[i][k] = (p[k] - ystar[k]) * x[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+reluMlp(int64_t ni, int64_t nh, int64_t no, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Two-layer MLP with ReLU hidden units, squared error.\n"
+      << "model_input x[" << ni << "];\n"
+      << "model_output ystar[" << no << "];\n"
+      << "model w1[" << ni << "][" << nh << "];\n"
+      << "model w2[" << nh << "][" << no << "];\n"
+      << "gradient g1[" << ni << "][" << nh << "];\n"
+      << "gradient g2[" << nh << "][" << no << "];\n"
+      << "iterator i[0:" << ni << "];\n"
+      << "iterator j[0:" << nh << "];\n"
+      << "iterator k[0:" << no << "];\n"
+      << "a[j] = sum[i](w1[i][j] * x[i]);\n"
+      << "h[j] = max(0, a[j]);\n"
+      << "o[k] = sum[j](w2[j][k] * h[j]);\n"
+      << "e[k] = o[k] - ystar[k];\n"
+      << "g2[j][k] = e[k] * h[j];\n"
+      << "mask[j] = a[j] > 0;\n"
+      << "eh[j] = sum[k](e[k] * w2[j][k]) * mask[j];\n"
+      << "g1[i][j] = eh[j] * x[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+huberRegression(int64_t n, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Huber-loss robust regression (delta = 1).\n"
+      << "model_input x[" << n << "];\n"
+      << "model_output y;\n"
+      << "model w[" << n << "];\n"
+      << "gradient g[" << n << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "e = sum[i](w[i] * x[i]) - y;\n"
+      << "c = abs(e) < 1;\n"
+      << "g[i] = c ? e * x[i] : (e > 0 ? x[i] : -x[i]);\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+std::string
+kalmanGain(int64_t n, int64_t minibatch)
+{
+    std::ostringstream s;
+    s << "// Scalar-observation Kalman-style innovation gradient.\n"
+      << "model_input h[" << n << "];\n"
+      << "model_output z;\n"
+      << "model xhat[" << n << "];\n"
+      << "gradient g[" << n << "];\n"
+      << "iterator i[0:" << n << "];\n"
+      << "innovation = z - sum[i](h[i] * xhat[i]);\n"
+      << "g[i] = -innovation * h[i];\n"
+      << "aggregator average;\n"
+      << "minibatch " << minibatch << ";\n";
+    return s.str();
+}
+
+} // namespace cosmic::ml::templates

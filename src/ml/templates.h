@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DSL program templates for common learning algorithms.
+ *
+ * The paper's premise is that a wide class of learning algorithms is
+ * just a partial-gradient formula plus an aggregation operator; these
+ * builders emit ready-to-compile DSL source for the classic members of
+ * that class at any shape. The Table 1 suite (workloads.h) is built on
+ * top of the first five; the rest (softmax, ReLU MLP, Huber, Kalman
+ * gain) are the "new learning models" the stack is meant to absorb
+ * without any C++ changes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosmic::ml::templates {
+
+/** g = (w.x - y) * x */
+std::string linearRegression(int64_t features,
+                             int64_t minibatch = 10000);
+
+/** g = (sigmoid(w.x) - y) * x */
+std::string logisticRegression(int64_t features,
+                               int64_t minibatch = 10000);
+
+/** Hinge-loss subgradient: g = margin < 1 ? -y*x : 0 */
+std::string svm(int64_t features, int64_t minibatch = 10000);
+
+/** Two-layer sigmoid MLP with squared error (backpropagation). */
+std::string mlp(int64_t inputs, int64_t hidden, int64_t outputs,
+                int64_t minibatch = 10000);
+
+/** Item-factor reconstruction collaborative filtering. */
+std::string collaborativeFiltering(int64_t items, int64_t rank,
+                                   int64_t minibatch = 10000);
+
+/** Multinomial logistic (softmax) regression with one-hot targets. */
+std::string softmaxRegression(int64_t features, int64_t classes,
+                              int64_t minibatch = 10000);
+
+/** Two-layer MLP with ReLU hidden units (uses the max builtin). */
+std::string reluMlp(int64_t inputs, int64_t hidden, int64_t outputs,
+                    int64_t minibatch = 10000);
+
+/** Huber-loss robust regression (delta = 1). */
+std::string huberRegression(int64_t features,
+                            int64_t minibatch = 10000);
+
+/** Scalar-observation Kalman-style innovation gradient. */
+std::string kalmanGain(int64_t state_dim, int64_t minibatch = 10000);
+
+} // namespace cosmic::ml::templates

@@ -1,0 +1,149 @@
+#include "ml/workloads.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ml/templates.h"
+
+namespace cosmic::ml {
+
+std::string
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::Backpropagation: return "Backpropagation";
+      case Algorithm::LinearRegression: return "Linear Regression";
+      case Algorithm::LogisticRegression: return "Logistic Regression";
+      case Algorithm::CollaborativeFiltering:
+        return "Collaborative Filtering";
+      case Algorithm::Svm: return "Support Vector Machine";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Scales a dimension, keeping small dimensions intact. */
+int64_t
+scaleDim(int64_t dim, double scale)
+{
+    if (scale <= 1.0 || dim < 64)
+        return dim;
+    return std::max<int64_t>(8, static_cast<int64_t>(dim / scale));
+}
+
+std::vector<Workload>
+makeSuite()
+{
+    auto mk = [](std::string name, Algorithm alg, std::string domain,
+                 std::string desc, int64_t d1, int64_t d2, int64_t d3,
+                 std::string topo, int64_t model_kb, int loc,
+                 int64_t vectors, double data_gb) {
+        Workload w;
+        w.name = std::move(name);
+        w.algorithm = alg;
+        w.domain = std::move(domain);
+        w.description = std::move(desc);
+        w.d1 = d1;
+        w.d2 = d2;
+        w.d3 = d3;
+        w.topology = std::move(topo);
+        w.modelKB = model_kb;
+        w.linesOfCode = loc;
+        w.numVectors = vectors;
+        w.dataGB = data_gb;
+        return w;
+    };
+
+    return {
+        mk("mnist", Algorithm::Backpropagation, "Image Processing",
+           "Handwritten digit pattern recognition", 784, 784, 10,
+           "784x784x10", 2432, 55, 60000, 0.4),
+        mk("acoustic", Algorithm::Backpropagation, "Audio Processing",
+           "Hierarchical acoustic modeling for speech recognition", 351,
+           1000, 40, "351x1000x40", 1527, 55, 942626, 5.6),
+        mk("stock", Algorithm::LinearRegression, "Finance",
+           "Stock price prediction", 8000, 0, 0, "8000", 31, 23, 130503,
+           14.7),
+        mk("texture", Algorithm::LinearRegression, "Image Processing",
+           "Image texture recognition", 16384, 0, 0, "16384", 64, 23,
+           77461, 17.9),
+        mk("tumor", Algorithm::LogisticRegression, "Medical Diagnosis",
+           "Tumor classification using gene expression microarray", 2000,
+           0, 0, "2000", 8, 22, 387944, 10.4),
+        mk("cancer1", Algorithm::LogisticRegression, "Medical Diagnosis",
+           "Prostate cancer diagnosis based on the gene expressions",
+           6033, 0, 0, "6033", 24, 22, 167219, 13.5),
+        mk("movielens", Algorithm::CollaborativeFiltering,
+           "Recommender System", "Movielens recommender system", 30101,
+           10, 0, "301010", 1176, 42, 24404096, 0.6),
+        mk("netflix", Algorithm::CollaborativeFiltering,
+           "Recommender System", "Netflix recommender system", 73066, 10,
+           0, "730660", 2854, 42, 100498287, 2.0),
+        mk("face", Algorithm::Svm, "Computer Vision",
+           "Human face detection", 1740, 0, 0, "1740", 7, 27, 678392,
+           15.9),
+        mk("cancer2", Algorithm::Svm, "Medical Diagnosis",
+           "Cancer diagnosis based on the gene expressions", 7129, 0, 0,
+           "7129", 28, 27, 208444, 20.0),
+    };
+}
+
+} // namespace
+
+int64_t
+Workload::scaled1(double scale) const
+{
+    return scaleDim(d1, scale);
+}
+
+int64_t
+Workload::scaled2(double scale) const
+{
+    return scaleDim(d2, scale);
+}
+
+int64_t
+Workload::scaled3(double scale) const
+{
+    return scaleDim(d3, scale);
+}
+
+std::string
+Workload::dslSource(double scale) const
+{
+    switch (algorithm) {
+      case Algorithm::Backpropagation:
+        return templates::mlp(scaled1(scale), scaled2(scale),
+                              scaled3(scale), minibatch);
+      case Algorithm::LinearRegression:
+        return templates::linearRegression(scaled1(scale), minibatch);
+      case Algorithm::LogisticRegression:
+        return templates::logisticRegression(scaled1(scale),
+                                             minibatch);
+      case Algorithm::CollaborativeFiltering:
+        return templates::collaborativeFiltering(
+            scaled1(scale), scaled2(scale), minibatch);
+      case Algorithm::Svm:
+        return templates::svm(scaled1(scale), minibatch);
+    }
+    COSMIC_FATAL("unknown algorithm");
+}
+
+const std::vector<Workload> &
+Workload::suite()
+{
+    static const std::vector<Workload> suite = makeSuite();
+    return suite;
+}
+
+const Workload &
+Workload::byName(const std::string &name)
+{
+    for (const auto &w : suite())
+        if (w.name == name)
+            return w;
+    COSMIC_FATAL("unknown benchmark '" << name << "'");
+}
+
+} // namespace cosmic::ml

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 1) as parameterized DSL programs.
+ *
+ * Ten benchmarks train two models with each of five algorithms:
+ * backpropagation (mnist, acoustic), linear regression (stock, texture),
+ * logistic regression (tumor, cancer1), collaborative filtering
+ * (movielens, netflix), and support vector machines (face, cancer2).
+ *
+ * Each workload carries its Table 1 characteristics (feature count,
+ * topology, dataset size) and generates its DSL source at full scale or
+ * at a reduced `scale` for fast tests. The original datasets are
+ * proprietary or large; the synthetic generators in dataset.h produce
+ * learnable data of the same shapes (see DESIGN.md, substitutions).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosmic::ml {
+
+/** The five training algorithms of the suite. */
+enum class Algorithm
+{
+    Backpropagation,
+    LinearRegression,
+    LogisticRegression,
+    CollaborativeFiltering,
+    Svm,
+};
+
+std::string algorithmName(Algorithm a);
+
+/** One benchmark of the suite with its Table 1 metadata. */
+struct Workload
+{
+    std::string name;
+    Algorithm algorithm = Algorithm::LinearRegression;
+    std::string domain;
+    std::string description;
+
+    /** Shape parameters (meaning depends on the algorithm):
+     *  - backprop: d1 = inputs, d2 = hidden units, d3 = outputs;
+     *  - linear/logistic/svm: d1 = features;
+     *  - collaborative filtering: d1 = items, d2 = latent rank. */
+    int64_t d1 = 0;
+    int64_t d2 = 0;
+    int64_t d3 = 0;
+
+    // --- Table 1 reporting fields (full scale) ---
+    std::string topology;
+    int64_t modelKB = 0;
+    int linesOfCode = 0;
+    int64_t numVectors = 0;
+    double dataGB = 0.0;
+
+    int64_t minibatch = 10000;
+
+    /**
+     * Generates the benchmark's DSL source.
+     *
+     * @param scale Divides the large dimensions (>= 64) by this factor;
+     *        1.0 reproduces the paper's shapes, larger values give fast
+     *        test-sized programs with identical structure.
+     */
+    std::string dslSource(double scale = 1.0) const;
+
+    /** Scaled shape parameters as used by dslSource. */
+    int64_t scaled1(double scale = 1.0) const;
+    int64_t scaled2(double scale = 1.0) const;
+    int64_t scaled3(double scale = 1.0) const;
+
+    /** The ten paper benchmarks in Table 1 order. */
+    static const std::vector<Workload> &suite();
+
+    /** Looks up a suite benchmark by name; throws if unknown. */
+    static const Workload &byName(const std::string &name);
+};
+
+} // namespace cosmic::ml

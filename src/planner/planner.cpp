@@ -1,0 +1,138 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "dfg/analysis.h"
+
+namespace cosmic::planner {
+
+using accel::AcceleratorPlan;
+using accel::PlatformSpec;
+
+int64_t
+Planner::maxThreads(const dfg::Translation &tr,
+                    const PlatformSpec &platform)
+{
+    int64_t storage_bytes =
+        4 * dfg::storageWords(tr.dfg, tr.recordWords, tr.modelWords);
+    COSMIC_ASSERT(storage_bytes > 0, "empty DFG storage footprint");
+    int64_t by_storage = platform.bramBytes / storage_bytes;
+    int64_t t_max = std::min<int64_t>(
+        {std::max<int64_t>(by_storage, 1), platform.maxRows,
+         tr.minibatch});
+    return std::max<int64_t>(t_max, 1);
+}
+
+std::vector<std::pair<int, int>>
+Planner::enumerateDesignPoints(const PlatformSpec &platform, int64_t t_max)
+{
+    std::vector<std::pair<int, int>> points;
+    for (int rows = 1; rows <= platform.maxRows; ++rows) {
+        if (platform.maxRows % rows != 0)
+            continue;
+        for (int threads = 1;
+             threads <= t_max && threads * rows <= platform.maxRows;
+             threads *= 2) {
+            points.emplace_back(threads, rows);
+        }
+    }
+    return points;
+}
+
+AcceleratorPlan
+Planner::makePlan(const dfg::Translation &tr,
+                  const PlatformSpec &platform, int threads,
+                  int rows_per_thread)
+{
+    COSMIC_ASSERT(threads >= 1 && rows_per_thread >= 1,
+                  "degenerate design point");
+    AcceleratorPlan plan;
+    plan.platform = platform;
+    plan.columns = platform.columns;
+    plan.rowsPerThread = rows_per_thread;
+    plan.threads = threads;
+
+    const int64_t pes = plan.pesPerThread();
+    auto per_pe = [pes](int64_t words) {
+        return (words + pes - 1) / pes + 1;
+    };
+    // Double-buffered data (prefetch), the thread's model copy, and the
+    // interim high-water mark, spread over the thread's PEs.
+    plan.dataBufWordsPerPe = per_pe(2 * tr.recordWords);
+    plan.modelBufWordsPerPe = per_pe(tr.modelWords);
+    plan.interimBufWordsPerPe = per_pe(dfg::maxLiveInterim(tr.dfg));
+    return plan;
+}
+
+PlanResult
+Planner::plan(const dfg::Translation &tr, const PlatformSpec &platform,
+              const compiler::CompileOptions &options,
+              bool prune_small_rows)
+{
+    PlanResult result;
+    result.maxThreadsBound = maxThreads(tr, platform);
+    auto points = enumerateDesignPoints(platform, result.maxThreadsBound);
+    COSMIC_ASSERT(!points.empty(), "no design points to explore");
+
+    // For very large DFGs (millions of operations), points with few
+    // rows per thread cannot win — the thread count is capped by the
+    // model's storage footprint, so narrow threads just starve the DFG
+    // of PEs — and they are the most expensive to schedule. Prune them
+    // to keep full exploration in the paper's minutes-not-hours range.
+    if (prune_small_rows && tr.dfg.size() > 1000000) {
+        int min_rows = std::max(1, platform.maxRows / 8);
+        std::erase_if(points, [&](const std::pair<int, int> &p) {
+            return p.second < min_rows;
+        });
+        COSMIC_ASSERT(!points.empty(), "pruning removed all points");
+    }
+
+    // The schedule depends only on the thread's PE sub-array, i.e. on
+    // rows-per-thread — compile once per distinct row count.
+    std::map<int, compiler::CompiledKernel> kernels_by_rows;
+
+    double best_throughput = -1.0;
+    int64_t best_pes = 0;
+    for (const auto &[threads, rows] : points) {
+        AcceleratorPlan plan = makePlan(tr, platform, threads, rows);
+        auto it = kernels_by_rows.find(rows);
+        if (it == kernels_by_rows.end()) {
+            it = kernels_by_rows
+                     .emplace(rows,
+                              compiler::KernelCompiler::compile(
+                                  tr, plan, options))
+                     .first;
+        }
+        accel::PerfEstimator perf(tr, it->second, plan);
+        accel::BatchTime batch = perf.batchTime(tr.minibatch);
+
+        DesignPoint point;
+        point.threads = threads;
+        point.rowsPerThread = rows;
+        point.cyclesPerRecord = perf.cyclesPerRecordPerThread();
+        point.recordsPerSecond = tr.minibatch / batch.totalSec();
+        point.memoryBound = perf.memoryBound();
+        result.explored.push_back(point);
+
+        // "Smallest, best-performing": strictly better throughput wins;
+        // a tie (within 0.5%) goes to the design with fewer PEs.
+        double throughput = point.recordsPerSecond;
+        int64_t pes = plan.totalPes();
+        bool better = throughput > best_throughput * 1.005;
+        bool tied_smaller = throughput > best_throughput * 0.995 &&
+                            best_pes > 0 && pes < best_pes;
+        if (better || tied_smaller) {
+            best_throughput = std::max(throughput, best_throughput);
+            best_pes = pes;
+            result.plan = plan;
+            result.chosenIndex = result.explored.size() - 1;
+        }
+    }
+
+    result.kernel = kernels_by_rows.at(result.plan.rowsPerThread);
+    return result;
+}
+
+} // namespace cosmic::planner

@@ -1,0 +1,96 @@
+#include "system/aggregation.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.h"
+
+namespace cosmic::sys {
+
+AggregationEngine::AggregationEngine(const AggregationConfig &config)
+    : config_(config), netPool_(config.networkingThreads),
+      aggPool_(config.aggregationThreads), ring_(config.ringCapacity),
+      stripes_(64)
+{
+    COSMIC_ASSERT(config.chunkWords > 0, "chunk size must be positive");
+}
+
+AggregationEngine::~AggregationEngine()
+{
+    ring_.close();
+}
+
+void
+AggregationEngine::begin(int senders, int64_t words)
+{
+    COSMIC_ASSERT(senders >= 0 && words > 0, "bad aggregation round");
+    aggBuffer_.assign(words, 0.0);
+    stripeWords_ = std::max<size_t>(
+        config_.chunkWords,
+        (words + stripes_.size() - 1) / stripes_.size());
+    std::lock_guard<std::mutex> lock(doneMutex_);
+    wordsRemaining_ = static_cast<int64_t>(senders) * words;
+}
+
+void
+AggregationEngine::onMessage(Message msg)
+{
+    COSMIC_ASSERT(msg.payload.size() == aggBuffer_.size(),
+                  "partial update width " << msg.payload.size()
+                  << " does not match aggregation buffer "
+                  << aggBuffer_.size());
+    // Networking pool: copy the "socket" data into the circular buffer
+    // chunk by chunk; each produced chunk wakes one aggregation task.
+    auto shared = std::make_shared<Message>(std::move(msg));
+    netPool_.submit([this, shared] {
+        const auto &payload = shared->payload;
+        for (size_t off = 0; off < payload.size();
+             off += config_.chunkWords) {
+            Chunk chunk;
+            chunk.sender = shared->from;
+            chunk.offset = static_cast<int64_t>(off);
+            size_t n = std::min(config_.chunkWords,
+                                payload.size() - off);
+            chunk.values.assign(payload.begin() + off,
+                                payload.begin() + off + n);
+            ring_.push(std::move(chunk));
+            aggPool_.submit([this] { accumulateOneChunk(); });
+        }
+    });
+}
+
+void
+AggregationEngine::accumulateOneChunk()
+{
+    Chunk chunk;
+    if (!ring_.pop(chunk))
+        return;
+    const size_t stripe =
+        (static_cast<size_t>(chunk.offset) / stripeWords_) %
+        stripes_.size();
+    {
+        std::lock_guard<std::mutex> lock(stripes_[stripe]);
+        for (size_t i = 0; i < chunk.values.size(); ++i)
+            aggBuffer_[chunk.offset + i] += chunk.values[i];
+    }
+    {
+        std::lock_guard<std::mutex> lock(doneMutex_);
+        wordsRemaining_ -= static_cast<int64_t>(chunk.values.size());
+        if (wordsRemaining_ <= 0)
+            doneCv_.notify_all();
+    }
+}
+
+std::vector<double>
+AggregationEngine::finish()
+{
+    std::unique_lock<std::mutex> lock(doneMutex_);
+    doneCv_.wait(lock, [&] { return wordsRemaining_ <= 0; });
+    lock.unlock();
+    // Both pools are quiescent for this round once every word landed.
+    netPool_.waitIdle();
+    aggPool_.waitIdle();
+    return aggBuffer_;
+}
+
+} // namespace cosmic::sys

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Sigma node's aggregation engine (paper Fig. 2).
+ *
+ * Wiring: the Incoming Network Handler (the caller's receive loop — our
+ * epoll analog) hands each received partial update to onMessage(). A
+ * networking-pool thread copies it out of the "socket" into the bounded
+ * Circular Buffer in chunks; for each produced chunk an aggregation-
+ * pool task consumes one chunk and folds it into the Aggregation
+ * Buffer. Networking threads are the producers, aggregation threads
+ * the consumers, and the bounded ring lets communication overlap with
+ * computation while capping memory.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "system/channel.h"
+#include "system/circular_buffer.h"
+#include "system/thread_pool.h"
+
+namespace cosmic::sys {
+
+/** Configuration of one aggregation engine. */
+struct AggregationConfig
+{
+    int networkingThreads = 2;
+    int aggregationThreads = 2;
+    /** Chunks in flight in the circular buffer. */
+    size_t ringCapacity = 16;
+    /** Words per chunk the networking threads produce. */
+    size_t chunkWords = 1024;
+};
+
+/** Concurrent sum-aggregator for fixed-width vectors. */
+class AggregationEngine
+{
+  public:
+    explicit AggregationEngine(const AggregationConfig &config);
+    ~AggregationEngine();
+
+    /**
+     * Arms the engine for one round: @p senders vectors of @p words
+     * words each will arrive via onMessage.
+     */
+    void begin(int senders, int64_t words);
+
+    /** Dispatches one received partial update into the pipeline. */
+    void onMessage(Message msg);
+
+    /**
+     * Blocks until every expected word has been aggregated and returns
+     * the summed vector.
+     */
+    std::vector<double> finish();
+
+    /** Ring high-water mark (observability). */
+    size_t ringHighWater() const { return ring_.highWater(); }
+
+  private:
+    void accumulateOneChunk();
+
+    AggregationConfig config_;
+    ThreadPool netPool_;
+    ThreadPool aggPool_;
+    CircularBuffer ring_;
+
+    std::vector<double> aggBuffer_;
+    /** Striped locks over aggBuffer_ regions (one per chunk slot). */
+    std::vector<std::mutex> stripes_;
+    size_t stripeWords_ = 1;
+
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    int64_t wordsRemaining_ = 0;
+};
+
+} // namespace cosmic::sys

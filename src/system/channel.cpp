@@ -1,0 +1,55 @@
+#include "system/channel.h"
+
+namespace cosmic::sys {
+
+void
+Channel::send(Message msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(msg));
+    }
+    available_.notify_one();
+}
+
+bool
+Channel::receive(Message &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+bool
+Channel::tryReceive(Message &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+bool
+Channel::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !queue_.empty();
+}
+
+void
+Channel::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    available_.notify_all();
+}
+
+} // namespace cosmic::sys

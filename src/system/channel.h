@@ -1,0 +1,62 @@
+/**
+ * @file
+ * In-process message channels standing in for TCP sockets.
+ *
+ * The paper's nodes exchange partial updates over commodity TCP/IP; our
+ * single-process cluster exchanges them over bounded-unbounded MPSC
+ * channels with the same blocking semantics. A node's inbox Channel is
+ * what the Sigma node's Incoming Network Handler "epolls": receive()
+ * blocks until a message (or close) arrives, pending() is the readiness
+ * probe.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace cosmic::sys {
+
+/** One network message: a partial update (or broadcast model). */
+struct Message
+{
+    /** Sending node id. */
+    int from = -1;
+    /** Iteration sequence number (guards against phase mixing). */
+    uint64_t seq = 0;
+    /** Flattened vector payload (model or partial update). */
+    std::vector<double> payload;
+};
+
+/** Thread-safe multi-producer single-consumer message queue. */
+class Channel
+{
+  public:
+    /** Enqueues a message; never blocks (the switch buffers). */
+    void send(Message msg);
+
+    /**
+     * Dequeues the next message, blocking until one is available.
+     * @return false when the channel is closed and drained.
+     */
+    bool receive(Message &out);
+
+    /** Non-blocking receive. */
+    bool tryReceive(Message &out);
+
+    /** True when a message is waiting (the epoll readiness analog). */
+    bool pending() const;
+
+    /** Closes the channel; receivers drain and then get false. */
+    void close();
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<Message> queue_;
+    bool closed_ = false;
+};
+
+} // namespace cosmic::sys

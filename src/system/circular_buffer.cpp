@@ -1,0 +1,69 @@
+#include "system/circular_buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosmic::sys {
+
+CircularBuffer::CircularBuffer(size_t capacity) : ring_(capacity)
+{
+    COSMIC_ASSERT(capacity > 0, "circular buffer needs capacity");
+}
+
+void
+CircularBuffer::push(Chunk chunk)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock,
+                  [&] { return count_ < ring_.size() || closed_; });
+    if (closed_)
+        return;
+    ring_[(head_ + count_) % ring_.size()] = std::move(chunk);
+    ++count_;
+    highWater_ = std::max(highWater_, count_);
+    lock.unlock();
+    notEmpty_.notify_one();
+}
+
+bool
+CircularBuffer::pop(Chunk &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0)
+        return false;
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    lock.unlock();
+    notFull_.notify_one();
+    return true;
+}
+
+void
+CircularBuffer::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+size_t
+CircularBuffer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+size_t
+CircularBuffer::highWater() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return highWater_;
+}
+
+} // namespace cosmic::sys

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The bounded circular buffer between networking and aggregation.
+ *
+ * Paper Sec. 3 / Fig. 2: networking threads copy received partial
+ * updates out of the socket in chunks and produce them into a Circular
+ * Buffer; aggregation threads consume chunks and fold them into the
+ * Aggregation Buffer. The bounded ring keeps memory small while letting
+ * communication and computation overlap.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cosmic::sys {
+
+/** One chunk of a partial update in flight. */
+struct Chunk
+{
+    /** Originating node. */
+    int sender = -1;
+    /** Word offset of this chunk within the full vector. */
+    int64_t offset = 0;
+    std::vector<double> values;
+};
+
+/** Fixed-capacity blocking ring of chunks. */
+class CircularBuffer
+{
+  public:
+    /** @param capacity Maximum chunks in flight. */
+    explicit CircularBuffer(size_t capacity);
+
+    /** Produces a chunk, blocking while the ring is full. */
+    void push(Chunk chunk);
+
+    /**
+     * Consumes the oldest chunk, blocking until one is available.
+     * @return false once closed and drained.
+     */
+    bool pop(Chunk &out);
+
+    /** Closes the ring; producers must stop, consumers drain. */
+    void close();
+
+    size_t capacity() const { return ring_.size(); }
+    size_t size() const;
+
+    /** High-water mark of occupancy (observability for tests). */
+    size_t highWater() const;
+
+  private:
+    std::vector<Chunk> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    size_t highWater_ = 0;
+    bool closed_ = false;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+};
+
+} // namespace cosmic::sys

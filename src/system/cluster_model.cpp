@@ -1,0 +1,87 @@
+#include "system/cluster_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "system/director.h"
+
+namespace cosmic::sys {
+
+CosmicClusterModel::CosmicClusterModel(const ClusterModelConfig &config,
+                                       int64_t model_bytes)
+    : config_(config), modelBytes_(model_bytes)
+{
+    COSMIC_ASSERT(config_.nodes >= 1, "cluster needs nodes");
+    groups_ = config_.groups > 0
+                  ? config_.groups
+                  : SystemDirector::defaultGroups(config_.nodes);
+    COSMIC_ASSERT(groups_ <= config_.nodes, "more groups than nodes");
+}
+
+int
+CosmicClusterModel::largestGroup() const
+{
+    return (config_.nodes + groups_ - 1) / groups_;
+}
+
+double
+CosmicClusterModel::ingestSec(int flows, double &net_part,
+                              double &agg_part) const
+{
+    if (flows <= 0)
+        return 0.0;
+    // The Sigma node's downlink serializes the incoming updates; the
+    // aggregation pool folds chunks as they land in the circular
+    // buffer, so the visible time is the larger of the two, plus the
+    // per-flow dispatch costs and one link latency.
+    double network = flows * modelBytes_ /
+                         config_.host.nicBandwidthBytesPerSec +
+                     flows * config_.perMessageOverheadSec +
+                     config_.host.nicLatencySec;
+    double aggregation = flows * modelBytes_ /
+                         config_.aggThroughputBytesPerSec;
+    net_part += network;
+    agg_part += std::max(0.0, aggregation - network);
+    return std::max(network, aggregation);
+}
+
+IterationBreakdown
+CosmicClusterModel::iteration(double node_compute_sec) const
+{
+    IterationBreakdown b;
+    b.computeSec = node_compute_sec;
+    b.overheadSec = config_.perIterationOverheadSec;
+
+    double net = 0.0;
+    double agg = 0.0;
+
+    // Level 1: every group's Sigma ingests its members in parallel
+    // across groups — the largest group dominates.
+    int members = largestGroup() - 1;
+    ingestSec(members, net, agg);
+
+    // Level 2: the master ingests the other group Sigmas.
+    ingestSec(groups_ - 1, net, agg);
+
+    // Broadcast: the master's uplink serializes the sends to the other
+    // group Sigmas, then each Sigma fans out to its members (groups in
+    // parallel).
+    double bcast = 0.0;
+    if (groups_ > 1) {
+        bcast += (groups_ - 1) * modelBytes_ /
+                     config_.host.nicBandwidthBytesPerSec +
+                 config_.host.nicLatencySec;
+    }
+    if (members > 0) {
+        bcast += members * modelBytes_ /
+                     config_.host.nicBandwidthBytesPerSec +
+                 config_.host.nicLatencySec;
+    }
+    net += bcast;
+
+    b.networkSec = net;
+    b.aggregationSec = agg;
+    return b;
+}
+
+} // namespace cosmic::sys

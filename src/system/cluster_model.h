@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytic performance model of the scale-out CoSMIC system.
+ *
+ * This is the substitution for the paper's physical EC2/local clusters
+ * (see DESIGN.md): per-iteration time is assembled from the
+ * accelerator's batch time (exact, from the static schedule), the
+ * hierarchical Sigma aggregation (network ingest overlapped with
+ * CPU aggregation through the circular buffers), the model broadcast
+ * down the hierarchy, and fixed per-iteration system costs.
+ *
+ * All scale-out figures (7, 8, 9, 11, 12, 13, 14) are generated from
+ * this model plus the baseline models in src/baselines/.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "accel/platform.h"
+
+namespace cosmic::sys {
+
+/** Where one iteration's wall-clock time goes. */
+struct IterationBreakdown
+{
+    /** Partial-update computation (all nodes in parallel). */
+    double computeSec = 0.0;
+    /** Serialized network transfer (partial updates + broadcast). */
+    double networkSec = 0.0;
+    /** CPU aggregation time not hidden behind the network. */
+    double aggregationSec = 0.0;
+    /** Fixed system costs: epoll dispatch, invocation, sync. */
+    double overheadSec = 0.0;
+
+    double
+    totalSec() const
+    {
+        return computeSec + networkSec + aggregationSec + overheadSec;
+    }
+};
+
+/** Knobs of the CoSMIC system-software model. */
+struct ClusterModelConfig
+{
+    int nodes = 4;
+    /** 0 = Director default (nodes/4, min 1). */
+    int groups = 0;
+    accel::HostSpec host;
+
+    /** Multi-threaded CPU summation throughput (aggregation pool). */
+    double aggThroughputBytesPerSec = 4.0e9;
+    /** Per-flow cost: epoll wakeup, dispatch, socket bookkeeping. */
+    double perMessageOverheadSec = 150e-6;
+    /** Per-iteration cost: accelerator invocation over PCIe, the
+     *  epoll dispatch rounds, and the end-of-iteration barrier. */
+    double perIterationOverheadSec = 3e-3;
+};
+
+/** Hierarchical-aggregation timing of the CoSMIC runtime. */
+class CosmicClusterModel
+{
+  public:
+    /**
+     * @param model_bytes Size of one partial update on the wire.
+     */
+    CosmicClusterModel(const ClusterModelConfig &config,
+                       int64_t model_bytes);
+
+    /**
+     * One synchronous iteration given each node computes its partial
+     * update in @p node_compute_sec.
+     */
+    IterationBreakdown iteration(double node_compute_sec) const;
+
+    int effectiveGroups() const { return groups_; }
+    /** Size of the largest group (nodes, Sigma included). */
+    int largestGroup() const;
+
+  private:
+    /** Ingest of @p flows updates overlapped with their aggregation. */
+    double ingestSec(int flows, double &net_part,
+                     double &agg_part) const;
+
+    ClusterModelConfig config_;
+    int64_t modelBytes_;
+    int groups_;
+};
+
+} // namespace cosmic::sys

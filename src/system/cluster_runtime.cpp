@@ -1,0 +1,253 @@
+#include "system/cluster_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "dsl/parser.h"
+
+namespace cosmic::sys {
+
+namespace {
+
+dfg::Translation
+translateWorkload(const ml::Workload &workload, double scale)
+{
+    auto program = dsl::Parser::parse(workload.dslSource(scale));
+    return dfg::Translator::translate(program);
+}
+
+} // namespace
+
+ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
+                               const ClusterConfig &config)
+    : workload_(workload), scale_(scale), config_(config),
+      translation_(translateWorkload(workload, scale)),
+      topology_(SystemDirector::assign(
+          config.nodes, config.groups > 0
+                            ? config.groups
+                            : SystemDirector::defaultGroups(config.nodes))),
+      reference_(workload_, scale)
+{
+    Rng rng(config_.seed);
+    NodeComputeConfig node_config;
+    node_config.acceleratorThreads = config_.acceleratorThreadsPerNode;
+    node_config.learningRate = config_.learningRate;
+
+    // One synthesis call so every partition (and the holdout) shares
+    // the same hidden ground-truth model.
+    int64_t holdout_count =
+        std::min<int64_t>(128, config_.recordsPerNode);
+    auto full = ml::DatasetGenerator::generate(
+        workload_, scale_,
+        config_.nodes * config_.recordsPerNode + holdout_count, rng);
+
+    for (int i = 0; i < config_.nodes; ++i) {
+        nodes_.push_back(std::make_unique<TrainingNode>(
+            translation_,
+            full.partition(i * config_.recordsPerNode,
+                           config_.recordsPerNode),
+            node_config));
+        inboxes_.push_back(std::make_unique<Channel>());
+    }
+
+    engines_.resize(config_.nodes);
+    for (const auto &n : topology_.nodes) {
+        if (n.role != NodeRole::Delta)
+            engines_[n.id] =
+                std::make_unique<AggregationEngine>(config_.aggregation);
+    }
+
+    holdout_ = full.partition(config_.nodes * config_.recordsPerNode,
+                              holdout_count);
+}
+
+ClusterRuntime::~ClusterRuntime()
+{
+    for (auto &inbox : inboxes_)
+        inbox->close();
+}
+
+std::vector<double>
+ClusterRuntime::runIteration(const std::vector<double> &model,
+                             uint64_t seq, double *max_compute_sec)
+{
+    const int n = config_.nodes;
+    const int64_t words = translation_.modelWords;
+    const int master = topology_.masterId();
+    std::vector<double> new_model;
+    std::vector<std::thread> threads;
+    std::vector<double> compute_sec(config_.nodes, 0.0);
+
+    for (const auto &assign : topology_.nodes) {
+        threads.emplace_back([&, assign] {
+            if (config_.maxStragglerDelayMs > 0.0) {
+                // Deterministic injected skew (failure-injection mode).
+                Rng jitter(config_.seed ^
+                           (static_cast<uint64_t>(assign.id) << 32) ^
+                           seq);
+                auto delay = std::chrono::microseconds(
+                    static_cast<int64_t>(
+                        jitter.uniform(0.0,
+                                       config_.maxStragglerDelayMs) *
+                        1000.0));
+                std::this_thread::sleep_for(delay);
+            }
+            TrainingNode &node = *nodes_[assign.id];
+            auto compute_start = std::chrono::steady_clock::now();
+            std::vector<double> update =
+                config_.mode == TrainingMode::ModelAveraging
+                    ? node.computeLocalUpdate(model,
+                                              config_.minibatchPerNode)
+                    : node.computeGradientSum(
+                          model, config_.minibatchPerNode);
+            compute_sec[assign.id] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - compute_start)
+                    .count();
+
+            switch (assign.role) {
+              case NodeRole::Delta: {
+                // Ship theta_i to the group's Sigma, then wait for the
+                // broadcast of the new global model.
+                inboxes_[assign.parent]->send(
+                    Message{assign.id, seq, std::move(update)});
+                Message bcast;
+                bool ok = inboxes_[assign.id]->receive(bcast);
+                COSMIC_ASSERT(ok && bcast.seq == seq,
+                              "broadcast lost on node " << assign.id);
+                break;
+              }
+              case NodeRole::GroupSigma: {
+                // First level of the hierarchy: aggregate the group.
+                auto members = topology_.groupMembers(assign.group);
+                AggregationEngine &engine = *engines_[assign.id];
+                engine.begin(static_cast<int>(members.size()), words);
+                for (size_t m = 0; m < members.size(); ++m) {
+                    Message msg;
+                    bool ok = inboxes_[assign.id]->receive(msg);
+                    COSMIC_ASSERT(ok && msg.seq == seq,
+                                  "partial update lost at sigma "
+                                      << assign.id);
+                    engine.onMessage(std::move(msg));
+                }
+                std::vector<double> sum = engine.finish();
+                for (int64_t i = 0; i < words; ++i)
+                    sum[i] += update[i];
+                inboxes_[master]->send(
+                    Message{assign.id, seq, std::move(sum)});
+
+                // Wait for the master's broadcast, forward to members.
+                Message bcast;
+                bool ok = inboxes_[assign.id]->receive(bcast);
+                COSMIC_ASSERT(ok && bcast.seq == seq,
+                              "broadcast lost at sigma " << assign.id);
+                for (int member : members)
+                    inboxes_[member]->send(
+                        Message{assign.id, seq, bcast.payload});
+                break;
+              }
+              case NodeRole::MasterSigma: {
+                // The master folds its own group members and the other
+                // group Sigmas into a single order-independent round.
+                auto members = topology_.groupMembers(assign.group);
+                auto sigmas = topology_.nonMasterSigmas();
+                int expected =
+                    static_cast<int>(members.size() + sigmas.size());
+                AggregationEngine &engine = *engines_[assign.id];
+                engine.begin(expected, words);
+                for (int m = 0; m < expected; ++m) {
+                    Message msg;
+                    bool ok = inboxes_[assign.id]->receive(msg);
+                    COSMIC_ASSERT(ok && msg.seq == seq,
+                                  "partial update lost at master");
+                    engine.onMessage(std::move(msg));
+                }
+                std::vector<double> sum = engine.finish();
+                for (int64_t i = 0; i < words; ++i)
+                    sum[i] += update[i];
+                if (config_.mode == TrainingMode::ModelAveraging) {
+                    // Eq. 3b: the average of the nodes' local updates.
+                    for (auto &v : sum)
+                        v /= n;
+                    new_model = sum;
+                } else {
+                    // Batched GD: one step on the aggregated gradient,
+                    // normalized per the program's aggregation operator
+                    // (average over the global batch, or raw sum).
+                    double divisor =
+                        translation_.aggregator ==
+                                dsl::Aggregator::Average
+                            ? static_cast<double>(n) *
+                                  config_.minibatchPerNode
+                            : 1.0;
+                    new_model = model;
+                    for (int64_t i = 0; i < words; ++i)
+                        new_model[i] -= config_.learningRate *
+                                        sum[i] / divisor;
+                }
+
+                // Broadcast down the hierarchy.
+                for (int sigma : sigmas)
+                    inboxes_[sigma]->send(
+                        Message{assign.id, seq, new_model});
+                for (int member : members)
+                    inboxes_[member]->send(
+                        Message{assign.id, seq, new_model});
+                break;
+              }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    COSMIC_ASSERT(!new_model.empty(), "master produced no model");
+    if (max_compute_sec) {
+        *max_compute_sec = 0.0;
+        for (double s : compute_sec)
+            *max_compute_sec = std::max(*max_compute_sec, s);
+    }
+    return new_model;
+}
+
+TrainingReport
+ClusterRuntime::train(int epochs)
+{
+    TrainingReport report;
+    report.topology = topology_;
+
+    Rng rng(config_.seed + 1);
+    std::vector<double> model =
+        ml::DatasetGenerator::initialModel(workload_, scale_, rng);
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) ==
+                      translation_.modelWords,
+                  "initial model does not match the translation layout");
+
+    report.epochLoss.push_back(reference_.meanLoss(
+        holdout_.data, holdout_.count, model));
+
+    int64_t iters_per_epoch =
+        (config_.recordsPerNode + config_.minibatchPerNode - 1) /
+        config_.minibatchPerNode;
+    uint64_t seq = 0;
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t i = 0; i < iters_per_epoch; ++i) {
+            auto start = std::chrono::steady_clock::now();
+            double max_compute = 0.0;
+            model = runIteration(model, seq++, &max_compute);
+            report.iterationSeconds.push_back(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            report.maxNodeComputeSeconds.push_back(max_compute);
+        }
+        report.epochLoss.push_back(reference_.meanLoss(
+            holdout_.data, holdout_.count, model));
+    }
+    report.iterations = static_cast<int>(seq);
+    report.finalModel = std::move(model);
+    return report;
+}
+
+} // namespace cosmic::sys

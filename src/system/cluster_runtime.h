@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The functional scale-out training runtime.
+ *
+ * This is the whole CoSMIC system software running in one process: the
+ * System Director assigns Sigma/Delta roles, every node runs on its own
+ * thread, partial updates travel over channels (the "sockets"), Sigma
+ * nodes aggregate through their networking/aggregation thread pools and
+ * circular buffers, and the master broadcasts the new model down the
+ * hierarchy. Training demonstrably converges — the convergence tests
+ * ride on this runtime.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dfg/translator.h"
+#include "ml/dataset.h"
+#include "ml/reference.h"
+#include "ml/workloads.h"
+#include "system/aggregation.h"
+#include "system/channel.h"
+#include "system/director.h"
+#include "system/training_node.h"
+
+namespace cosmic::sys {
+
+/** Which parallel-SGD variant the cluster runs (paper Sec. 2.2). */
+enum class TrainingMode
+{
+    /** Parallelized SGD [Zinkevich et al.]: each node runs local SGD
+     *  and the Sigma hierarchy averages the models (Eq. 3). */
+    ModelAveraging,
+    /** Batched gradient descent [Dekel et al.]: nodes accumulate raw
+     *  gradients at the frozen model; the master applies one step on
+     *  the aggregate. */
+    BatchedGradient,
+};
+
+/** Scale-out training configuration. */
+struct ClusterConfig
+{
+    TrainingMode mode = TrainingMode::ModelAveraging;
+    int nodes = 4;
+    /** 0 = let the Director pick (nodes/4, min 1). */
+    int groups = 0;
+    int acceleratorThreadsPerNode = 2;
+    double learningRate = 0.05;
+    /** Mini-batch size b per node per iteration (Eq. 3a). */
+    int64_t minibatchPerNode = 64;
+    /** Records synthesized per node partition. */
+    int64_t recordsPerNode = 256;
+    uint64_t seed = 0x5eed;
+    AggregationConfig aggregation;
+
+    /**
+     * Failure/straggler injection: each node sleeps a deterministic
+     * pseudo-random amount up to this bound before computing its
+     * partial update. Training results must not change — the
+     * synchronous aggregation protocol tolerates arbitrary skew — and
+     * the tests assert exactly that.
+     */
+    double maxStragglerDelayMs = 0.0;
+};
+
+/** Result of a training run. */
+struct TrainingReport
+{
+    /** Mean loss on a held-out sample after each epoch (index 0 is the
+     *  initial model's loss). */
+    std::vector<double> epochLoss;
+    std::vector<double> finalModel;
+    int iterations = 0;
+    ClusterTopology topology;
+
+    /** Wall-clock seconds per iteration (observability). */
+    std::vector<double> iterationSeconds;
+    /** Slowest node's partial-update compute time per iteration —
+     *  with straggler injection this is where the skew shows up. */
+    std::vector<double> maxNodeComputeSeconds;
+};
+
+/** Orchestrates distributed training of one workload. */
+class ClusterRuntime
+{
+  public:
+    /**
+     * Builds the cluster: parses and translates the workload's DSL
+     * program, synthesizes per-node partitions, and assigns roles.
+     *
+     * @param scale Dimension scale-down factor for fast runs.
+     */
+    ClusterRuntime(const ml::Workload &workload, double scale,
+                   const ClusterConfig &config);
+    ~ClusterRuntime();
+
+    /** Runs @p epochs epochs of parallelized SGD; returns the report. */
+    TrainingReport train(int epochs);
+
+    /** One synchronous iteration over the hierarchy; returns the new
+     *  globally aggregated model. Exposed for tests.
+     *  @param max_compute_sec Optional out: the slowest node's
+     *         partial-update compute time. */
+    std::vector<double> runIteration(const std::vector<double> &model,
+                                     uint64_t seq,
+                                     double *max_compute_sec = nullptr);
+
+    const ClusterTopology &topology() const { return topology_; }
+    const dfg::Translation &translation() const { return translation_; }
+
+  private:
+    ml::Workload workload_;
+    double scale_;
+    ClusterConfig config_;
+    dfg::Translation translation_;
+    ClusterTopology topology_;
+    ml::Reference reference_;
+    ml::Dataset holdout_;
+
+    std::vector<std::unique_ptr<TrainingNode>> nodes_;
+    std::vector<std::unique_ptr<Channel>> inboxes_;
+    /** One aggregation engine per Sigma node (indexed by node id). */
+    std::vector<std::unique_ptr<AggregationEngine>> engines_;
+};
+
+} // namespace cosmic::sys

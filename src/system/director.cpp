@@ -1,0 +1,94 @@
+#include "system/director.h"
+
+#include "common/error.h"
+
+namespace cosmic::sys {
+
+std::string
+nodeRoleName(NodeRole role)
+{
+    switch (role) {
+      case NodeRole::MasterSigma: return "master-sigma";
+      case NodeRole::GroupSigma: return "group-sigma";
+      case NodeRole::Delta: return "delta";
+    }
+    return "?";
+}
+
+std::vector<int>
+ClusterTopology::groupMembers(int group) const
+{
+    std::vector<int> members;
+    for (const auto &n : nodes)
+        if (n.group == group && n.role == NodeRole::Delta)
+            members.push_back(n.id);
+    return members;
+}
+
+int
+ClusterTopology::groupSigma(int group) const
+{
+    for (const auto &n : nodes)
+        if (n.group == group && n.role != NodeRole::Delta)
+            return n.id;
+    COSMIC_FATAL("group " << group << " has no sigma node");
+}
+
+std::vector<int>
+ClusterTopology::nonMasterSigmas() const
+{
+    std::vector<int> sigmas;
+    for (const auto &n : nodes)
+        if (n.role == NodeRole::GroupSigma)
+            sigmas.push_back(n.id);
+    return sigmas;
+}
+
+int
+ClusterTopology::masterId() const
+{
+    for (const auto &n : nodes)
+        if (n.role == NodeRole::MasterSigma)
+            return n.id;
+    COSMIC_FATAL("cluster has no master sigma");
+}
+
+ClusterTopology
+SystemDirector::assign(int nodes, int groups)
+{
+    if (nodes <= 0)
+        COSMIC_FATAL("cluster needs at least one node, got " << nodes);
+    if (groups <= 0 || groups > nodes)
+        COSMIC_FATAL("invalid group count " << groups << " for "
+                     << nodes << " nodes");
+
+    ClusterTopology topo;
+    topo.groups = groups;
+    topo.nodes.resize(nodes);
+
+    // Spread nodes over groups as evenly as possible, in id order, so
+    // group g gets the contiguous range [g*base + min(g,extra), ...).
+    int base = nodes / groups;
+    int extra = nodes % groups;
+    int next = 0;
+    for (int g = 0; g < groups; ++g) {
+        int size = base + (g < extra ? 1 : 0);
+        for (int k = 0; k < size; ++k) {
+            NodeAssignment &n = topo.nodes[next];
+            n.id = next;
+            n.group = g;
+            if (k == 0) {
+                n.role = (g == 0) ? NodeRole::MasterSigma
+                                  : NodeRole::GroupSigma;
+                n.parent = (g == 0) ? -1 : 0;
+            } else {
+                n.role = NodeRole::Delta;
+                n.parent = topo.groupSigma(g);
+            }
+            ++next;
+        }
+    }
+    return topo;
+}
+
+} // namespace cosmic::sys

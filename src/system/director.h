@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The System Director: node role assignment and hierarchy.
+ *
+ * Paper Sec. 4.3: the Director assigns each node a role — Delta nodes
+ * compute partial updates; Sigma nodes additionally aggregate for their
+ * group; one master Sigma combines the group aggregates and broadcasts
+ * the new model. Aggregation is hierarchical so no single Sigma node is
+ * overwhelmed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosmic::sys {
+
+/** Role of one node in the scale-out system. */
+enum class NodeRole
+{
+    /** Group aggregator that also combines the group aggregates. */
+    MasterSigma,
+    /** Aggregates the partial updates of its group. */
+    GroupSigma,
+    /** Computes partial updates only. */
+    Delta,
+};
+
+std::string nodeRoleName(NodeRole role);
+
+/** One node's assignment. */
+struct NodeAssignment
+{
+    int id = 0;
+    NodeRole role = NodeRole::Delta;
+    /** Group index this node belongs to. */
+    int group = 0;
+    /** Node id partial updates are sent to (-1 for the master). */
+    int parent = -1;
+};
+
+/** The whole cluster's role map. */
+struct ClusterTopology
+{
+    std::vector<NodeAssignment> nodes;
+    int groups = 0;
+
+    /** Ids of the member nodes (deltas) of a group, sigma excluded. */
+    std::vector<int> groupMembers(int group) const;
+    /** Id of the Sigma node of a group. */
+    int groupSigma(int group) const;
+    /** Ids of all group Sigma nodes except the master. */
+    std::vector<int> nonMasterSigmas() const;
+    int masterId() const;
+};
+
+/** Assigns roles from the system specification. */
+class SystemDirector
+{
+  public:
+    /**
+     * Partitions @p nodes into @p groups groups, appointing node 0 the
+     * master Sigma (it is also group 0's Sigma) and the lowest node id
+     * of each other group its group Sigma; remaining nodes are Deltas.
+     *
+     * @throws CosmicError when groups exceed nodes or either is
+     *         non-positive.
+     */
+    static ClusterTopology assign(int nodes, int groups);
+
+    /** The default grouping used by the paper-style deployments. */
+    static int
+    defaultGroups(int nodes)
+    {
+        return nodes >= 8 ? nodes / 4 : 1;
+    }
+};
+
+} // namespace cosmic::sys

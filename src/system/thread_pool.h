@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Internally managed thread pool.
+ *
+ * The CoSMIC system software avoids generic OS thread management by
+ * keeping two internally managed pools per Sigma node — one for
+ * networking, one for aggregation (paper Sec. 3). Threads are created
+ * once and reused across connections and iterations, which is exactly
+ * what this pool provides: a fixed set of workers draining a task
+ * queue, with a waitIdle() barrier for iteration boundaries.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cosmic::sys {
+
+/** Fixed-size worker pool with a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads workers immediately. */
+    explicit ThreadPool(int threads);
+
+    /** Stops accepting work, drains the queue, joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues a task for the next free worker. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Tasks executed since construction (observability). */
+    uint64_t tasksExecuted() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    int active_ = 0;
+    uint64_t executed_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace cosmic::sys

@@ -1,0 +1,117 @@
+#include "system/training_node.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+
+namespace cosmic::sys {
+
+TrainingNode::TrainingNode(const dfg::Translation &translation,
+                           ml::Dataset partition,
+                           const NodeComputeConfig &config)
+    : tr_(translation), partition_(std::move(partition)), config_(config)
+{
+    COSMIC_ASSERT(config_.acceleratorThreads > 0,
+                  "node needs at least one worker thread");
+    COSMIC_ASSERT(partition_.recordWords == tr_.recordWords,
+                  "partition record width " << partition_.recordWords
+                  << " does not match the program's " << tr_.recordWords);
+    COSMIC_ASSERT(tr_.gradientWords == tr_.modelWords,
+                  "local SGD requires one gradient element per model "
+                  "parameter (declare gradients in model order)");
+    for (int t = 0; t < config_.acceleratorThreads; ++t)
+        interps_.push_back(std::make_unique<dfg::Interpreter>(tr_));
+}
+
+std::vector<double>
+TrainingNode::computeLocalUpdate(const std::vector<double> &model,
+                                 int64_t batch_records)
+{
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
+                  "model width mismatch");
+    const int workers = config_.acceleratorThreads;
+    batch_records = std::min<int64_t>(batch_records, partition_.count);
+
+    // Divide the batch into equal sub-partitions (Fig. 1), one per
+    // worker thread; each worker performs plain SGD on a private model
+    // copy (parallelized SGD, Eq. 3a).
+    std::vector<std::vector<double>> worker_models(
+        workers, std::vector<double>(model));
+    std::vector<std::thread> threads;
+    const int64_t per_worker = (batch_records + workers - 1) / workers;
+    const double mu = config_.learningRate;
+
+    for (int t = 0; t < workers; ++t) {
+        threads.emplace_back([&, t] {
+            auto &local = worker_models[t];
+            std::vector<double> grad;
+            int64_t first = cursor_ + t * per_worker;
+            int64_t last = std::min<int64_t>(cursor_ + batch_records,
+                                             first + per_worker);
+            for (int64_t r = first; r < last; ++r) {
+                int64_t idx = r % partition_.count;
+                interps_[t]->run(partition_.record(idx), local, grad);
+                for (int64_t i = 0; i < tr_.gradientWords; ++i)
+                    local[i] -= mu * grad[i];
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    cursor_ = (cursor_ + batch_records) % partition_.count;
+    recordsProcessed_ += batch_records;
+
+    // The accelerator's local aggregation across worker threads.
+    std::vector<double> update(model.size(), 0.0);
+    for (const auto &wm : worker_models)
+        for (size_t i = 0; i < update.size(); ++i)
+            update[i] += wm[i];
+    for (auto &v : update)
+        v /= workers;
+    return update;
+}
+
+std::vector<double>
+TrainingNode::computeGradientSum(const std::vector<double> &model,
+                                 int64_t batch_records)
+{
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
+                  "model width mismatch");
+    const int workers = config_.acceleratorThreads;
+    batch_records = std::min<int64_t>(batch_records, partition_.count);
+
+    std::vector<std::vector<double>> worker_sums(
+        workers, std::vector<double>(tr_.gradientWords, 0.0));
+    std::vector<std::thread> threads;
+    const int64_t per_worker = (batch_records + workers - 1) / workers;
+
+    for (int t = 0; t < workers; ++t) {
+        threads.emplace_back([&, t] {
+            auto &sum = worker_sums[t];
+            std::vector<double> grad;
+            int64_t first = cursor_ + t * per_worker;
+            int64_t last = std::min<int64_t>(cursor_ + batch_records,
+                                             first + per_worker);
+            for (int64_t r = first; r < last; ++r) {
+                int64_t idx = r % partition_.count;
+                interps_[t]->run(partition_.record(idx), model, grad);
+                for (int64_t i = 0; i < tr_.gradientWords; ++i)
+                    sum[i] += grad[i];
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    cursor_ = (cursor_ + batch_records) % partition_.count;
+    recordsProcessed_ += batch_records;
+
+    // Local aggregation: plain summation over worker threads.
+    std::vector<double> total(tr_.gradientWords, 0.0);
+    for (const auto &ws : worker_sums)
+        for (int64_t i = 0; i < tr_.gradientWords; ++i)
+            total[i] += ws[i];
+    return total;
+}
+
+} // namespace cosmic::sys

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * One node of the functional scale-out runtime.
+ *
+ * A TrainingNode owns a partition of the training data and emulates the
+ * node of Fig. 1: the "accelerator" is the DFG interpreter running the
+ * compiled gradient program over the node's sub-partitions with
+ * multiple worker threads, each performing local SGD (Eq. 3a) on its
+ * own model copy; the node then aggregates its workers locally and
+ * ships the partial update to its Sigma node.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dfg/interp.h"
+#include "dfg/translator.h"
+#include "ml/dataset.h"
+
+namespace cosmic::sys {
+
+/** Per-node training configuration. */
+struct NodeComputeConfig
+{
+    /** Worker threads of the node's accelerator. */
+    int acceleratorThreads = 2;
+    /** SGD learning rate. */
+    double learningRate = 0.05;
+};
+
+/** The compute side of one cluster node. */
+class TrainingNode
+{
+  public:
+    /**
+     * @param translation Compiled gradient program (shared).
+     * @param partition The node's slice of the training data (owned).
+     */
+    TrainingNode(const dfg::Translation &translation,
+                 ml::Dataset partition,
+                 const NodeComputeConfig &config);
+
+    /**
+     * Computes the node's partial update for the next mini-batch: each
+     * worker thread runs SGD over its sub-partition slice starting from
+     * @p model, and the workers' models are averaged (the accelerator's
+     * local aggregation). Advances the node's batch cursor.
+     *
+     * @param model Current global model.
+     * @param batch_records Mini-batch size b for this node.
+     * @return The locally aggregated updated model (theta_i).
+     */
+    std::vector<double>
+    computeLocalUpdate(const std::vector<double> &model,
+                       int64_t batch_records);
+
+    /**
+     * Batched-gradient variant (the paper's other parallel SGD family,
+     * Sec. 2.2): each worker thread accumulates raw per-record
+     * gradients at the fixed @p model; the node returns the summed
+     * gradient over its batch slice instead of an updated model.
+     * Advances the same batch cursor.
+     */
+    std::vector<double>
+    computeGradientSum(const std::vector<double> &model,
+                       int64_t batch_records);
+
+    const ml::Dataset &partition() const { return partition_; }
+    int64_t recordsProcessed() const { return recordsProcessed_; }
+
+  private:
+    const dfg::Translation &tr_;
+    ml::Dataset partition_;
+    NodeComputeConfig config_;
+    /** One interpreter per worker thread (they hold scratch state). */
+    std::vector<std::unique_ptr<dfg::Interpreter>> interps_;
+    int64_t cursor_ = 0;
+    int64_t recordsProcessed_ = 0;
+};
+
+} // namespace cosmic::sys

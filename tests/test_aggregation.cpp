@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the Sigma node's aggregation engine and the System
+ * Director's role assignment.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "system/aggregation.h"
+#include "system/director.h"
+
+namespace cosmic::sys {
+namespace {
+
+TEST(AggregationEngine, SumsOneSender)
+{
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(1, 5);
+    engine.onMessage(Message{1, 0, {1, 2, 3, 4, 5}});
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(AggregationEngine, SumsManySendersExactly)
+{
+    AggregationConfig config;
+    config.chunkWords = 16; // force many chunks per message
+    config.ringCapacity = 4;
+    AggregationEngine engine(config);
+
+    const int senders = 7;
+    const int64_t words = 100;
+    Rng rng(3);
+    std::vector<double> expected(words, 0.0);
+    std::vector<Message> messages;
+    for (int s = 0; s < senders; ++s) {
+        Message msg{s, 0, std::vector<double>(words)};
+        for (auto &v : msg.payload) {
+            v = rng.uniform(-1, 1);
+        }
+        for (int64_t i = 0; i < words; ++i)
+            expected[i] += msg.payload[i];
+        messages.push_back(std::move(msg));
+    }
+
+    engine.begin(senders, words);
+    for (auto &msg : messages)
+        engine.onMessage(std::move(msg));
+    auto sum = engine.finish();
+    ASSERT_EQ(sum.size(), static_cast<size_t>(words));
+    for (int64_t i = 0; i < words; ++i)
+        EXPECT_NEAR(sum[i], expected[i], 1e-12);
+}
+
+TEST(AggregationEngine, ZeroSendersFinishImmediately)
+{
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(0, 8);
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, std::vector<double>(8, 0.0));
+}
+
+TEST(AggregationEngine, ReusableAcrossRounds)
+{
+    AggregationEngine engine(AggregationConfig{});
+    for (int round = 1; round <= 5; ++round) {
+        engine.begin(2, 3);
+        engine.onMessage(Message{0, 0, {double(round), 0, 0}});
+        engine.onMessage(Message{1, 0, {double(round), 1, 1}});
+        auto sum = engine.finish();
+        EXPECT_DOUBLE_EQ(sum[0], 2.0 * round);
+        EXPECT_DOUBLE_EQ(sum[1], 1.0);
+    }
+}
+
+TEST(AggregationEngine, ConcurrentSendersStress)
+{
+    AggregationConfig config;
+    config.chunkWords = 8;
+    config.ringCapacity = 8;
+    config.networkingThreads = 3;
+    config.aggregationThreads = 3;
+    AggregationEngine engine(config);
+
+    const int senders = 16;
+    const int64_t words = 257; // deliberately not a chunk multiple
+    engine.begin(senders, words);
+
+    std::vector<std::thread> threads;
+    for (int s = 0; s < senders; ++s) {
+        threads.emplace_back([&, s] {
+            Message msg{s, 0, std::vector<double>(words, 1.0)};
+            engine.onMessage(std::move(msg));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    auto sum = engine.finish();
+    for (int64_t i = 0; i < words; ++i)
+        ASSERT_DOUBLE_EQ(sum[i], double(senders));
+    EXPECT_LE(engine.ringHighWater(), config.ringCapacity);
+}
+
+/** Property sweep: correctness must not depend on the pipeline shape. */
+class AggregationShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(AggregationShapes, SumInvariantUnderConfiguration)
+{
+    auto [net_threads, agg_threads, ring, chunk] = GetParam();
+    AggregationConfig config;
+    config.networkingThreads = net_threads;
+    config.aggregationThreads = agg_threads;
+    config.ringCapacity = static_cast<size_t>(ring);
+    config.chunkWords = static_cast<size_t>(chunk);
+    AggregationEngine engine(config);
+
+    const int senders = 5;
+    const int64_t words = 333; // not a multiple of any chunk size
+    Rng rng(97);
+    std::vector<double> expected(words, 0.0);
+    std::vector<Message> messages;
+    for (int s = 0; s < senders; ++s) {
+        Message msg{s, 0, std::vector<double>(words)};
+        for (int64_t i = 0; i < words; ++i) {
+            msg.payload[i] = rng.uniform(-2, 2);
+            expected[i] += msg.payload[i];
+        }
+        messages.push_back(std::move(msg));
+    }
+
+    engine.begin(senders, words);
+    std::vector<std::thread> threads;
+    for (auto &msg : messages)
+        threads.emplace_back(
+            [&engine, m = std::move(msg)]() mutable {
+                engine.onMessage(std::move(m));
+            });
+    for (auto &t : threads)
+        t.join();
+    auto sum = engine.finish();
+    for (int64_t i = 0; i < words; ++i)
+        ASSERT_NEAR(sum[i], expected[i], 1e-12) << "word " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PipelineShapes, AggregationShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1, 8),
+                      std::make_tuple(1, 4, 2, 16),
+                      std::make_tuple(4, 1, 4, 64),
+                      std::make_tuple(2, 2, 16, 512),
+                      std::make_tuple(3, 3, 8, 1),
+                      std::make_tuple(4, 4, 64, 4096)),
+    [](const auto &info) {
+        return "net" + std::to_string(std::get<0>(info.param)) +
+               "_agg" + std::to_string(std::get<1>(info.param)) +
+               "_ring" + std::to_string(std::get<2>(info.param)) +
+               "_chunk" + std::to_string(std::get<3>(info.param));
+    });
+
+TEST(AggregationEngine, RejectsWrongWidth)
+{
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(1, 4);
+    EXPECT_THROW(engine.onMessage(Message{0, 0, {1.0}}),
+                 cosmic::CosmicError);
+}
+
+TEST(SystemDirector, SingleGroupTopology)
+{
+    auto topo = SystemDirector::assign(3, 1);
+    EXPECT_EQ(topo.masterId(), 0);
+    EXPECT_EQ(topo.nodes[0].role, NodeRole::MasterSigma);
+    EXPECT_EQ(topo.nodes[1].role, NodeRole::Delta);
+    EXPECT_EQ(topo.nodes[2].role, NodeRole::Delta);
+    EXPECT_EQ(topo.groupMembers(0).size(), 2u);
+    EXPECT_TRUE(topo.nonMasterSigmas().empty());
+}
+
+TEST(SystemDirector, HierarchicalTopology)
+{
+    auto topo = SystemDirector::assign(16, 4);
+    EXPECT_EQ(topo.masterId(), 0);
+    EXPECT_EQ(topo.nonMasterSigmas().size(), 3u);
+
+    int deltas = 0;
+    for (const auto &n : topo.nodes) {
+        if (n.role == NodeRole::Delta) {
+            ++deltas;
+            EXPECT_EQ(n.parent, topo.groupSigma(n.group));
+        }
+        if (n.role == NodeRole::GroupSigma)
+            EXPECT_EQ(n.parent, 0);
+    }
+    EXPECT_EQ(deltas, 12);
+    for (int g = 0; g < 4; ++g)
+        EXPECT_EQ(topo.groupMembers(g).size(), 3u);
+}
+
+TEST(SystemDirector, UnevenGroups)
+{
+    auto topo = SystemDirector::assign(10, 3);
+    size_t total = 0;
+    for (int g = 0; g < 3; ++g) {
+        auto members = topo.groupMembers(g);
+        total += members.size() + 1;
+        EXPECT_GE(members.size(), 2u);
+        EXPECT_LE(members.size(), 3u);
+    }
+    EXPECT_EQ(total, 10u);
+}
+
+TEST(SystemDirector, RejectsBadSpecs)
+{
+    EXPECT_THROW(SystemDirector::assign(0, 1), cosmic::CosmicError);
+    EXPECT_THROW(SystemDirector::assign(4, 5), cosmic::CosmicError);
+    EXPECT_THROW(SystemDirector::assign(4, 0), cosmic::CosmicError);
+}
+
+TEST(SystemDirector, DefaultGroups)
+{
+    EXPECT_EQ(SystemDirector::defaultGroups(3), 1);
+    EXPECT_EQ(SystemDirector::defaultGroups(4), 1);
+    EXPECT_EQ(SystemDirector::defaultGroups(8), 2);
+    EXPECT_EQ(SystemDirector::defaultGroups(16), 4);
+}
+
+} // namespace
+} // namespace cosmic::sys

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for DFG analyses: successors, heights, critical path,
+ * liveness, and storage footprint.
+ */
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.h"
+#include "dfg/graph.h"
+
+namespace cosmic::dfg {
+namespace {
+
+/** Builds a small diamond: g = (a+b) * (a-b) over two data inputs. */
+Dfg
+diamond()
+{
+    Dfg dfg;
+    NodeId a = dfg.addDataInput(0, {});
+    NodeId b = dfg.addDataInput(1, {});
+    NodeId add = dfg.addOp(OpKind::Add, a, b);
+    NodeId sub = dfg.addOp(OpKind::Sub, a, b);
+    NodeId mul = dfg.addOp(OpKind::Mul, add, sub);
+    dfg.markGradient(mul, 0, {});
+    return dfg;
+}
+
+TEST(Analysis, SuccessorsCsr)
+{
+    Dfg dfg = diamond();
+    SuccessorCsr csr = buildSuccessors(dfg);
+    auto [b0, e0] = csr.successors(0); // input a feeds add and sub
+    EXPECT_EQ(e0 - b0, 2);
+    auto [b2, e2] = csr.successors(2); // add feeds mul
+    EXPECT_EQ(e2 - b2, 1);
+    EXPECT_EQ(*b2, 4);
+    auto [b4, e4] = csr.successors(4); // mul feeds nothing
+    EXPECT_EQ(e4 - b4, 0);
+}
+
+TEST(Analysis, HeightsAndCriticalPath)
+{
+    Dfg dfg = diamond();
+    auto height = computeHeights(dfg);
+    // Inputs see two ops downstream on the longest chain.
+    EXPECT_EQ(height[0], 2);
+    EXPECT_EQ(height[1], 2);
+    EXPECT_EQ(height[2], 1); // add: mul remains
+    EXPECT_EQ(height[4], 0); // mul is a sink
+    EXPECT_EQ(criticalPathLength(dfg), 2);
+}
+
+TEST(Analysis, CriticalPathOfChain)
+{
+    Dfg dfg;
+    NodeId v = dfg.addDataInput(0, {});
+    for (int i = 0; i < 10; ++i)
+        v = dfg.addOp(OpKind::Add, v, dfg.addConst(1.0));
+    dfg.markGradient(v, 0, {});
+    EXPECT_EQ(criticalPathLength(dfg), 10);
+}
+
+TEST(Analysis, MaxLiveInterimOfChainIsSmall)
+{
+    // A pure chain keeps at most two interim values alive at once
+    // (the newly produced value and its dying predecessor).
+    Dfg dfg;
+    NodeId v = dfg.addDataInput(0, {});
+    for (int i = 0; i < 10; ++i)
+        v = dfg.addOp(OpKind::Add, v, dfg.addConst(1.0));
+    dfg.markGradient(v, 0, {});
+    EXPECT_LE(maxLiveInterim(dfg), 2);
+    EXPECT_GE(maxLiveInterim(dfg), 1);
+}
+
+TEST(Analysis, MaxLiveInterimOfFanIn)
+{
+    // n parallel products all consumed by one final reduction chain:
+    // every product is live until the reduction reaches it.
+    Dfg dfg;
+    std::vector<NodeId> products;
+    for (int i = 0; i < 8; ++i) {
+        NodeId x = dfg.addDataInput(i, {});
+        products.push_back(dfg.addOp(OpKind::Mul, x, x));
+    }
+    NodeId acc = products[0];
+    for (int i = 1; i < 8; ++i)
+        acc = dfg.addOp(OpKind::Add, acc, products[i]);
+    dfg.markGradient(acc, 0, {});
+    EXPECT_GE(maxLiveInterim(dfg), 8);
+}
+
+TEST(Analysis, GradientsDieOnProduction)
+{
+    // Gradients fold into the local model copy, so many gradient
+    // outputs do not inflate the interim high-water mark.
+    Dfg dfg;
+    NodeId x = dfg.addDataInput(0, {});
+    for (int i = 0; i < 100; ++i) {
+        NodeId g = dfg.addOp(OpKind::Mul, x, dfg.addConst(double(i+1)));
+        dfg.markGradient(g, i, {});
+    }
+    EXPECT_LE(maxLiveInterim(dfg), 2);
+}
+
+TEST(Analysis, StorageWordsComposition)
+{
+    Dfg dfg = diamond();
+    int64_t live = maxLiveInterim(dfg);
+    EXPECT_EQ(storageWords(dfg, 10, 20), 2 * 10 + 20 + live);
+}
+
+} // namespace
+} // namespace cosmic::dfg

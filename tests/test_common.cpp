@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the common utilities: statistics and the table printer.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace cosmic {
+namespace {
+
+TEST(Stats, MeanAndGeomean)
+{
+    std::vector<double> xs = {1.0, 2.0, 4.0};
+    EXPECT_NEAR(mean(xs), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MinMaxStddev)
+{
+    std::vector<double> xs = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(maxOf(xs), 3.0);
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Rng, DeterministicWithSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    Rng c(43);
+    EXPECT_NE(a.uniform(), c.uniform());
+}
+
+TEST(Rng, IntegerBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        int64_t v = rng.integer(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table("Demo");
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1.00"});
+    table.addRow({"b", "123456.78"});
+    std::ostringstream oss;
+    table.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("123456.78"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsRaggedRows)
+{
+    TablePrinter table("Bad");
+    table.setHeader({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), CosmicError);
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Error, FatalThrowsWithMessage)
+{
+    try {
+        COSMIC_FATAL("bad thing " << 42);
+        FAIL() << "did not throw";
+    } catch (const CosmicError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace cosmic

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * DOT-export tests plus cross-platform scheduler/simulator coverage on
+ * the P-ASIC grids (60-column P-ASIC-G especially — a different array
+ * shape than every VU9P test).
+ */
+#include <gtest/gtest.h>
+
+#include "accel/replay.h"
+#include "accel/simulator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "dfg/dot.h"
+#include "dfg/interp.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+
+namespace cosmic {
+namespace {
+
+dfg::Translation
+tinyTranslation()
+{
+    return dfg::Translator::translate(dsl::Parser::parse(R"(
+        model_input x[3];
+        model_output y;
+        model w[3];
+        gradient g[3];
+        iterator i[0:3];
+        e = sum[i](w[i] * x[i]) - y;
+        g[i] = e * x[i];
+    )"));
+}
+
+TEST(DotExport, ContainsStructuralElements)
+{
+    auto tr = tinyTranslation();
+    std::string dot = dfg::toDot(tr);
+    EXPECT_NE(dot.find("digraph dfg"), std::string::npos);
+    EXPECT_NE(dot.find("DATA[0]"), std::string::npos);
+    EXPECT_NE(dot.find("MODEL[2]"), std::string::npos);
+    EXPECT_NE(dot.find("lightgreen"), std::string::npos)
+        << "gradient outputs must be highlighted";
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExport, EdgeCountMatchesGraph)
+{
+    auto tr = tinyTranslation();
+    std::string dot = dfg::toDot(tr);
+    int64_t edges = 0;
+    for (size_t pos = dot.find("->"); pos != std::string::npos;
+         pos = dot.find("->", pos + 2))
+        ++edges;
+    int64_t expected = 0;
+    for (dfg::NodeId v = 0; v < tr.dfg.size(); ++v) {
+        const auto &node = tr.dfg.node(v);
+        for (dfg::NodeId o : {node.a, node.b, node.c})
+            expected += o != dfg::kInvalidNode;
+    }
+    EXPECT_EQ(edges, expected);
+}
+
+TEST(DotExport, RefusesHugeGraphs)
+{
+    const auto &w = ml::Workload::byName("stock");
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(1.0)));
+    dfg::DotOptions options;
+    options.maxNodes = 100;
+    EXPECT_THROW(dfg::toDot(tr, options), CosmicError);
+}
+
+TEST(DotExport, PeLabelsWhenMappingProvided)
+{
+    auto tr = tinyTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 1, 1);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+    dfg::DotOptions options;
+    options.peOf = &kernel.mapping.peOf;
+    std::string dot = dfg::toDot(tr, options);
+    EXPECT_NE(dot.find("pe"), std::string::npos);
+}
+
+/** The 60-column P-ASIC-G grid exercises non-power-of-two columns. */
+class PasicGridCoverage : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PasicGridCoverage, SimulatorMatchesInterpreterOnPasicG)
+{
+    const auto &w = ml::Workload::byName(GetParam());
+    const double scale = 64.0;
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(scale)));
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::pasicG(), 2, 3);
+    ASSERT_EQ(plan.columns, 60);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+
+    accel::CycleSimulator simulator(tr, kernel);
+    dfg::Interpreter interp(tr);
+    Rng rng(61);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 2, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+
+    std::vector<double> golden;
+    for (int64_t r = 0; r < ds.count; ++r) {
+        auto sim = simulator.run(ds.record(r), model);
+        ASSERT_TRUE(sim.ok) << sim.violation;
+        interp.run(ds.record(r), model, golden);
+        for (size_t i = 0; i < golden.size(); ++i)
+            ASSERT_EQ(sim.gradient[i], golden[i]);
+    }
+
+    auto replay = accel::ScheduleReplayer::replay(tr, kernel);
+    EXPECT_TRUE(replay.valid) << replay.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PasicGridCoverage,
+    ::testing::Values("stock", "tumor", "face", "mnist"),
+    [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace cosmic

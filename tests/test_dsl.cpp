@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the DSL lexer, parser, and semantic checks.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dsl/lexer.h"
+#include "dsl/parser.h"
+
+namespace cosmic::dsl {
+namespace {
+
+TEST(Lexer, TokenizesPunctuationAndOperators)
+{
+    Lexer lexer("[ ] ( ) ; , : ? = + - * / > < >= <= ==");
+    auto tokens = lexer.tokenize();
+    std::vector<TokenKind> kinds;
+    for (const auto &t : tokens)
+        kinds.push_back(t.kind);
+    std::vector<TokenKind> expected = {
+        TokenKind::LBracket, TokenKind::RBracket, TokenKind::LParen,
+        TokenKind::RParen,   TokenKind::Semicolon, TokenKind::Comma,
+        TokenKind::Colon,    TokenKind::Question, TokenKind::Assign,
+        TokenKind::Plus,     TokenKind::Minus,    TokenKind::Star,
+        TokenKind::Slash,    TokenKind::Gt,       TokenKind::Lt,
+        TokenKind::Ge,       TokenKind::Le,       TokenKind::EqEq,
+        TokenKind::EndOfFile};
+    EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, TokenizesKeywordsAndIdentifiers)
+{
+    Lexer lexer("model_input model_output model gradient iterator "
+                "sum pi aggregator minibatch my_var x2");
+    auto tokens = lexer.tokenize();
+    EXPECT_EQ(tokens[0].kind, TokenKind::KwModelInput);
+    EXPECT_EQ(tokens[1].kind, TokenKind::KwModelOutput);
+    EXPECT_EQ(tokens[2].kind, TokenKind::KwModel);
+    EXPECT_EQ(tokens[3].kind, TokenKind::KwGradient);
+    EXPECT_EQ(tokens[4].kind, TokenKind::KwIterator);
+    EXPECT_EQ(tokens[5].kind, TokenKind::KwSum);
+    EXPECT_EQ(tokens[6].kind, TokenKind::KwPi);
+    EXPECT_EQ(tokens[7].kind, TokenKind::KwAggregator);
+    EXPECT_EQ(tokens[8].kind, TokenKind::KwMinibatch);
+    EXPECT_EQ(tokens[9].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[9].text, "my_var");
+    EXPECT_EQ(tokens[10].text, "x2");
+}
+
+TEST(Lexer, TokenizesNumbers)
+{
+    Lexer lexer("0 42 3.5 1e3 2.5e-2");
+    auto tokens = lexer.tokenize();
+    EXPECT_DOUBLE_EQ(tokens[0].value, 0.0);
+    EXPECT_DOUBLE_EQ(tokens[1].value, 42.0);
+    EXPECT_DOUBLE_EQ(tokens[2].value, 3.5);
+    EXPECT_DOUBLE_EQ(tokens[3].value, 1000.0);
+    EXPECT_DOUBLE_EQ(tokens[4].value, 0.025);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines)
+{
+    Lexer lexer("// a comment\n# another\nx");
+    auto tokens = lexer.tokenize();
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].text, "x");
+    EXPECT_EQ(tokens[0].line, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacters)
+{
+    Lexer lexer("x @ y");
+    EXPECT_THROW(lexer.tokenize(), CosmicError);
+}
+
+const char *kSvmSource = R"(
+model_input x[8];
+model_output y;
+model w[8];
+gradient g[8];
+iterator i[0:8];
+m = sum[i](w[i] * x[i]) * y;
+c = m < 1;
+g[i] = c ? -y * x[i] : 0;
+aggregator average;
+minibatch 100;
+)";
+
+TEST(Parser, ParsesSvmProgram)
+{
+    Program prog = Parser::parse(kSvmSource);
+    EXPECT_EQ(prog.statements().size(), 3u);
+    EXPECT_EQ(prog.aggregator(), Aggregator::Average);
+    EXPECT_EQ(prog.minibatch(), 100);
+
+    const VarDecl *x = prog.findVar("x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_EQ(x->cls, VarClass::ModelInput);
+    ASSERT_EQ(x->dims.size(), 1u);
+    EXPECT_EQ(x->dims[0], 8);
+
+    // Interim scalars m and c are inferred during validation.
+    const VarDecl *m = prog.findVar("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->cls, VarClass::Interim);
+    EXPECT_TRUE(m->dims.empty());
+}
+
+TEST(Parser, ParsesMultiDimDeclarations)
+{
+    Program prog = Parser::parse(R"(
+        model_input x[4];
+        model_output ystar[2];
+        model w[4][2];
+        gradient g[4][2];
+        iterator i[0:4];
+        iterator k[0:2];
+        g[i][k] = w[i][k] * x[i] + ystar[k];
+    )");
+    const VarDecl *w = prog.findVar("w");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->elementCount(), 8);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd)
+{
+    Program prog = Parser::parse(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = w[i] + x[i] * 2;
+    )");
+    const auto &stmt = prog.statements()[0];
+    ASSERT_EQ(stmt.rhs->kind, ExprKind::Binary);
+    const auto &top = static_cast<const BinaryExpr &>(*stmt.rhs);
+    EXPECT_EQ(top.op, BinOp::Add);
+    EXPECT_EQ(exprToString(*stmt.rhs), "(w[i] + (x[i] * 2))");
+}
+
+TEST(Parser, ParsesIteratorOffsets)
+{
+    Program prog = Parser::parse(R"(
+        model_input x[4];
+        model w[4];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = w[i+1] * x[i] - w[i] * x[i+2];
+    )");
+    EXPECT_EQ(exprToString(*prog.statements()[0].rhs),
+              "((w[i+1] * x[i]) - (w[i] * x[i+2]))");
+}
+
+TEST(Parser, ParsesBuiltins)
+{
+    Program prog = Parser::parse(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = sigmoid(w[i]) + gaussian(x[i]) + log(x[i]) + exp(x[i])
+               + sqrt(x[i]) + abs(x[i]);
+    )");
+    EXPECT_EQ(prog.statements().size(), 1u);
+}
+
+TEST(Parser, BuiltinNameUsableAsVariable)
+{
+    // 'log' without parentheses is an ordinary identifier.
+    Program prog = Parser::parse(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        log = 3;
+        g[i] = w[i] * log;
+    )");
+    EXPECT_NE(prog.findVar("log"), nullptr);
+}
+
+TEST(Parser, RejectsDuplicateDeclaration)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; model w[3]; gradient g[2]; "
+                               "iterator i[0:2]; g[i] = w[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsUndeclaredVariable)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[2]; "
+                               "iterator i[0:2]; g[i] = w[i] * zz[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsUnboundIterator)
+{
+    // j is declared but neither on the LHS nor bound by a reduction.
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[2]; "
+                               "iterator i[0:2]; iterator j[0:2]; "
+                               "g[i] = w[j];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsRankMismatch)
+{
+    EXPECT_THROW(Parser::parse("model w[2][2]; gradient g[2]; "
+                               "iterator i[0:2]; g[i] = w[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsOutOfBoundsLiteralIndex)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[2]; "
+                               "iterator i[0:2]; g[i] = w[5];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsAssignmentToModelInput)
+{
+    EXPECT_THROW(Parser::parse("model_input x[2]; model w[2]; "
+                               "gradient g[2]; iterator i[0:2]; "
+                               "x[i] = w[i]; g[i] = w[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsMissingGradient)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; iterator i[0:2]; "
+                               "a = sum[i](w[i]);"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsEmptyIteratorRange)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[2]; "
+                               "iterator i[2:2]; g[i] = w[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsMismatchedIteratorExtent)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[3]; "
+                               "iterator i[0:2]; g[i] = w[i];"),
+                 CosmicError);
+}
+
+TEST(Parser, RejectsBadAggregator)
+{
+    EXPECT_THROW(Parser::parse("model w[2]; gradient g[2]; "
+                               "iterator i[0:2]; g[i] = w[i]; "
+                               "aggregator median;"),
+                 CosmicError);
+}
+
+TEST(Parser, SumAggregatorAccepted)
+{
+    Program prog = Parser::parse("model w[2]; gradient g[2]; "
+                                 "iterator i[0:2]; g[i] = w[i]; "
+                                 "aggregator sum;");
+    EXPECT_EQ(prog.aggregator(), Aggregator::Sum);
+}
+
+TEST(Parser, TernaryNestsRightAssociatively)
+{
+    Program prog = Parser::parse(R"(
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = w[i] > 1 ? 1 : w[i] > 0 ? 2 : 3;
+    )");
+    EXPECT_EQ(exprToString(*prog.statements()[0].rhs),
+              "((w[i] > 1) ? 1 : ((w[i] > 0) ? 2 : 3))");
+}
+
+TEST(Program, ElementCountsByClass)
+{
+    Program prog = Parser::parse(R"(
+        model_input x[6];
+        model_output y[2];
+        model w[6][2];
+        gradient g[6][2];
+        iterator i[0:6];
+        iterator k[0:2];
+        g[i][k] = w[i][k] * x[i] - y[k];
+    )");
+    EXPECT_EQ(prog.elementCount(VarClass::ModelInput), 6);
+    EXPECT_EQ(prog.elementCount(VarClass::ModelOutput), 2);
+    EXPECT_EQ(prog.elementCount(VarClass::Model), 12);
+    EXPECT_EQ(prog.elementCount(VarClass::Gradient), 12);
+    EXPECT_EQ(prog.recordBytes(), 4 * 8);
+    EXPECT_EQ(prog.modelBytes(), 4 * 12);
+}
+
+} // namespace
+} // namespace cosmic::dsl

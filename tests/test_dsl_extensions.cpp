@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the DSL's two-argument builtins (min/max) and for the
+ * extension programs they enable (ReLU networks, softmax regression):
+ * parsing, lowering, interpretation, scheduling, and gradient descent.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/simulator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dsl/parser.h"
+#include "planner/planner.h"
+
+namespace cosmic {
+namespace {
+
+dfg::Translation
+translate(const std::string &src)
+{
+    auto prog = dsl::Parser::parse(src);
+    return dfg::Translator::translate(prog);
+}
+
+TEST(MinMax, ParseAndPrint)
+{
+    auto prog = dsl::Parser::parse(R"(
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = max(0, min(w[i], 1));
+    )");
+    EXPECT_EQ(dsl::exprToString(*prog.statements()[0].rhs),
+              "max(0, min(w[i], 1))");
+    EXPECT_EQ(dsl::builtinArity(dsl::Builtin::Max), 2);
+    EXPECT_EQ(dsl::builtinArity(dsl::Builtin::Sigmoid), 1);
+}
+
+TEST(MinMax, MissingSecondArgumentRejected)
+{
+    EXPECT_THROW(dsl::Parser::parse(R"(
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = max(w[i]);
+    )"),
+                 CosmicError);
+}
+
+TEST(MinMax, InterpreterSemantics)
+{
+    auto tr = translate(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[2];
+        iterator i[0:1];
+        iterator k[0:2];
+        lo[i] = min(x[i], w[i]);
+        hi[i] = max(x[i], w[i]);
+        g[k] = lo[0] + hi[0] * 10;
+    )");
+    dfg::Interpreter interp(tr);
+    std::vector<double> grad;
+    interp.run(std::vector<double>{3.0}, std::vector<double>{7.0},
+               grad);
+    EXPECT_DOUBLE_EQ(grad[0], 3.0 + 70.0);
+    interp.run(std::vector<double>{9.0}, std::vector<double>{7.0},
+               grad);
+    EXPECT_DOUBLE_EQ(grad[0], 7.0 + 90.0);
+}
+
+TEST(MinMax, ReluIsMaxWithZero)
+{
+    auto tr = translate(R"(
+        model_input x[4];
+        model w[4];
+        gradient g[4];
+        iterator i[0:4];
+        g[i] = max(0, w[i] * x[i]);
+    )");
+    dfg::Interpreter interp(tr);
+    std::vector<double> grad;
+    interp.run(std::vector<double>{1, -1, 2, -2},
+               std::vector<double>{1, 1, 1, 1}, grad);
+    EXPECT_DOUBLE_EQ(grad[0], 1.0);
+    EXPECT_DOUBLE_EQ(grad[1], 0.0);
+    EXPECT_DOUBLE_EQ(grad[2], 2.0);
+    EXPECT_DOUBLE_EQ(grad[3], 0.0);
+}
+
+namespace programs {
+
+const char *kSoftmax = R"(
+    model_input  x[64];
+    model_output ystar[4];
+    model        w[64][4];
+    gradient     g[64][4];
+    iterator     i[0:64];
+    iterator     k[0:4];
+    iterator     j[0:4];
+    s[k] = sum[i](w[i][k] * x[i]);
+    e[k] = exp(s[k]);
+    z = sum[j](e[j]);
+    p[k] = e[k] / z;
+    g[i][k] = (p[k] - ystar[k]) * x[i];
+)";
+
+const char *kReluMlp = R"(
+    model_input  x[32];
+    model_output ystar[4];
+    model        w1[32][8];
+    model        w2[8][4];
+    gradient     g1[32][8];
+    gradient     g2[8][4];
+    iterator     i[0:32];
+    iterator     j[0:8];
+    iterator     k[0:4];
+    a[j] = sum[i](w1[i][j] * x[i]);
+    h[j] = max(0, a[j]);
+    o[k] = sum[j](w2[j][k] * h[j]);
+    e[k] = o[k] - ystar[k];
+    g2[j][k] = e[k] * h[j];
+    mask[j] = a[j] > 0;
+    eh[j] = sum[k](e[k] * w2[j][k]) * mask[j];
+    g1[i][j] = eh[j] * x[i];
+)";
+
+} // namespace programs
+
+TEST(ExtensionPrograms, SoftmaxGradientDescends)
+{
+    auto tr = translate(programs::kSoftmax);
+    dfg::Interpreter interp(tr);
+    Rng rng(41);
+
+    // One-hot labels from a hidden teacher direction per class.
+    const int64_t n = 64, classes = 4, records = 64;
+    std::vector<double> teacher(n * classes);
+    for (auto &v : teacher)
+        v = rng.gaussian();
+    std::vector<double> data(records * tr.recordWords);
+    for (int64_t r = 0; r < records; ++r) {
+        double *rec = data.data() + r * tr.recordWords;
+        double best = -1e30;
+        int argmax = 0;
+        for (int64_t i = 0; i < n; ++i)
+            rec[i] = rng.gaussian() / std::sqrt(double(n));
+        for (int64_t k = 0; k < classes; ++k) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n; ++i)
+                s += teacher[i * classes + k] * rec[i];
+            if (s > best) {
+                best = s;
+                argmax = static_cast<int>(k);
+            }
+        }
+        for (int64_t k = 0; k < classes; ++k)
+            rec[n + k] = k == argmax ? 1.0 : 0.0;
+    }
+
+    std::vector<double> model(tr.modelWords, 0.0), grad;
+    auto accuracy = [&] {
+        int correct = 0;
+        for (int64_t r = 0; r < records; ++r) {
+            const double *rec = data.data() + r * tr.recordWords;
+            double best = -1e30;
+            int argmax = 0;
+            for (int64_t k = 0; k < classes; ++k) {
+                double s = 0.0;
+                for (int64_t i = 0; i < n; ++i)
+                    s += model[i * classes + k] * rec[i];
+                if (s > best) {
+                    best = s;
+                    argmax = static_cast<int>(k);
+                }
+            }
+            correct += rec[n + argmax] == 1.0;
+        }
+        return static_cast<double>(correct) / records;
+    };
+
+    double before = accuracy();
+    for (int epoch = 0; epoch < 20; ++epoch)
+        for (int64_t r = 0; r < records; ++r) {
+            interp.run(
+                std::span<const double>(data).subspan(
+                    r * tr.recordWords, tr.recordWords),
+                model, grad);
+            for (size_t p = 0; p < model.size(); ++p)
+                model[p] -= 1.0 * grad[p];
+        }
+    double after = accuracy();
+    EXPECT_GT(after, 0.9);
+    EXPECT_GT(after, before);
+}
+
+TEST(ExtensionPrograms, ReluMlpCompilesAndSimulates)
+{
+    auto tr = translate(programs::kReluMlp);
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 2, 4);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+    accel::CycleSimulator simulator(tr, kernel);
+    dfg::Interpreter interp(tr);
+
+    Rng rng(42);
+    std::vector<double> record(tr.recordWords);
+    for (auto &v : record)
+        v = rng.gaussian();
+    std::vector<double> model(tr.modelWords);
+    for (auto &v : model)
+        v = rng.gaussian(0.0, 0.3);
+
+    auto sim = simulator.run(record, model);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    std::vector<double> golden;
+    interp.run(record, model, golden);
+    ASSERT_EQ(sim.gradient.size(), golden.size());
+    for (size_t i = 0; i < golden.size(); ++i)
+        ASSERT_EQ(sim.gradient[i], golden[i]);
+
+    // The ReLU mask really sparsifies the gradient: some hidden units
+    // must be inactive for a random input.
+    int64_t zeros = 0;
+    for (size_t i = 0; i < 32 * 8; ++i)
+        zeros += golden[i] == 0.0;
+    EXPECT_GT(zeros, 0);
+}
+
+TEST(ExtensionPrograms, SoftmaxPlansOnAllPlatforms)
+{
+    auto tr = translate(programs::kSoftmax);
+    for (const auto &platform : {accel::PlatformSpec::ultrascalePlus(),
+                                 accel::PlatformSpec::pasicF(),
+                                 accel::PlatformSpec::pasicG()}) {
+        auto result = planner::Planner::plan(tr, platform);
+        EXPECT_GE(result.plan.threads, 1) << platform.name;
+        EXPECT_GT(result.explored[result.chosenIndex].recordsPerSecond,
+                  0.0)
+            << platform.name;
+    }
+}
+
+} // namespace
+} // namespace cosmic

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fixed-point datapath tests: Q16.16 arithmetic semantics, saturation,
+ * and — the load-bearing result — that training through the quantized
+ * interpreter converges like the exact one, justifying the hardware's
+ * 32-bit fixed-point DSP datapath.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/fixed_point.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/reference.h"
+#include "ml/workloads.h"
+
+namespace cosmic::accel {
+namespace {
+
+TEST(Fixed, RoundTripAndEpsilon)
+{
+    EXPECT_DOUBLE_EQ(Fixed::fromDouble(1.0).toDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(Fixed::fromDouble(-2.5).toDouble(), -2.5);
+    EXPECT_NEAR(Fixed::fromDouble(0.1).toDouble(), 0.1,
+                Fixed::epsilon());
+    EXPECT_DOUBLE_EQ(Fixed::epsilon(), 1.0 / 65536.0);
+}
+
+TEST(Fixed, Arithmetic)
+{
+    Fixed a = Fixed::fromDouble(3.25);
+    Fixed b = Fixed::fromDouble(-1.5);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 1.75);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 4.75);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), -4.875);
+    EXPECT_NEAR((a / b).toDouble(), 3.25 / -1.5, Fixed::epsilon());
+    EXPECT_DOUBLE_EQ((-a).toDouble(), -3.25);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping)
+{
+    Fixed big = Fixed::fromDouble(30000.0);
+    Fixed huge = big * big;
+    EXPECT_EQ(huge.raw(), Fixed::kMax);
+    Fixed neg = Fixed::fromDouble(-30000.0);
+    EXPECT_EQ((neg * big).raw(), Fixed::kMin);
+    // Q16.16 holds integers up to 32767; 60000 saturates.
+    EXPECT_EQ((big + big).raw(), Fixed::kMax);
+}
+
+TEST(Fixed, DivideByZeroSaturates)
+{
+    Fixed one = Fixed::fromDouble(1.0);
+    Fixed zero = Fixed::fromDouble(0.0);
+    EXPECT_EQ((one / zero).raw(), Fixed::kMax);
+    EXPECT_EQ(((-one) / zero).raw(), Fixed::kMin);
+}
+
+TEST(Fixed, QuantizeHelper)
+{
+    EXPECT_DOUBLE_EQ(quantizeToFixed(0.5), 0.5);
+    EXPECT_NEAR(quantizeToFixed(1.0 / 3.0), 1.0 / 3.0,
+                Fixed::epsilon());
+    EXPECT_DOUBLE_EQ(quantizeToFixed(1e9),
+                     Fixed::fromRaw(Fixed::kMax).toDouble());
+}
+
+TEST(QuantizedInterpreter, GradientsCloseToExact)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    const double scale = 64.0;
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(scale)));
+    dfg::Interpreter exact(tr);
+    dfg::Interpreter quantized(tr, &quantizeToFixed);
+
+    Rng rng(51);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 8, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+    std::vector<double> ge, gq;
+    for (int64_t r = 0; r < ds.count; ++r) {
+        exact.run(ds.record(r), model, ge);
+        quantized.run(ds.record(r), model, gq);
+        for (size_t i = 0; i < ge.size(); ++i)
+            EXPECT_NEAR(gq[i], ge[i], 64 * Fixed::epsilon());
+    }
+}
+
+TEST(QuantizedInterpreter, TrainingStillConverges)
+{
+    // The paper's datapath is fixed point; training must not care.
+    const auto &w = ml::Workload::byName("face");
+    const double scale = 64.0;
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(scale)));
+    dfg::Interpreter quantized(tr, &quantizeToFixed);
+    ml::Reference ref(w, scale);
+
+    Rng rng(52);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 192, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+
+    double before = ref.meanLoss(ds.data, ds.count, model);
+    std::vector<double> grad;
+    for (int epoch = 0; epoch < 8; ++epoch)
+        for (int64_t r = 0; r < ds.count; ++r) {
+            quantized.run(ds.record(r), model, grad);
+            for (size_t i = 0; i < model.size(); ++i)
+                model[i] -= 0.4 * grad[i];
+        }
+    double after = ref.meanLoss(ds.data, ds.count, model);
+    EXPECT_LT(after, before * 0.5)
+        << "fixed-point quantization broke training";
+}
+
+} // namespace
+} // namespace cosmic::accel

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the on-chip interconnect model: routing levels, latency
+ * growth, symmetry, and the TABLA flat-bus contrast.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/interconnect.h"
+
+namespace cosmic::compiler {
+namespace {
+
+TEST(Interconnect, SamePeIsFree)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 4);
+    Route r = bus.route(5, 5);
+    EXPECT_EQ(r.latency, 0);
+    EXPECT_EQ(r.bus, -1);
+}
+
+TEST(Interconnect, NeighborsUseDedicatedLinks)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 4);
+    Route r = bus.route(3, 4); // columns 3 and 4 of row 0
+    EXPECT_EQ(r.latency, 1);
+    EXPECT_EQ(r.bus, -1) << "neighbour links are contention-free";
+}
+
+TEST(Interconnect, RowBusForDistantColumns)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 4);
+    Route r = bus.route(0, 10); // same row, far apart
+    EXPECT_EQ(r.latency, 2);
+    EXPECT_EQ(r.bus, 0) << "row 0's shared bus";
+
+    Route r2 = bus.route(16 + 0, 16 + 10); // row 1
+    EXPECT_EQ(r2.bus, 1);
+}
+
+TEST(Interconnect, TreeBusLatencyIsLogarithmic)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 32);
+    auto latency = [&](int row_dist) {
+        return bus.route(0, row_dist * 16).latency;
+    };
+    EXPECT_EQ(latency(1), 4);  // 2 + 2*1
+    EXPECT_EQ(latency(2), 6);  // 2 + 2*2
+    EXPECT_EQ(latency(4), 8);  // 2 + 2*3
+    EXPECT_EQ(latency(16), 12); // 2 + 2*5
+    // Doubling the distance adds a constant, not a factor.
+    EXPECT_EQ(latency(16) - latency(8), 2);
+}
+
+TEST(Interconnect, TreeLanesIndexedBySourceColumn)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 8);
+    Route a = bus.route(3, 16 + 3);  // col 3, row 0 -> row 1
+    Route b = bus.route(5, 16 + 5);  // col 5
+    EXPECT_NE(a.bus, b.bus) << "distinct lanes carry in parallel";
+    EXPECT_GE(a.bus, 8) << "tree lanes sit after the row buses";
+    EXPECT_EQ(bus.busCount(), 8 + 16);
+}
+
+TEST(Interconnect, RouteIsSymmetricInLatency)
+{
+    InterconnectModel bus(BusKind::Hierarchical, 16, 8);
+    for (auto [a, b] : {std::pair{0, 37}, {5, 120}, {17, 18}}) {
+        EXPECT_EQ(bus.route(a, b).latency, bus.route(b, a).latency);
+    }
+}
+
+TEST(Interconnect, FlatBusLatencyGrowsLinearlyWithPes)
+{
+    InterconnectModel small(BusKind::SingleShared, 16, 4);  // 64 PEs
+    InterconnectModel large(BusKind::SingleShared, 16, 48); // 768 PEs
+    int64_t l_small = small.route(0, 1).latency;
+    int64_t l_large = large.route(0, 1).latency;
+    EXPECT_GT(l_large, l_small);
+    EXPECT_NEAR(static_cast<double>(l_large - 1) / (l_small - 1),
+                12.0, 0.5);
+    EXPECT_EQ(small.busCount(), 1);
+}
+
+TEST(Interconnect, HierarchicalBeatsFlatAtScale)
+{
+    InterconnectModel tree(BusKind::Hierarchical, 16, 48);
+    InterconnectModel flat(BusKind::SingleShared, 16, 48);
+    // Typical hierarchical route (half the fabric away) beats the flat
+    // bus's arbitration latency...
+    EXPECT_LT(tree.route(0, 24 * 16).latency,
+              flat.route(0, 1).latency);
+    // ...and the tree offers far more concurrent transfer capacity.
+    EXPECT_GT(tree.busCount(), flat.busCount());
+}
+
+} // namespace
+} // namespace cosmic::compiler

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Memory-interface schedule tests: coverage, row walking, broadcast and
+ * write bits, and the Thread Index Table.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/memory_schedule.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "planner/planner.h"
+
+namespace cosmic::compiler {
+namespace {
+
+dfg::Translation
+smallTranslation()
+{
+    auto prog = dsl::Parser::parse(R"(
+        model_input x[37];
+        model_output y;
+        model w[37];
+        gradient g[37];
+        iterator i[0:37];
+        e = sum[i](w[i] * x[i]) - y;
+        g[i] = e * x[i];
+    )");
+    return dfg::Translator::translate(prog);
+}
+
+TEST(MemorySchedule, RecordEntriesCoverTheRecord)
+{
+    auto tr = smallTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 4, 3);
+    auto sched = MemoryScheduleBuilder::build(tr, plan);
+
+    int64_t words = 0;
+    int32_t expected_row = 0;
+    for (const auto &e : sched.recordEntries) {
+        EXPECT_FALSE(e.write);
+        EXPECT_FALSE(e.broadcast);
+        EXPECT_GT(e.sizeWords, 0);
+        EXPECT_LE(e.sizeWords, plan.columns);
+        EXPECT_EQ(e.basePeRow, expected_row);
+        expected_row = (expected_row + 1) % plan.rowsPerThread;
+        words += e.sizeWords;
+    }
+    EXPECT_EQ(words, tr.recordWords);
+    // 38 words at 16 columns: two full beats plus a 6-word tail.
+    ASSERT_EQ(sched.recordEntries.size(), 3u);
+    EXPECT_EQ(sched.recordEntries.back().sizeWords, 6);
+}
+
+TEST(MemorySchedule, ModelEntriesBroadcast)
+{
+    auto tr = smallTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 4, 3);
+    auto sched = MemoryScheduleBuilder::build(tr, plan);
+
+    EXPECT_EQ(sched.modelWords(), tr.modelWords);
+    for (const auto &e : sched.modelEntries) {
+        EXPECT_TRUE(e.broadcast) << "model reaches all threads at once";
+        EXPECT_FALSE(e.write);
+    }
+}
+
+TEST(MemorySchedule, GradientEntriesWriteBack)
+{
+    auto tr = smallTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 2, 4);
+    auto sched = MemoryScheduleBuilder::build(tr, plan);
+
+    EXPECT_EQ(sched.gradientWords(), tr.gradientWords);
+    for (const auto &e : sched.gradientEntries) {
+        EXPECT_TRUE(e.write);
+        EXPECT_FALSE(e.broadcast);
+    }
+}
+
+TEST(MemorySchedule, ThreadIndexTable)
+{
+    auto tr = smallTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 4, 3);
+    auto sched = MemoryScheduleBuilder::build(tr, plan);
+
+    ASSERT_EQ(sched.threadTable.size(), 4u);
+    for (int t = 0; t < 4; ++t) {
+        // One schedule serves all threads: each row holds the thread's
+        // sub-partition address and first-PE-row offset (paper Fig. 5).
+        EXPECT_EQ(sched.threadTable[t].peRowOffset,
+                  t * plan.rowsPerThread);
+        EXPECT_EQ(sched.threadTable[t].memAddr,
+                  t * tr.recordWords * 4);
+    }
+}
+
+TEST(MemorySchedule, SingleRowPlanWalksRowZeroOnly)
+{
+    auto tr = smallTranslation();
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 48, 1);
+    auto sched = MemoryScheduleBuilder::build(tr, plan);
+    for (const auto &e : sched.recordEntries)
+        EXPECT_EQ(e.basePeRow, 0);
+}
+
+} // namespace
+} // namespace cosmic::compiler

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sanity tests of the analytic performance models: the CoSMIC cluster
+ * model, the Spark baseline, and the GPU roofline.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.h"
+#include "baselines/spark_model.h"
+#include "system/cluster_model.h"
+
+namespace cosmic {
+namespace {
+
+TEST(CosmicClusterModel, SingleNodeHasNoNetwork)
+{
+    sys::ClusterModelConfig cfg;
+    cfg.nodes = 1;
+    cfg.groups = 1;
+    sys::CosmicClusterModel model(cfg, 1 << 20);
+    auto it = model.iteration(0.010);
+    EXPECT_DOUBLE_EQ(it.computeSec, 0.010);
+    EXPECT_DOUBLE_EQ(it.networkSec, 0.0);
+    EXPECT_DOUBLE_EQ(it.aggregationSec, 0.0);
+    EXPECT_GT(it.overheadSec, 0.0);
+}
+
+TEST(CosmicClusterModel, NetworkGrowsWithGroupSize)
+{
+    sys::ClusterModelConfig small;
+    small.nodes = 4;
+    small.groups = 1;
+    sys::ClusterModelConfig large;
+    large.nodes = 16;
+    large.groups = 1;
+    int64_t model_bytes = 4 << 20;
+    sys::CosmicClusterModel m_small(small, model_bytes);
+    sys::CosmicClusterModel m_large(large, model_bytes);
+    EXPECT_GT(m_large.iteration(0.01).networkSec,
+              m_small.iteration(0.01).networkSec);
+}
+
+TEST(CosmicClusterModel, HierarchyBeatsFlatAtScale)
+{
+    // 16 nodes into one Sigma overwhelms its downlink; the hierarchy
+    // parallelizes ingest across groups (the paper's motivation for
+    // hierarchical aggregation).
+    int64_t model_bytes = 4 << 20;
+    sys::ClusterModelConfig flat;
+    flat.nodes = 16;
+    flat.groups = 1;
+    sys::ClusterModelConfig hier = flat;
+    hier.groups = 4;
+    sys::CosmicClusterModel m_flat(flat, model_bytes);
+    sys::CosmicClusterModel m_hier(hier, model_bytes);
+    EXPECT_LT(m_hier.iteration(0.01).totalSec(),
+              m_flat.iteration(0.01).totalSec());
+}
+
+TEST(CosmicClusterModel, LargestGroup)
+{
+    sys::ClusterModelConfig cfg;
+    cfg.nodes = 10;
+    cfg.groups = 3;
+    sys::CosmicClusterModel model(cfg, 1024);
+    EXPECT_EQ(model.largestGroup(), 4);
+}
+
+TEST(SparkModel, OverheadDominatesTinyBatches)
+{
+    baselines::SparkModel spark;
+    auto it = spark.iteration(ml::Algorithm::LinearRegression, 4,
+                              10, 1000.0, 4000.0, 1 << 10);
+    EXPECT_GT(it.overheadSec, it.computeSec);
+    EXPECT_GT(it.totalSec(), 0.04); // scheduler floor
+}
+
+TEST(SparkModel, ComputeScalesWithRecords)
+{
+    baselines::SparkModel spark;
+    auto small = spark.iteration(ml::Algorithm::Svm, 4, 1000, 1e6,
+                                 4e3, 1 << 20);
+    auto large = spark.iteration(ml::Algorithm::Svm, 4, 10000, 1e6,
+                                 4e3, 1 << 20);
+    EXPECT_NEAR(large.computeSec / small.computeSec, 10.0, 0.01);
+}
+
+TEST(SparkModel, SerializationInflatesNetwork)
+{
+    baselines::SparkModelConfig lean;
+    lean.serializationFactor = 1.0;
+    baselines::SparkModelConfig fat;
+    fat.serializationFactor = 3.0;
+    baselines::SparkModel spark_lean(lean);
+    baselines::SparkModel spark_fat(fat);
+    auto a = spark_lean.iteration(ml::Algorithm::LogisticRegression,
+                                  8, 100, 1e6, 4e3, 8 << 20);
+    auto b = spark_fat.iteration(ml::Algorithm::LogisticRegression,
+                                 8, 100, 1e6, 4e3, 8 << 20);
+    EXPECT_NEAR(b.networkSec / a.networkSec, 3.0, 0.01);
+}
+
+TEST(GpuModel, MatmulBeatsVectorKernels)
+{
+    baselines::GpuNodeModel gpu;
+    double backprop = gpu.batchSeconds(ml::Algorithm::Backpropagation,
+                                       1000, 1e6, 4e3, 1 << 20, 1e9);
+    double glm = gpu.batchSeconds(ml::Algorithm::LinearRegression,
+                                  1000, 1e6, 4e3, 1 << 20, 1e9);
+    EXPECT_LT(backprop, glm);
+}
+
+TEST(GpuModel, OversizedDatasetStreamsOverPcie)
+{
+    baselines::GpuNodeModel gpu;
+    EXPECT_FALSE(gpu.streamsOverPcie(1e9));
+    EXPECT_TRUE(gpu.streamsOverPcie(20e9));
+
+    // Backprop keeps its data on-card when it fits; oversized datasets
+    // fall back to PCIe streaming and a bandwidth-bound batch slows.
+    double fits = gpu.batchSeconds(ml::Algorithm::Backpropagation,
+                                   10000, 3e4, 64e3, 1 << 20, 1e9);
+    double streams = gpu.batchSeconds(ml::Algorithm::Backpropagation,
+                                      10000, 3e4, 64e3, 1 << 20, 20e9);
+    EXPECT_GT(streams, 2.0 * fits);
+}
+
+TEST(GpuModel, VectorKernelsAlwaysStreamFromHost)
+{
+    // The GLM CUDA baselines stream mini-batches over PCIe even when
+    // the dataset would fit on-card (Fig. 10's mechanism).
+    baselines::GpuNodeModel gpu;
+    double small_set = gpu.batchSeconds(ml::Algorithm::Svm, 10000,
+                                        3e4, 64e3, 1 << 20, 1e9);
+    double large_set = gpu.batchSeconds(ml::Algorithm::Svm, 10000,
+                                        3e4, 64e3, 1 << 20, 20e9);
+    EXPECT_NEAR(small_set, large_set, 1e-12);
+}
+
+TEST(GpuModel, KernelOverheadFloorsSmallBatches)
+{
+    baselines::GpuNodeModel gpu;
+    double t = gpu.batchSeconds(ml::Algorithm::Svm, 1, 100.0, 400.0,
+                                1024, 1e6);
+    EXPECT_GE(t, 250e-6);
+}
+
+} // namespace
+} // namespace cosmic

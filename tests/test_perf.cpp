@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Performance-estimator tests: compute/memory regimes, batch-time
+ * composition, and platform effects (the P-ASIC-F frequency lesson).
+ */
+#include <gtest/gtest.h>
+
+#include "accel/perf.h"
+#include "compiler/kernel.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+
+namespace cosmic::accel {
+namespace {
+
+struct Built
+{
+    dfg::Translation tr;
+    AcceleratorPlan plan;
+    compiler::CompiledKernel kernel;
+};
+
+Built
+build(const std::string &name, double scale, const PlatformSpec &platform,
+      int threads, int rows)
+{
+    Built b{dfg::Translator::translate(dsl::Parser::parse(
+                ml::Workload::byName(name).dslSource(scale))),
+            {}, {}};
+    b.plan = planner::Planner::makePlan(b.tr, platform, threads, rows);
+    b.kernel = compiler::KernelCompiler::compile(b.tr, b.plan);
+    return b;
+}
+
+TEST(PerfEstimator, LinearModelsAreMemoryBound)
+{
+    auto b = build("stock", 1.0, PlatformSpec::ultrascalePlus(), 8, 4);
+    PerfEstimator perf(b.tr, b.kernel, b.plan);
+    EXPECT_TRUE(perf.memoryBound());
+    // Streaming the 8001-word record at a 2-words/cycle share.
+    EXPECT_NEAR(perf.cyclesPerRecordPerThread(), 8001.0 / 2.0, 1.0);
+}
+
+TEST(PerfEstimator, BackpropIsComputeBound)
+{
+    auto b = build("mnist", 8.0, PlatformSpec::ultrascalePlus(), 2, 24);
+    PerfEstimator perf(b.tr, b.kernel, b.plan);
+    EXPECT_FALSE(perf.memoryBound());
+    EXPECT_EQ(perf.cyclesPerRecordPerThread(),
+              static_cast<double>(b.kernel.computeCyclesPerRecord));
+}
+
+TEST(PerfEstimator, ThroughputScalesWithThreadsUntilBandwidth)
+{
+    //
+
+    // Compute-bound at few threads: throughput grows with threads.
+    auto b2 = build("tumor", 2.0, PlatformSpec::ultrascalePlus(), 2, 4);
+    auto b8 = build("tumor", 2.0, PlatformSpec::ultrascalePlus(), 8, 4);
+    PerfEstimator p2(b2.tr, b2.kernel, b2.plan);
+    PerfEstimator p8(b8.tr, b8.kernel, b8.plan);
+    EXPECT_GT(p8.recordsPerSecond(), p2.recordsPerSecond() * 0.99);
+
+    // Once memory-bound, throughput saturates at the DDR bandwidth.
+    double bytes_per_sec_8 =
+        p8.recordsPerSecond() * 4.0 * b8.tr.recordWords;
+    EXPECT_LE(bytes_per_sec_8,
+              b8.plan.platform.memBandwidthBytesPerSec * 1.001);
+}
+
+TEST(PerfEstimator, BatchTimeComposition)
+{
+    auto b = build("face", 4.0, PlatformSpec::ultrascalePlus(), 4, 2);
+    PerfEstimator perf(b.tr, b.kernel, b.plan);
+    BatchTime t = perf.batchTime(1000);
+    EXPECT_GT(t.computeSec, 0.0);
+    EXPECT_GT(t.modelBroadcastSec, 0.0);
+    EXPECT_GT(t.localAggregationSec, 0.0);
+    EXPECT_GT(t.pcieSec, 0.0);
+    EXPECT_NEAR(t.totalSec(),
+                t.computeSec + t.modelBroadcastSec +
+                    t.localAggregationSec + t.pcieSec,
+                1e-12);
+
+    // Doubling the batch roughly doubles compute, leaves boundary
+    // costs unchanged.
+    BatchTime t2 = perf.batchTime(2000);
+    EXPECT_NEAR(t2.computeSec, 2.0 * t.computeSec,
+                0.01 * t.computeSec);
+    EXPECT_DOUBLE_EQ(t2.modelBroadcastSec, t.modelBroadcastSec);
+}
+
+TEST(PerfEstimator, SingleThreadSkipsLocalAggregation)
+{
+    auto b = build("face", 4.0, PlatformSpec::ultrascalePlus(), 1, 8);
+    PerfEstimator perf(b.tr, b.kernel, b.plan);
+    EXPECT_DOUBLE_EQ(perf.batchTime(100).localAggregationSec, 0.0);
+}
+
+TEST(PerfEstimator, PasicFFrequencyAloneDoesNotHelpMemoryBound)
+{
+    // The paper's Sec. 7.2 finding: P-ASIC-F runs at 6.7x the clock but
+    // identical byte bandwidth, so bandwidth-bound workloads gain ~1x.
+    auto fpga = build("texture", 1.0, PlatformSpec::ultrascalePlus(),
+                      4, 4);
+    auto pasic = build("texture", 1.0, PlatformSpec::pasicF(), 4, 4);
+    PerfEstimator pf(fpga.tr, fpga.kernel, fpga.plan);
+    PerfEstimator pp(pasic.tr, pasic.kernel, pasic.plan);
+    double speedup = pp.recordsPerSecond() / pf.recordsPerSecond();
+    EXPECT_LT(speedup, 1.3);
+    EXPECT_GT(speedup, 0.8);
+}
+
+TEST(PerfEstimator, PasicFHelpsComputeBound)
+{
+    auto fpga = build("mnist", 8.0, PlatformSpec::ultrascalePlus(),
+                      2, 24);
+    auto pasic = build("mnist", 8.0, PlatformSpec::pasicF(), 2, 24);
+    PerfEstimator pf(fpga.tr, fpga.kernel, fpga.plan);
+    PerfEstimator pp(pasic.tr, pasic.kernel, pasic.plan);
+    double speedup = pp.recordsPerSecond() / pf.recordsPerSecond();
+    EXPECT_GT(speedup, 2.0);
+}
+
+} // namespace
+} // namespace cosmic::accel

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the schedule replayer (independent hardware-constraint
+ * witness) and the nonlinear lookup-table unit.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/lut.h"
+#include "common/error.h"
+#include "accel/replay.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+
+namespace cosmic::accel {
+namespace {
+
+compiler::CompiledKernel
+compileWorkload(const std::string &name, double scale, int threads,
+                int rows, dfg::Translation &tr_out,
+                AcceleratorPlan &plan_out)
+{
+    const auto &w = ml::Workload::byName(name);
+    tr_out = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(scale)));
+    plan_out = planner::Planner::makePlan(
+        tr_out, PlatformSpec::ultrascalePlus(), threads, rows);
+    return compiler::KernelCompiler::compile(tr_out, plan_out);
+}
+
+class ReplayValidity : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ReplayValidity, CompiledSchedulesReplayCleanly)
+{
+    dfg::Translation tr;
+    AcceleratorPlan plan;
+    auto kernel = compileWorkload(GetParam(), 64.0, 2, 4, tr, plan);
+    ReplayReport report = ScheduleReplayer::replay(tr, kernel);
+    EXPECT_TRUE(report.valid) << report.violation;
+    EXPECT_GT(report.cycles, 0);
+    // The replayer's makespan never exceeds the scheduler's own (which
+    // additionally reserves gradient-accumulation slots).
+    EXPECT_LE(report.cycles, kernel.schedule.makespan);
+    EXPECT_GT(report.avgPeUtilization, 0.0);
+    EXPECT_LE(report.peakPeUtilization, 1.0);
+    EXPECT_GE(report.peakPeUtilization, report.avgPeUtilization);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ReplayValidity,
+    ::testing::Values("stock", "tumor", "face", "mnist", "movielens"),
+    [](const auto &info) { return info.param; });
+
+TEST(Replay, DetectsCorruptedSchedule)
+{
+    dfg::Translation tr;
+    AcceleratorPlan plan;
+    auto kernel = compileWorkload("face", 64.0, 1, 2, tr, plan);
+
+    // Force an operation to issue at cycle 0, before its operands.
+    for (dfg::NodeId v = tr.dfg.size() - 1; v >= 0; --v) {
+        const auto &node = tr.dfg.node(v);
+        if (node.op == dfg::OpKind::Const ||
+            node.op == dfg::OpKind::Input)
+            continue;
+        if (kernel.schedule.issueCycle[v] > 2) {
+            kernel.schedule.issueCycle[v] = 0;
+            break;
+        }
+    }
+    ReplayReport report = ScheduleReplayer::replay(tr, kernel);
+    EXPECT_FALSE(report.valid);
+    EXPECT_FALSE(report.violation.empty());
+}
+
+TEST(Replay, CountsNonlinearOps)
+{
+    dfg::Translation tr;
+    AcceleratorPlan plan;
+    auto kernel = compileWorkload("tumor", 64.0, 1, 2, tr, plan);
+    ReplayReport report = ScheduleReplayer::replay(tr, kernel);
+    // Logistic regression has exactly one sigmoid per record.
+    EXPECT_EQ(report.nonlinearOps, 1);
+}
+
+TEST(Lut, SigmoidAccuracy)
+{
+    auto lut = NonlinearLut::forOp(dfg::OpKind::Sigmoid);
+    EXPECT_LT(lut.maxError(), 1e-4);
+    EXPECT_NEAR(lut.evaluate(0.0), 0.5, 1e-6);
+    // Clamping outside the table range.
+    EXPECT_NEAR(lut.evaluate(100.0), lut.evaluate(8.0), 1e-12);
+}
+
+TEST(Lut, AllUnitsWithinTrainingNoise)
+{
+    for (auto op : {dfg::OpKind::Sigmoid, dfg::OpKind::Gaussian,
+                    dfg::OpKind::Exp, dfg::OpKind::Sqrt,
+                    dfg::OpKind::Log}) {
+        auto lut = NonlinearLut::forOp(op);
+        EXPECT_LT(lut.maxError(), 5e-3) << dfg::opKindName(op);
+    }
+    // The reciprocal unit is steepest; geometric breakpoints keep its
+    // relative error flat, and the absolute bound modest.
+    EXPECT_LT(NonlinearLut::forOp(dfg::OpKind::Div).maxError(), 5e-2);
+}
+
+TEST(Lut, MonotoneTablesStayMonotone)
+{
+    auto sigmoid = NonlinearLut::forOp(dfg::OpKind::Sigmoid);
+    auto sqrt_lut = NonlinearLut::forOp(dfg::OpKind::Sqrt);
+    double prev_s = -1.0, prev_q = -1.0;
+    for (int i = 0; i <= 1000; ++i) {
+        double x = -8.0 + 16.0 * i / 1000.0;
+        double s = sigmoid.evaluate(x);
+        EXPECT_GE(s, prev_s);
+        prev_s = s;
+        double q = sqrt_lut.evaluate(1e-4 + 16.0 * i / 1000.0);
+        EXPECT_GE(q, prev_q);
+        prev_q = q;
+    }
+}
+
+TEST(Lut, MoreEntriesMeanLessError)
+{
+    auto coarse = NonlinearLut(dfg::OpKind::Sigmoid, -8, 8, 64);
+    auto fine = NonlinearLut(dfg::OpKind::Sigmoid, -8, 8, 4096);
+    EXPECT_LT(fine.maxError(), coarse.maxError());
+    EXPECT_EQ(fine.storageBytes(), 4096 * 4);
+}
+
+TEST(Lut, RejectsLinearOps)
+{
+    EXPECT_THROW(NonlinearLut(dfg::OpKind::Add, 0, 1),
+                 cosmic::CosmicError);
+}
+
+} // namespace
+} // namespace cosmic::accel

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Property tests for the static scheduler: dependence and resource
+ * validity of the emitted schedule, latency modeling, and monotonicity
+ * with PE count.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/kernel.h"
+#include "dfg/analysis.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+
+namespace cosmic::compiler {
+namespace {
+
+using dfg::kInvalidNode;
+using dfg::NodeId;
+using dfg::OpKind;
+
+dfg::Translation
+translateWorkload(const std::string &name, double scale = 128.0)
+{
+    const auto &w = ml::Workload::byName(name);
+    auto prog = dsl::Parser::parse(w.dslSource(scale));
+    return dfg::Translator::translate(prog);
+}
+
+CompiledKernel
+compileAt(const dfg::Translation &tr, int rows,
+          const CompileOptions &opts = {})
+{
+    auto plan = planner::Planner::makePlan(
+        tr, accel::PlatformSpec::ultrascalePlus(), 1, rows);
+    return KernelCompiler::compile(tr, plan, opts);
+}
+
+class ScheduleValidity
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{};
+
+TEST_P(ScheduleValidity, RespectsDependencesAndResources)
+{
+    auto [name, rows] = GetParam();
+    auto tr = translateWorkload(name);
+    CompiledKernel k = compileAt(tr, rows);
+    const auto &issue = k.schedule.issueCycle;
+
+    // Every operation has an issue cycle; inputs and constants do not.
+    std::map<std::pair<int, int64_t>, int> pe_cycle_use;
+    for (NodeId v = 0; v < tr.dfg.size(); ++v) {
+        const auto &node = tr.dfg.node(v);
+        bool is_op = node.op != OpKind::Const &&
+                     node.op != OpKind::Input;
+        if (!is_op) {
+            EXPECT_EQ(issue[v], -1);
+            continue;
+        }
+        ASSERT_GE(issue[v], 0) << "op " << v << " unscheduled";
+
+        // Dependences: an op never issues before an operand finished
+        // (same-PE bypass makes back-to-back legal; cross-PE operands
+        // additionally need transfer time, which only increases the
+        // bound checked here).
+        for (NodeId o : {node.a, node.b, node.c}) {
+            if (o == kInvalidNode)
+                continue;
+            const auto &op_node = tr.dfg.node(o);
+            if (op_node.op == OpKind::Const ||
+                op_node.op == OpKind::Input)
+                continue;
+            int64_t op_finish =
+                issue[o] + Scheduler::opLatency(op_node.op);
+            int64_t min_gap =
+                k.mapping.peOf[o] == k.mapping.peOf[v] ? 0 : 1;
+            EXPECT_GE(issue[v], op_finish + min_gap - 1)
+                << "op " << v << " issues before operand " << o;
+        }
+
+        // Structural hazard: one issue per PE per cycle.
+        auto key = std::make_pair(k.mapping.peOf[v], issue[v]);
+        EXPECT_EQ(pe_cycle_use[key]++, 0)
+            << "two ops issue on PE " << key.first << " at cycle "
+            << key.second;
+    }
+
+    // Makespan bounds: at least the critical path and the busiest PE,
+    // at most the fully serialized schedule.
+    EXPECT_GE(k.schedule.makespan, dfg::criticalPathLength(tr.dfg));
+    EXPECT_GE(k.schedule.makespan, k.schedule.maxPeBusy);
+    EXPECT_LE(k.schedule.makespan,
+              10 * tr.dfg.operationCount() + 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, ScheduleValidity,
+    ::testing::Combine(::testing::Values("stock", "tumor", "face",
+                                         "movielens"),
+                       ::testing::Values(1, 4, 16, 48)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_R" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Scheduler, MoreRowsNeverHurtMuch)
+{
+    auto tr = translateWorkload("face");
+    int64_t prev = -1;
+    for (int rows : {1, 2, 4, 8, 16, 32, 48}) {
+        CompiledKernel k = compileAt(tr, rows);
+        if (prev >= 0) {
+            // Greedy list scheduling is not perfectly monotone, but
+            // doubling the PEs must never make things much worse.
+            EXPECT_LE(k.schedule.makespan,
+                      static_cast<int64_t>(prev * 1.15) + 8)
+                << "at rows=" << rows;
+        }
+        prev = k.schedule.makespan;
+    }
+}
+
+TEST(Scheduler, NonlinearOpsTakeExtraLatency)
+{
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Add), 1);
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Mul), 1);
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Sigmoid), 2);
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Div), 2);
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Log), 2);
+    EXPECT_EQ(Scheduler::opLatency(OpKind::Select), 1);
+}
+
+TEST(Scheduler, SingleSharedBusIsSlower)
+{
+    auto tr = translateWorkload("stock");
+    CompileOptions cosmic_opts;
+    CompileOptions tabla_opts;
+    tabla_opts.bus = BusKind::SingleShared;
+    tabla_opts.strategy = MappingStrategy::OperationFirst;
+
+    CompiledKernel hier = compileAt(tr, 48, cosmic_opts);
+    CompiledKernel flat = compileAt(tr, 48, tabla_opts);
+    EXPECT_LT(hier.schedule.makespan, flat.schedule.makespan);
+}
+
+TEST(Scheduler, ChainScheduleIsExact)
+{
+    // A pure dependence chain on one PE: bypass lets each op issue the
+    // cycle after its predecessor; makespan equals the chain length.
+    auto prog = dsl::Parser::parse(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        a[i] = w[i] * x[i];
+        b[i] = a[i] + 1;
+        c[i] = b[i] + 2;
+        g[i] = c[i] + 3;
+    )");
+    auto tr = dfg::Translator::translate(prog);
+    CompiledKernel k = compileAt(tr, 1);
+    // 4 linear ops + 1 gradient-accumulation slot.
+    EXPECT_EQ(k.schedule.makespan, 5);
+}
+
+TEST(Scheduler, TransferCountsAreConsistent)
+{
+    auto tr = translateWorkload("tumor");
+    CompiledKernel k = compileAt(tr, 8);
+    const auto &s = k.schedule;
+    EXPECT_EQ(s.sharedBusTransfers, 0);
+    EXPECT_GT(s.totalTransfers(), 0);
+    // Broadcast caching means bus transfers never exceed cross edges.
+    EXPECT_LE(s.rowBusTransfers + s.treeBusTransfers,
+              k.mapping.crossPeEdges);
+}
+
+} // namespace
+} // namespace cosmic::compiler

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cycle-simulator tests: the simulated hardware (mapped schedule +
+ * value movement over the interconnect) must produce exactly the
+ * interpreter's gradient, with no data-flow violations, for every
+ * algorithm family and several array shapes.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/simulator.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+#include "planner/planner.h"
+
+namespace cosmic::accel {
+namespace {
+
+class SimulatorMatchesInterpreter
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>>
+{};
+
+TEST_P(SimulatorMatchesInterpreter, GradientBitExact)
+{
+    auto [name, threads, rows] = GetParam();
+    const auto &w = ml::Workload::byName(name);
+    const double scale = 64.0;
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(scale)));
+    auto plan = planner::Planner::makePlan(
+        tr, PlatformSpec::ultrascalePlus(), threads, rows);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+
+    CycleSimulator simulator(tr, kernel);
+    dfg::Interpreter interp(tr);
+
+    Rng rng(31);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 3, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+
+    std::vector<double> golden;
+    for (int64_t r = 0; r < ds.count; ++r) {
+        auto sim = simulator.run(ds.record(r), model);
+        ASSERT_TRUE(sim.ok) << sim.violation;
+        interp.run(ds.record(r), model, golden);
+        ASSERT_EQ(sim.gradient.size(), golden.size());
+        for (size_t i = 0; i < golden.size(); ++i)
+            ASSERT_EQ(sim.gradient[i], golden[i])
+                << "gradient element " << i << " of record " << r;
+        EXPECT_GT(sim.cycles, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimulatorMatchesInterpreter,
+    ::testing::Values(
+        std::make_tuple(std::string("stock"), 1, 4),
+        std::make_tuple(std::string("stock"), 4, 2),
+        std::make_tuple(std::string("tumor"), 2, 8),
+        std::make_tuple(std::string("face"), 2, 2),
+        std::make_tuple(std::string("cancer2"), 1, 48),
+        std::make_tuple(std::string("mnist"), 2, 12),
+        std::make_tuple(std::string("movielens"), 4, 4)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_T" +
+               std::to_string(std::get<1>(info.param)) + "_R" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CycleSimulator, CyclesConsistentWithSchedule)
+{
+    const auto &w = ml::Workload::byName("face");
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(64.0)));
+    auto plan = planner::Planner::makePlan(
+        tr, PlatformSpec::ultrascalePlus(), 2, 4);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+    CycleSimulator simulator(tr, kernel);
+
+    Rng rng(32);
+    auto ds = ml::DatasetGenerator::generate(w, 64.0, 1, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, 64.0, rng);
+    auto sim = simulator.run(ds.record(0), model);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    // Last value lands no later than the scheduler's makespan (which
+    // also reserves the gradient-accumulation tail).
+    EXPECT_LE(sim.cycles, kernel.schedule.makespan);
+    EXPECT_GT(sim.messages, 0);
+}
+
+TEST(CycleSimulator, DetectsImpossibleSchedule)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    auto tr = dfg::Translator::translate(
+        dsl::Parser::parse(w.dslSource(64.0)));
+    auto plan = planner::Planner::makePlan(
+        tr, PlatformSpec::ultrascalePlus(), 1, 4);
+    auto kernel = compiler::KernelCompiler::compile(tr, plan);
+
+    // Pull the final gradient operation to cycle 0: its operands can
+    // no longer have arrived.
+    for (dfg::NodeId v = tr.dfg.size() - 1; v >= 0; --v) {
+        const auto &node = tr.dfg.node(v);
+        if (node.op == dfg::OpKind::Const ||
+            node.op == dfg::OpKind::Input)
+            continue;
+        if (kernel.schedule.issueCycle[v] > 4) {
+            kernel.schedule.issueCycle[v] = 0;
+            break;
+        }
+    }
+    CycleSimulator simulator(tr, kernel);
+    Rng rng(33);
+    auto ds = ml::DatasetGenerator::generate(w, 64.0, 1, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, 64.0, rng);
+    auto sim = simulator.run(ds.record(0), model);
+    EXPECT_FALSE(sim.ok);
+    EXPECT_FALSE(sim.violation.empty());
+}
+
+} // namespace
+} // namespace cosmic::accel

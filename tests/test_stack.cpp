@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Full-stack integration tests: DSL -> DFG -> plan -> kernel -> scale-
+ * out estimate for every suite benchmark, plus shape assertions that
+ * mirror the paper's headline findings.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/spark_model.h"
+#include "baselines/tabla_model.h"
+#include "core/cosmic.h"
+
+namespace cosmic::core {
+namespace {
+
+class FullStack : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(FullStack, BuildsAndEstimates)
+{
+    const auto &w = ml::Workload::byName(GetParam());
+    auto built = CosmicStack::buildWorkload(
+        w, 32.0, accel::PlatformSpec::ultrascalePlus());
+
+    EXPECT_GT(built.flopsPerRecord, 0.0);
+    EXPECT_GT(built.bytesPerRecord, 0.0);
+    EXPECT_GT(built.modelBytes, 0);
+    EXPECT_GE(built.planResult.plan.threads, 1);
+
+    ScaleOutConfig cfg;
+    cfg.nodes = 16;
+    cfg.minibatchPerNode = 1000;
+    auto est = ScaleOutEstimator::cosmic(built, cfg, 160000);
+    EXPECT_GT(est.recordsPerSecond, 0.0);
+    EXPECT_GT(est.epochSeconds, 0.0);
+    EXPECT_NEAR(est.iterationsPerEpoch, 10.0, 1e-9);
+    EXPECT_GT(est.iteration.computeSec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, FullStack,
+    ::testing::Values("mnist", "acoustic", "stock", "texture", "tumor",
+                      "cancer1", "movielens", "netflix", "face",
+                      "cancer2"),
+    [](const auto &info) { return info.param; });
+
+TEST(FullStack, BuildFromSourceMatchesWorkloadBuild)
+{
+    const auto &w = ml::Workload::byName("face");
+    auto a = CosmicStack::buildWorkload(
+        w, 32.0, accel::PlatformSpec::ultrascalePlus());
+    auto b = CosmicStack::buildFromSource(
+        w.dslSource(32.0), accel::PlatformSpec::ultrascalePlus());
+    EXPECT_EQ(a.modelBytes, b.modelBytes);
+    EXPECT_EQ(a.planResult.plan.threads, b.planResult.plan.threads);
+}
+
+TEST(FullStack, CosmicOutperformsSparkShape)
+{
+    // Headline shape (Fig. 7): accelerated CoSMIC beats Spark on the
+    // same cluster by an order of magnitude.
+    const auto &w = ml::Workload::byName("tumor");
+    auto built = CosmicStack::buildWorkload(
+        w, 1.0, accel::PlatformSpec::ultrascalePlus());
+
+    ScaleOutConfig cfg;
+    cfg.nodes = 16;
+    cfg.minibatchPerNode = 10000;
+    auto cosmic_est =
+        ScaleOutEstimator::cosmic(built, cfg, w.numVectors);
+
+    baselines::SparkModel spark;
+    auto spark_it = spark.iteration(
+        w.algorithm, 16, cfg.minibatchPerNode, built.flopsPerRecord,
+        built.bytesPerRecord, built.modelBytes);
+
+    EXPECT_GT(spark_it.totalSec() /
+                  cosmic_est.iteration.totalSec(),
+              5.0);
+}
+
+TEST(FullStack, ComputeFractionGrowsWithMinibatch)
+{
+    // Fig. 13's mechanism: larger b amortizes aggregation.
+    const auto &w = ml::Workload::byName("face");
+    auto built = CosmicStack::buildWorkload(
+        w, 1.0, accel::PlatformSpec::ultrascalePlus());
+
+    auto fraction = [&](int64_t b) {
+        ScaleOutConfig cfg;
+        cfg.nodes = 3;
+        cfg.groups = 1;
+        cfg.minibatchPerNode = b;
+        auto est = ScaleOutEstimator::cosmic(built, cfg, 1000000);
+        return est.iteration.computeSec / est.iteration.totalSec();
+    };
+    double at_500 = fraction(500);
+    double at_100k = fraction(100000);
+    EXPECT_LT(at_500, at_100k);
+    EXPECT_GT(at_100k, 0.8);
+}
+
+TEST(FullStack, ScalingBeatsSparkScaling)
+{
+    // Fig. 8's shape: CoSMIC scales better 4 -> 16 nodes than Spark
+    // for communication-sensitive benchmarks.
+    const auto &w = ml::Workload::byName("cancer2");
+    auto built = CosmicStack::buildWorkload(
+        w, 1.0, accel::PlatformSpec::ultrascalePlus());
+
+    auto cosmic_epoch = [&](int nodes) {
+        ScaleOutConfig cfg;
+        cfg.nodes = nodes;
+        cfg.minibatchPerNode = 10000;
+        return ScaleOutEstimator::cosmic(built, cfg, w.numVectors)
+            .epochSeconds;
+    };
+    double cosmic_scaling = cosmic_epoch(4) / cosmic_epoch(16);
+    EXPECT_GT(cosmic_scaling, 1.5);
+    EXPECT_LT(cosmic_scaling, 4.5);
+}
+
+TEST(FullStack, TablaComparisonShape)
+{
+    // Fig. 17's shape: the multi-threaded template with data-first
+    // mapping beats the TABLA-style design at equal PE count.
+    const auto &w = ml::Workload::byName("cancer1");
+    auto built = CosmicStack::buildWorkload(
+        w, 4.0, accel::PlatformSpec::ultrascalePlus());
+    auto tabla = baselines::TablaModel::build(
+        built.translation, accel::PlatformSpec::ultrascalePlus());
+
+    accel::PerfEstimator cosmic_perf(built.translation,
+                                     built.planResult.kernel,
+                                     built.planResult.plan);
+    EXPECT_GT(cosmic_perf.recordsPerSecond(),
+              tabla.recordsPerSecond * 1.2);
+}
+
+TEST(FullStack, PlanRespectsMinibatchBound)
+{
+    auto built = CosmicStack::buildFromSource(R"(
+        model_input x[64];
+        model w[64];
+        gradient g[64];
+        iterator i[0:64];
+        g[i] = w[i] * x[i];
+        minibatch 2;
+    )", accel::PlatformSpec::ultrascalePlus());
+    EXPECT_LE(built.planResult.plan.threads, 2);
+}
+
+} // namespace
+} // namespace cosmic::core

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Concurrency tests for the system-software primitives: channels,
+ * circular buffers, and thread pools.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "system/channel.h"
+#include "system/circular_buffer.h"
+#include "system/thread_pool.h"
+
+namespace cosmic::sys {
+namespace {
+
+TEST(Channel, FifoWithinOneSender)
+{
+    Channel ch;
+    for (int i = 0; i < 10; ++i)
+        ch.send(Message{0, static_cast<uint64_t>(i), {double(i)}});
+    Message msg;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(ch.receive(msg));
+        EXPECT_EQ(msg.seq, static_cast<uint64_t>(i));
+    }
+    EXPECT_FALSE(ch.pending());
+}
+
+TEST(Channel, TryReceiveOnEmpty)
+{
+    Channel ch;
+    Message msg;
+    EXPECT_FALSE(ch.tryReceive(msg));
+}
+
+TEST(Channel, CloseWakesReceiver)
+{
+    Channel ch;
+    std::atomic<bool> got_false{false};
+    std::thread receiver([&] {
+        Message msg;
+        got_false = !ch.receive(msg);
+    });
+    ch.close();
+    receiver.join();
+    EXPECT_TRUE(got_false);
+}
+
+TEST(Channel, ManyProducersNoLoss)
+{
+    Channel ch;
+    const int producers = 8;
+    const int per_producer = 200;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < per_producer; ++i)
+                ch.send(Message{p, static_cast<uint64_t>(i), {}});
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    std::vector<int> counts(producers, 0);
+    Message msg;
+    for (int i = 0; i < producers * per_producer; ++i) {
+        ASSERT_TRUE(ch.receive(msg));
+        ++counts[msg.from];
+    }
+    for (int p = 0; p < producers; ++p)
+        EXPECT_EQ(counts[p], per_producer);
+}
+
+TEST(CircularBuffer, BoundedAndOrdered)
+{
+    CircularBuffer ring(4);
+    for (int i = 0; i < 4; ++i)
+        ring.push(Chunk{0, i, {double(i)}});
+    EXPECT_EQ(ring.size(), 4u);
+
+    Chunk c;
+    ASSERT_TRUE(ring.pop(c));
+    EXPECT_EQ(c.offset, 0);
+    ring.push(Chunk{0, 4, {}});
+    for (int i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(ring.pop(c));
+        EXPECT_EQ(c.offset, i);
+    }
+}
+
+TEST(CircularBuffer, ProducerBlocksUntilConsumed)
+{
+    CircularBuffer ring(2);
+    ring.push(Chunk{0, 0, {}});
+    ring.push(Chunk{0, 1, {}});
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        ring.push(Chunk{0, 2, {}});
+        pushed = true;
+    });
+    // Give the producer a chance to (wrongly) complete.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed);
+
+    Chunk c;
+    ASSERT_TRUE(ring.pop(c));
+    producer.join();
+    EXPECT_TRUE(pushed);
+}
+
+TEST(CircularBuffer, ConcurrentStressNoLossNoDup)
+{
+    CircularBuffer ring(8);
+    const int producers = 4;
+    const int per_producer = 500;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < per_producer; ++i)
+                ring.push(Chunk{p, i, {double(p * per_producer + i)}});
+        });
+    }
+
+    std::mutex seen_mutex;
+    std::set<int64_t> seen;
+    std::vector<std::thread> consumers;
+    std::atomic<int> consumed{0};
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            Chunk chunk;
+            for (;;) {
+                // Claim one pop; exactly as many pops as pushes happen.
+                if (consumed.fetch_add(1) >= producers * per_producer)
+                    return;
+                ASSERT_TRUE(ring.pop(chunk));
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                auto [it, inserted] = seen.insert(
+                    static_cast<int64_t>(chunk.values[0]));
+                EXPECT_TRUE(inserted) << "duplicate chunk";
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(seen.size(),
+              static_cast<size_t>(producers * per_producer));
+    EXPECT_LE(ring.highWater(), ring.capacity());
+}
+
+TEST(ThreadPool, ExecutesAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&] { counter.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 1000);
+    EXPECT_EQ(pool.tasksExecuted(), 1000u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, ReusedAcrossRounds)
+{
+    // The CoSMIC pools persist across iterations; no thread churn.
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { counter.fetch_add(1); });
+        pool.waitIdle();
+        EXPECT_EQ(counter.load(), (round + 1) * 50);
+    }
+    EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(ThreadPool, ParallelismIsReal)
+{
+    ThreadPool pool(2);
+    std::atomic<int> in_flight{0};
+    std::atomic<int> max_in_flight{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&] {
+            int now = in_flight.fetch_add(1) + 1;
+            int prev = max_in_flight.load();
+            while (now > prev &&
+                   !max_in_flight.compare_exchange_weak(prev, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            in_flight.fetch_sub(1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_GE(max_in_flight.load(), 2);
+}
+
+} // namespace
+} // namespace cosmic::sys

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the Translator (DSL -> DFG lowering).
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dfg/analysis.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+
+namespace cosmic::dfg {
+namespace {
+
+Translation
+translate(const char *src)
+{
+    auto prog = dsl::Parser::parse(src);
+    return Translator::translate(prog);
+}
+
+TEST(Translator, LinearRegressionShape)
+{
+    auto tr = translate(R"(
+        model_input x[4];
+        model_output y;
+        model w[4];
+        gradient g[4];
+        iterator i[0:4];
+        s = sum[i](w[i] * x[i]);
+        e = s - y;
+        g[i] = e * x[i];
+        minibatch 50;
+    )");
+    EXPECT_EQ(tr.recordWords, 5);
+    EXPECT_EQ(tr.modelWords, 4);
+    EXPECT_EQ(tr.gradientWords, 4);
+    EXPECT_EQ(tr.minibatch, 50);
+    // 4 muls + 3 adds (balanced tree) + 1 sub + 4 gradient muls.
+    EXPECT_EQ(tr.dfg.operationCount(), 12);
+    EXPECT_EQ(tr.dfg.dataInputCount(), 5);
+    EXPECT_EQ(tr.dfg.modelInputCount(), 4);
+    ASSERT_EQ(tr.dfg.gradientNodes().size(), 4u);
+    for (NodeId g : tr.dfg.gradientNodes())
+        EXPECT_NE(g, kInvalidNode);
+}
+
+TEST(Translator, RecordStreamLaysInputsBeforeOutputs)
+{
+    auto tr = translate(R"(
+        model_input a[2];
+        model_input b[3];
+        model_output y[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        iterator j[0:3];
+        iterator k[0:2];
+        g[i] = w[i] * a[i] + sum[j](b[j]) + sum[k](y[k]);
+    )");
+    EXPECT_EQ(tr.recordWords, 7);
+    EXPECT_EQ(tr.tensor("a").baseOffset, 0);
+    EXPECT_EQ(tr.tensor("b").baseOffset, 2);
+    EXPECT_EQ(tr.tensor("y").baseOffset, 5);
+}
+
+TEST(Translator, BalancedReductionDepth)
+{
+    auto tr = translate(R"(
+        model_input x[64];
+        model w[64];
+        gradient g[1];
+        iterator i[0:64];
+        iterator o[0:1];
+        g[o] = sum[i](w[i] * x[i]);
+    )");
+    // Critical path: 1 mul + log2(64) adds = 7.
+    EXPECT_EQ(criticalPathLength(tr.dfg), 7);
+}
+
+TEST(Translator, ProductReductionUsesMul)
+{
+    auto tr = translate(R"(
+        model_input x[4];
+        model w[4];
+        gradient g[1];
+        iterator i[0:4];
+        iterator o[0:1];
+        g[o] = pi[i](w[i] + x[i]);
+    )");
+    auto histo = tr.dfg.opHistogram();
+    EXPECT_EQ(histo[OpKind::Add], 4);
+    EXPECT_EQ(histo[OpKind::Mul], 3);
+}
+
+TEST(Translator, ConstantsAreDeduplicated)
+{
+    auto tr = translate(R"(
+        model w[4];
+        gradient g[4];
+        iterator i[0:4];
+        g[i] = w[i] * 3 + 3;
+    )");
+    // One const node for 3 regardless of four statement expansions.
+    int64_t consts = 0;
+    for (NodeId v = 0; v < tr.dfg.size(); ++v)
+        if (tr.dfg.node(v).op == OpKind::Const)
+            ++consts;
+    EXPECT_EQ(consts, 1);
+}
+
+TEST(Translator, InputNodesCreatedOnceAcrossUses)
+{
+    auto tr = translate(R"(
+        model_input x[4];
+        model w[4];
+        gradient g[4];
+        iterator i[0:4];
+        a = sum[i](w[i] * x[i]);
+        b = sum[i](x[i] * x[i]);
+        g[i] = a * b * x[i];
+    )");
+    EXPECT_EQ(tr.dfg.dataInputCount(), 4);
+    EXPECT_EQ(tr.dfg.modelInputCount(), 4);
+}
+
+TEST(Translator, InterimChainingAcrossStatements)
+{
+    auto tr = translate(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        h[i] = w[i] * x[i];
+        h[i] = h[i] + 1;
+        g[i] = h[i] * 2;
+    )");
+    // The second statement reads the first's nodes; the third reads the
+    // second's. 2 muls + 2 adds + 2 muls.
+    EXPECT_EQ(tr.dfg.operationCount(), 6);
+}
+
+TEST(Translator, IteratorOffsetOutOfRangeThrows)
+{
+    EXPECT_THROW(translate(R"(
+        model_input x[4];
+        model w[4];
+        gradient g[4];
+        iterator i[0:4];
+        g[i] = w[i] * x[i+1];
+    )"),
+                 cosmic::CosmicError);
+}
+
+TEST(Translator, ReadBeforeWriteThrows)
+{
+    EXPECT_THROW(translate(R"(
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = h[i] * w[i];
+        h[i] = w[i];
+    )"),
+                 cosmic::CosmicError);
+}
+
+TEST(Translator, MultiDimLinearizationRowMajor)
+{
+    auto tr = translate(R"(
+        model_input x[2];
+        model w[2][3];
+        gradient g[2][3];
+        iterator i[0:2];
+        iterator j[0:3];
+        g[i][j] = w[i][j] * x[i];
+    )");
+    EXPECT_EQ(tr.modelWords, 6);
+    // Gradient node for (i=1, j=2) is at flattened position 5.
+    ASSERT_EQ(tr.dfg.gradientNodes().size(), 6u);
+    NodeId g12 = tr.dfg.gradientNodes()[5];
+    const auto &node = tr.dfg.node(g12);
+    EXPECT_EQ(node.op, OpKind::Mul);
+    // Its model operand must be w element 5.
+    NodeId model_op =
+        tr.dfg.node(node.a).category == Category::Model ? node.a
+                                                        : node.b;
+    EXPECT_EQ(tr.dfg.inputPos(model_op), 5);
+}
+
+TEST(Translator, GradientCategoriesTagged)
+{
+    auto tr = translate(R"(
+        model_input x[2];
+        model_output y;
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = (w[i] - y) * x[i];
+    )");
+    int64_t data = 0, model = 0, interim = 0;
+    for (NodeId v = 0; v < tr.dfg.size(); ++v) {
+        switch (tr.dfg.node(v).category) {
+          case Category::Data: ++data; break;
+          case Category::Model: ++model; break;
+          case Category::Interim: ++interim; break;
+          case Category::Immed: break;
+        }
+    }
+    EXPECT_EQ(data, 3);
+    EXPECT_EQ(model, 2);
+    EXPECT_EQ(interim, 4); // 2 subs + 2 muls
+}
+
+TEST(Translator, TernaryBecomesSelect)
+{
+    auto tr = translate(R"(
+        model_input x[2];
+        model_output y;
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        c = sum[i](w[i] * x[i]) < 1;
+        g[i] = c ? -y * x[i] : 0;
+    )");
+    auto histo = tr.dfg.opHistogram();
+    EXPECT_EQ(histo[OpKind::Select], 2);
+    EXPECT_EQ(histo[OpKind::CmpLt], 1);
+    EXPECT_EQ(histo[OpKind::Neg], 1); // leaf-op CSE: -y made once
+}
+
+} // namespace
+} // namespace cosmic::dfg

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the benchmark suite definitions, DSL generation, synthetic
+ * datasets, and reference math.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/reference.h"
+#include "ml/workloads.h"
+
+namespace cosmic::ml {
+namespace {
+
+TEST(Workloads, SuiteMatchesTable1)
+{
+    const auto &suite = Workload::suite();
+    ASSERT_EQ(suite.size(), 10u);
+
+    const auto &mnist = Workload::byName("mnist");
+    EXPECT_EQ(mnist.algorithm, Algorithm::Backpropagation);
+    EXPECT_EQ(mnist.d1, 784);
+    EXPECT_EQ(mnist.d2, 784);
+    EXPECT_EQ(mnist.d3, 10);
+    EXPECT_EQ(mnist.numVectors, 60000);
+    EXPECT_EQ(mnist.modelKB, 2432);
+
+    const auto &netflix = Workload::byName("netflix");
+    EXPECT_EQ(netflix.algorithm, Algorithm::CollaborativeFiltering);
+    EXPECT_EQ(netflix.d1, 73066);
+
+    EXPECT_THROW(Workload::byName("nonexistent"), cosmic::CosmicError);
+}
+
+TEST(Workloads, TwoBenchmarksPerAlgorithm)
+{
+    std::map<Algorithm, int> counts;
+    for (const auto &w : Workload::suite())
+        ++counts[w.algorithm];
+    ASSERT_EQ(counts.size(), 5u);
+    for (const auto &[alg, n] : counts)
+        EXPECT_EQ(n, 2) << algorithmName(alg);
+}
+
+TEST(Workloads, ModelSizeMatchesTable1)
+{
+    // Translated model footprint must agree with Table 1's KB column.
+    for (const auto &w : Workload::suite()) {
+        int64_t words = DatasetGenerator::modelWords(w, 1.0);
+        double kb = words * 4.0 / 1024.0;
+        EXPECT_NEAR(kb, static_cast<double>(w.modelKB),
+                    w.modelKB * 0.02 + 1.0)
+            << w.name;
+    }
+}
+
+TEST(Workloads, DslParsesAtAllScales)
+{
+    for (const auto &w : Workload::suite()) {
+        for (double scale : {64.0, 8.0}) {
+            auto prog = dsl::Parser::parse(w.dslSource(scale));
+            auto tr = dfg::Translator::translate(prog);
+            EXPECT_EQ(tr.recordWords,
+                      DatasetGenerator::recordWords(w, scale))
+                << w.name;
+            EXPECT_EQ(tr.modelWords,
+                      DatasetGenerator::modelWords(w, scale))
+                << w.name;
+            EXPECT_EQ(tr.gradientWords, tr.modelWords) << w.name;
+        }
+    }
+}
+
+TEST(Workloads, ScalingKeepsSmallDims)
+{
+    const auto &mnist = Workload::byName("mnist");
+    EXPECT_EQ(mnist.scaled3(64.0), 10); // outputs stay intact
+    EXPECT_EQ(mnist.scaled1(64.0), 784 / 64);
+    const auto &movielens = Workload::byName("movielens");
+    EXPECT_EQ(movielens.scaled2(64.0), 10); // rank stays intact
+}
+
+TEST(Dataset, ShapesAndDeterminism)
+{
+    const auto &w = Workload::byName("tumor");
+    Rng a(9), b(9);
+    auto da = DatasetGenerator::generate(w, 32.0, 16, a);
+    auto db = DatasetGenerator::generate(w, 32.0, 16, b);
+    EXPECT_EQ(da.count, 16);
+    EXPECT_EQ(da.recordWords, w.scaled1(32.0) + 1);
+    EXPECT_EQ(da.data, db.data) << "generation must be deterministic";
+}
+
+TEST(Dataset, SvmLabelsAreSigns)
+{
+    const auto &w = Workload::byName("face");
+    Rng rng(3);
+    auto ds = DatasetGenerator::generate(w, 32.0, 64, rng);
+    int positive = 0;
+    for (int64_t r = 0; r < ds.count; ++r) {
+        double y = ds.record(r)[ds.recordWords - 1];
+        EXPECT_TRUE(y == 1.0 || y == -1.0);
+        positive += y > 0;
+    }
+    // A hidden zero-mean teacher gives roughly balanced classes.
+    EXPECT_GT(positive, 8);
+    EXPECT_LT(positive, 56);
+}
+
+TEST(Dataset, LogisticLabelsAreBinary)
+{
+    const auto &w = Workload::byName("tumor");
+    Rng rng(4);
+    auto ds = DatasetGenerator::generate(w, 32.0, 64, rng);
+    for (int64_t r = 0; r < ds.count; ++r) {
+        double y = ds.record(r)[ds.recordWords - 1];
+        EXPECT_TRUE(y == 0.0 || y == 1.0);
+    }
+}
+
+TEST(Dataset, PartitionSlicesAreExactCopies)
+{
+    const auto &w = Workload::byName("stock");
+    Rng rng(5);
+    auto ds = DatasetGenerator::generate(w, 64.0, 20, rng);
+    auto part = ds.partition(5, 10);
+    EXPECT_EQ(part.count, 10);
+    for (int64_t r = 0; r < 10; ++r) {
+        auto expect = ds.record(5 + r);
+        auto got = part.record(r);
+        for (size_t i = 0; i < expect.size(); ++i)
+            EXPECT_DOUBLE_EQ(got[i], expect[i]);
+    }
+}
+
+TEST(Reference, GradientIsDescentDirection)
+{
+    // For every algorithm: a small step against the gradient reduces
+    // the loss on that record (first-order sanity of the math).
+    Rng rng(6);
+    for (const auto &w : Workload::suite()) {
+        // Collaborative filtering uses the decoupled gradient (the
+        // user-projection u is treated as fixed, exactly as the DSL
+        // program states), so strict single-step descent of the full
+        // objective is not guaranteed for it.
+        if (w.algorithm == Algorithm::CollaborativeFiltering)
+            continue;
+        Reference ref(w, 64.0);
+        auto ds = DatasetGenerator::generate(w, 64.0, 1, rng);
+        auto model = DatasetGenerator::initialModel(w, 64.0, rng);
+        std::vector<double> grad;
+        ref.gradient(ds.record(0), model, grad);
+
+        double before = ref.loss(ds.record(0), model);
+        double norm2 = 0.0;
+        for (double g : grad)
+            norm2 += g * g;
+        if (norm2 < 1e-18)
+            continue; // flat region (e.g. satisfied SVM margin)
+        double step = 1e-3 / std::sqrt(norm2);
+        for (size_t i = 0; i < model.size(); ++i)
+            model[i] -= step * grad[i];
+        double after = ref.loss(ds.record(0), model);
+        EXPECT_LE(after, before + 1e-12) << w.name;
+    }
+}
+
+TEST(Reference, MeanLossAveragesRecords)
+{
+    const auto &w = Workload::byName("stock");
+    Reference ref(w, 64.0);
+    Rng rng(7);
+    auto ds = DatasetGenerator::generate(w, 64.0, 4, rng);
+    auto model = DatasetGenerator::initialModel(w, 64.0, rng);
+    double total = 0.0;
+    for (int64_t r = 0; r < ds.count; ++r)
+        total += ref.loss(ds.record(r), model);
+    EXPECT_NEAR(ref.meanLoss(ds.data, ds.count, model),
+                total / ds.count, 1e-12);
+}
+
+} // namespace
+} // namespace cosmic::ml
