@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_compute"
+  "../bench/bench_fig10_compute.pdb"
+  "CMakeFiles/bench_fig10_compute.dir/bench_fig10_compute.cpp.o"
+  "CMakeFiles/bench_fig10_compute.dir/bench_fig10_compute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_perf_per_watt"
+  "../bench/bench_fig11_perf_per_watt.pdb"
+  "CMakeFiles/bench_fig11_perf_per_watt.dir/bench_fig11_perf_per_watt.cpp.o"
+  "CMakeFiles/bench_fig11_perf_per_watt.dir/bench_fig11_perf_per_watt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_perf_per_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

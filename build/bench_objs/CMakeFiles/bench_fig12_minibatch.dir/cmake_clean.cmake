@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_minibatch"
+  "../bench/bench_fig12_minibatch.pdb"
+  "CMakeFiles/bench_fig12_minibatch.dir/bench_fig12_minibatch.cpp.o"
+  "CMakeFiles/bench_fig12_minibatch.dir/bench_fig12_minibatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

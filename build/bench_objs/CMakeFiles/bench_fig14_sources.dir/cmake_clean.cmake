@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_sources"
+  "../bench/bench_fig14_sources.pdb"
+  "CMakeFiles/bench_fig14_sources.dir/bench_fig14_sources.cpp.o"
+  "CMakeFiles/bench_fig14_sources.dir/bench_fig14_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

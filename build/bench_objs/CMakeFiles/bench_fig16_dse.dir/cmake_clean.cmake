@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_dse"
+  "../bench/bench_fig16_dse.pdb"
+  "CMakeFiles/bench_fig16_dse.dir/bench_fig16_dse.cpp.o"
+  "CMakeFiles/bench_fig16_dse.dir/bench_fig16_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_tabla"
+  "../bench/bench_fig17_tabla.pdb"
+  "CMakeFiles/bench_fig17_tabla.dir/bench_fig17_tabla.cpp.o"
+  "CMakeFiles/bench_fig17_tabla.dir/bench_fig17_tabla.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tabla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_platforms"
+  "../bench/bench_fig9_platforms.pdb"
+  "CMakeFiles/bench_fig9_platforms.dir/bench_fig9_platforms.cpp.o"
+  "CMakeFiles/bench_fig9_platforms.dir/bench_fig9_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

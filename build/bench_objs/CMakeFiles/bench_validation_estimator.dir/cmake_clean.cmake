@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_validation_estimator"
+  "../bench/bench_validation_estimator.pdb"
+  "CMakeFiles/bench_validation_estimator.dir/bench_validation_estimator.cpp.o"
+  "CMakeFiles/bench_validation_estimator.dir/bench_validation_estimator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cosmicc"
+  "../examples/cosmicc.pdb"
+  "CMakeFiles/cosmicc.dir/cosmicc.cpp.o"
+  "CMakeFiles/cosmicc.dir/cosmicc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

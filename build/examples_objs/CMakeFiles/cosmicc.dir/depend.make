@@ -1,0 +1,2 @@
+# Empty dependencies file for cosmicc.
+# This may be replaced when dependencies are built.

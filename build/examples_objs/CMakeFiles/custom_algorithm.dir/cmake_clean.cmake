@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_algorithm"
+  "../examples/custom_algorithm.pdb"
+  "CMakeFiles/custom_algorithm.dir/custom_algorithm.cpp.o"
+  "CMakeFiles/custom_algorithm.dir/custom_algorithm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

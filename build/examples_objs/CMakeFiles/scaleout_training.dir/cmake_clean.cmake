@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scaleout_training"
+  "../examples/scaleout_training.pdb"
+  "CMakeFiles/scaleout_training.dir/scaleout_training.cpp.o"
+  "CMakeFiles/scaleout_training.dir/scaleout_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

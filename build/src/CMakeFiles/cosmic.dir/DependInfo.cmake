@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/fixed_point.cpp" "src/CMakeFiles/cosmic.dir/accel/fixed_point.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/fixed_point.cpp.o.d"
+  "/root/repo/src/accel/lut.cpp" "src/CMakeFiles/cosmic.dir/accel/lut.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/lut.cpp.o.d"
+  "/root/repo/src/accel/perf.cpp" "src/CMakeFiles/cosmic.dir/accel/perf.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/perf.cpp.o.d"
+  "/root/repo/src/accel/plan.cpp" "src/CMakeFiles/cosmic.dir/accel/plan.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/plan.cpp.o.d"
+  "/root/repo/src/accel/platform.cpp" "src/CMakeFiles/cosmic.dir/accel/platform.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/platform.cpp.o.d"
+  "/root/repo/src/accel/replay.cpp" "src/CMakeFiles/cosmic.dir/accel/replay.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/replay.cpp.o.d"
+  "/root/repo/src/accel/simulator.cpp" "src/CMakeFiles/cosmic.dir/accel/simulator.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/accel/simulator.cpp.o.d"
+  "/root/repo/src/baselines/gpu_model.cpp" "src/CMakeFiles/cosmic.dir/baselines/gpu_model.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/baselines/gpu_model.cpp.o.d"
+  "/root/repo/src/baselines/spark_model.cpp" "src/CMakeFiles/cosmic.dir/baselines/spark_model.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/baselines/spark_model.cpp.o.d"
+  "/root/repo/src/baselines/tabla_model.cpp" "src/CMakeFiles/cosmic.dir/baselines/tabla_model.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/baselines/tabla_model.cpp.o.d"
+  "/root/repo/src/circuit/constructor.cpp" "src/CMakeFiles/cosmic.dir/circuit/constructor.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/circuit/constructor.cpp.o.d"
+  "/root/repo/src/circuit/encoding.cpp" "src/CMakeFiles/cosmic.dir/circuit/encoding.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/circuit/encoding.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/cosmic.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cosmic.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/common/table.cpp.o.d"
+  "/root/repo/src/compiler/interconnect.cpp" "src/CMakeFiles/cosmic.dir/compiler/interconnect.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/compiler/interconnect.cpp.o.d"
+  "/root/repo/src/compiler/kernel.cpp" "src/CMakeFiles/cosmic.dir/compiler/kernel.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/compiler/kernel.cpp.o.d"
+  "/root/repo/src/compiler/mapper.cpp" "src/CMakeFiles/cosmic.dir/compiler/mapper.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/compiler/mapper.cpp.o.d"
+  "/root/repo/src/compiler/memory_schedule.cpp" "src/CMakeFiles/cosmic.dir/compiler/memory_schedule.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/compiler/memory_schedule.cpp.o.d"
+  "/root/repo/src/compiler/scheduler.cpp" "src/CMakeFiles/cosmic.dir/compiler/scheduler.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/compiler/scheduler.cpp.o.d"
+  "/root/repo/src/core/cosmic.cpp" "src/CMakeFiles/cosmic.dir/core/cosmic.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/core/cosmic.cpp.o.d"
+  "/root/repo/src/dfg/analysis.cpp" "src/CMakeFiles/cosmic.dir/dfg/analysis.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dfg/analysis.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/CMakeFiles/cosmic.dir/dfg/dot.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dfg/dot.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/CMakeFiles/cosmic.dir/dfg/graph.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dfg/graph.cpp.o.d"
+  "/root/repo/src/dfg/interp.cpp" "src/CMakeFiles/cosmic.dir/dfg/interp.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dfg/interp.cpp.o.d"
+  "/root/repo/src/dfg/translator.cpp" "src/CMakeFiles/cosmic.dir/dfg/translator.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dfg/translator.cpp.o.d"
+  "/root/repo/src/dsl/ast.cpp" "src/CMakeFiles/cosmic.dir/dsl/ast.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dsl/ast.cpp.o.d"
+  "/root/repo/src/dsl/lexer.cpp" "src/CMakeFiles/cosmic.dir/dsl/lexer.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dsl/lexer.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "src/CMakeFiles/cosmic.dir/dsl/parser.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dsl/parser.cpp.o.d"
+  "/root/repo/src/dsl/program.cpp" "src/CMakeFiles/cosmic.dir/dsl/program.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dsl/program.cpp.o.d"
+  "/root/repo/src/dsl/token.cpp" "src/CMakeFiles/cosmic.dir/dsl/token.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/dsl/token.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/cosmic.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/predictor.cpp" "src/CMakeFiles/cosmic.dir/ml/predictor.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/ml/predictor.cpp.o.d"
+  "/root/repo/src/ml/reference.cpp" "src/CMakeFiles/cosmic.dir/ml/reference.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/ml/reference.cpp.o.d"
+  "/root/repo/src/ml/templates.cpp" "src/CMakeFiles/cosmic.dir/ml/templates.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/ml/templates.cpp.o.d"
+  "/root/repo/src/ml/workloads.cpp" "src/CMakeFiles/cosmic.dir/ml/workloads.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/ml/workloads.cpp.o.d"
+  "/root/repo/src/planner/planner.cpp" "src/CMakeFiles/cosmic.dir/planner/planner.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/planner/planner.cpp.o.d"
+  "/root/repo/src/system/aggregation.cpp" "src/CMakeFiles/cosmic.dir/system/aggregation.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/aggregation.cpp.o.d"
+  "/root/repo/src/system/channel.cpp" "src/CMakeFiles/cosmic.dir/system/channel.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/channel.cpp.o.d"
+  "/root/repo/src/system/circular_buffer.cpp" "src/CMakeFiles/cosmic.dir/system/circular_buffer.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/circular_buffer.cpp.o.d"
+  "/root/repo/src/system/cluster_model.cpp" "src/CMakeFiles/cosmic.dir/system/cluster_model.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/cluster_model.cpp.o.d"
+  "/root/repo/src/system/cluster_runtime.cpp" "src/CMakeFiles/cosmic.dir/system/cluster_runtime.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/cluster_runtime.cpp.o.d"
+  "/root/repo/src/system/director.cpp" "src/CMakeFiles/cosmic.dir/system/director.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/director.cpp.o.d"
+  "/root/repo/src/system/thread_pool.cpp" "src/CMakeFiles/cosmic.dir/system/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/thread_pool.cpp.o.d"
+  "/root/repo/src/system/training_node.cpp" "src/CMakeFiles/cosmic.dir/system/training_node.cpp.o" "gcc" "src/CMakeFiles/cosmic.dir/system/training_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

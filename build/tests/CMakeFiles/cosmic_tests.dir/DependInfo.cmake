@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregation.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_aggregation.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_aggregation.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_cluster_runtime.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_cluster_runtime.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_cluster_runtime.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_dot_export.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_dot_export.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_dot_export.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_dsl_extensions.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_dsl_extensions.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_dsl_extensions.cpp.o.d"
+  "/root/repo/tests/test_fixed_point.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_memory_schedule.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_memory_schedule.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_memory_schedule.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_perf.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_perf.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_perf.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_replay_lut.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_replay_lut.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_replay_lut.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stack.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_stack.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_stack.cpp.o.d"
+  "/root/repo/tests/test_system_primitives.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_system_primitives.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_system_primitives.cpp.o.d"
+  "/root/repo/tests/test_templates.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_templates.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_templates.cpp.o.d"
+  "/root/repo/tests/test_translator.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_translator.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_translator.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/cosmic_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/cosmic_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
