@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Training hot-path throughput: interpreter vs compiled tape executor.
+ *
+ * Measures single-thread records/sec of the per-record gradient kernel
+ * for all 10 Table-1 workloads — the node-order Interpreter against the
+ * Tape's flat instruction stream — and times one functional-runtime
+ * iteration to show the persistent-worker system layer end to end.
+ *
+ * The last line of output is a machine-readable JSON summary so future
+ * PRs can track the perf trajectory:
+ *   {"bench":"hotpath_tape","scale":...,"results":[{"workload":...,
+ *    "interp_rps":...,"tape_rps":...,"speedup":...},...],
+ *    "iteration_sec":{...}}
+ *
+ * Target (ISSUE 1): >= 3x single-thread throughput on the linear- and
+ * logistic-regression workloads (stock, texture, tumor, cancer1).
+ */
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "dfg/interp.h"
+#include "dfg/tape.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+#include "system/cluster_runtime.h"
+
+using namespace cosmic;
+
+namespace {
+
+/** Runs @p body repeatedly until ~minSeconds elapsed; returns
+ *  records/sec (body processes @p records records per call). */
+double
+measureRps(int64_t records, const std::function<void()> &body,
+           double min_seconds = 0.2)
+{
+    // Warm-up pass (touches every buffer, trains the branch predictor).
+    body();
+    int64_t reps = 0;
+    auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        body();
+        ++reps;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+    return static_cast<double>(records) * reps / elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = 8.0;
+    const int64_t records = 256;
+
+    TablePrinter table("Training hot path: single-thread records/sec, "
+                       "interpreter vs compiled tape (scale 1/" +
+                       std::to_string(static_cast<int>(scale)) + ")");
+    table.setHeader({"Benchmark", "Algorithm", "DFG ops", "Tape runs",
+                     "Interp rec/s", "Tape rec/s", "Speedup"});
+
+    std::ostringstream json;
+    json << "{\"bench\":\"hotpath_tape\",\"scale\":" << scale
+         << ",\"records\":" << records << ",\"results\":[";
+
+    bool regression_ok = true;
+    bool first = true;
+    for (const auto &w : ml::Workload::suite()) {
+        auto prog = dsl::Parser::parse(w.dslSource(scale));
+        auto tr = dfg::Translator::translate(prog);
+
+        Rng rng(99);
+        auto ds = ml::DatasetGenerator::generate(w, scale, records,
+                                                 rng);
+        auto model =
+            ml::DatasetGenerator::initialModel(w, scale, rng);
+
+        dfg::Interpreter interp(tr);
+        dfg::Tape tape(tr);
+        dfg::TapeExecutor exec(tape);
+        std::vector<double> grad;
+        std::vector<double> grad_accum(tr.gradientWords, 0.0);
+
+        double interp_rps = measureRps(records, [&] {
+            for (int64_t r = 0; r < records; ++r)
+                interp.run(ds.record(r), model, grad);
+        });
+        double tape_rps = measureRps(records, [&] {
+            exec.runBatch(ds.data, records, model, grad_accum);
+        });
+        double speedup = tape_rps / interp_rps;
+
+        bool is_regression =
+            w.algorithm == ml::Algorithm::LinearRegression ||
+            w.algorithm == ml::Algorithm::LogisticRegression;
+        if (is_regression && speedup < 3.0)
+            regression_ok = false;
+
+        table.addRow({w.name, ml::algorithmName(w.algorithm),
+                      std::to_string(tr.dfg.operationCount()),
+                      std::to_string(tape.runCount()),
+                      TablePrinter::num(interp_rps, 0),
+                      TablePrinter::num(tape_rps, 0),
+                      TablePrinter::num(speedup, 2)});
+
+        json << (first ? "" : ",") << "{\"workload\":\"" << w.name
+             << "\",\"interp_rps\":" << TablePrinter::num(interp_rps, 0)
+             << ",\"tape_rps\":" << TablePrinter::num(tape_rps, 0)
+             << ",\"speedup\":" << TablePrinter::num(speedup, 3)
+             << "}";
+        first = false;
+    }
+    table.print(std::cout);
+    std::cout << "\nTarget: >= 3x on the linear/logistic-regression "
+              << "workloads — "
+              << (regression_ok ? "MET" : "NOT MET") << "\n";
+
+    // One functional-runtime iteration: the persistent-worker system
+    // layer (tape executors fed through the nodes' thread pools).
+    sys::ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.minibatchPerNode = 64;
+    cfg.recordsPerNode = 256;
+    sys::ClusterRuntime runtime(ml::Workload::byName("tumor"), scale,
+                                cfg);
+    auto report = runtime.train(2);
+    double iter_sec = 0.0, agg_sec = 0.0, rps = 0.0;
+    for (size_t i = 0; i < report.iterationSeconds.size(); ++i) {
+        iter_sec += report.iterationSeconds[i];
+        agg_sec += report.aggregationWaitSeconds[i];
+        rps += report.recordsPerSecond[i];
+    }
+    size_t iters = report.iterationSeconds.size();
+    iter_sec /= iters;
+    agg_sec /= iters;
+    rps /= iters;
+    std::cout << "\nCluster iteration (tumor, 4 nodes, b=64): "
+              << TablePrinter::num(iter_sec * 1e3, 3) << " ms/iter, "
+              << TablePrinter::num(rps, 0) << " records/sec, "
+              << TablePrinter::num(agg_sec * 1e3, 3)
+              << " ms aggregation wait\n\n";
+
+    json << "],\"iteration\":{\"workload\":\"tumor\",\"nodes\":"
+         << cfg.nodes << ",\"iter_sec\":" << iter_sec
+         << ",\"records_per_sec\":" << TablePrinter::num(rps, 0)
+         << ",\"aggregation_wait_sec\":" << agg_sec << "}}";
+    std::cout << json.str() << "\n";
+    return regression_ok ? 0 : 1;
+}

@@ -32,6 +32,20 @@ CycleSimulator::CycleSimulator(const dfg::Translation &translation,
             return issue[a] < issue[b];
         return a < b;
     });
+
+    // Scratch buffers are sized once; constants never change between
+    // records, so they are preloaded here and only inputs are
+    // refreshed per run.
+    value_.assign(tr_.dfg.size(), 0.0);
+    finish_.assign(tr_.dfg.size(), 0);
+    produced_.assign(tr_.dfg.size(), 0);
+    for (NodeId v = 0; v < tr_.dfg.size(); ++v) {
+        const auto &node = tr_.dfg.node(v);
+        if (node.op == OpKind::Const)
+            value_[v] = tr_.dfg.constValue(v);
+        else if (node.op == OpKind::Input)
+            inputs_.push_back(v);
+    }
 }
 
 SimulationResult
@@ -52,19 +66,21 @@ CycleSimulator::run(std::span<const double> record,
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr_.modelWords,
                   "model too short");
 
-    // Per-node value and finish time. Inputs/constants are resident in
-    // their buffers from cycle 0 (the memory interface prefetched).
-    std::vector<double> value(dfg.size(), 0.0);
-    std::vector<int64_t> finish(dfg.size(), 0);
-    std::vector<char> produced(dfg.size(), 0);
-    for (NodeId v = 0; v < dfg.size(); ++v) {
+    // Per-node value and finish time, in the member scratch buffers.
+    // Inputs/constants are resident from cycle 0 (the memory interface
+    // prefetched); constants were preloaded at construction, and every
+    // operation slot is rewritten before it is read (produced_ guards
+    // stale cross-record reads).
+    std::vector<double> &value = value_;
+    std::vector<int64_t> &finish = finish_;
+    std::vector<char> &produced = produced_;
+    std::fill(finish.begin(), finish.end(), 0);
+    std::fill(produced.begin(), produced.end(), 0);
+    for (NodeId v : inputs_) {
         const auto &node = dfg.node(v);
-        if (node.op == OpKind::Const)
-            value[v] = dfg.constValue(v);
-        else if (node.op == OpKind::Input)
-            value[v] = node.category == dfg::Category::Data
-                           ? record[dfg.inputPos(v)]
-                           : model[dfg.inputPos(v)];
+        value[v] = node.category == dfg::Category::Data
+                       ? record[dfg.inputPos(v)]
+                       : model[dfg.inputPos(v)];
     }
 
     auto fail = [&](NodeId v, NodeId o, int64_t arrival) {

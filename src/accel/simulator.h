@@ -39,7 +39,13 @@ struct SimulationResult
     int64_t messages = 0;
 };
 
-/** Executes a compiled kernel on one record, with value movement. */
+/**
+ * Executes a compiled kernel on one record, with value movement.
+ *
+ * Instances are not thread-safe: run() reuses per-instance scratch
+ * buffers (the replay/validation path calls it once per record, and
+ * the per-call allocations used to dominate it).
+ */
 class CycleSimulator
 {
   public:
@@ -61,6 +67,12 @@ class CycleSimulator
     const compiler::CompiledKernel &kernel_;
     /** Operations in issue order (precomputed). */
     std::vector<dfg::NodeId> order_;
+    /** Input nodes (precomputed; constants are preloaded in value_). */
+    std::vector<dfg::NodeId> inputs_;
+    /** Reusable per-record scratch: value/finish/produced per node. */
+    mutable std::vector<double> value_;
+    mutable std::vector<int64_t> finish_;
+    mutable std::vector<char> produced_;
 };
 
 } // namespace cosmic::accel

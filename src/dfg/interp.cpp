@@ -1,60 +1,10 @@
 #include "dfg/interp.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.h"
 
 namespace cosmic::dfg {
-
-double
-evaluateOp(OpKind op, double a, double b, double c)
-{
-    switch (op) {
-      case OpKind::Add:
-        return a + b;
-      case OpKind::Sub:
-        return a - b;
-      case OpKind::Mul:
-        return a * b;
-      case OpKind::Div:
-        return a / (b == 0.0 ? 1e-12 : b);
-      case OpKind::Neg:
-        return -a;
-      case OpKind::CmpGt:
-        return a > b ? 1.0 : 0.0;
-      case OpKind::CmpLt:
-        return a < b ? 1.0 : 0.0;
-      case OpKind::CmpGe:
-        return a >= b ? 1.0 : 0.0;
-      case OpKind::CmpLe:
-        return a <= b ? 1.0 : 0.0;
-      case OpKind::CmpEq:
-        return a == b ? 1.0 : 0.0;
-      case OpKind::Select:
-        return a != 0.0 ? b : c;
-      case OpKind::Sigmoid:
-        return 1.0 / (1.0 + std::exp(-a));
-      case OpKind::Gaussian:
-        return std::exp(-a * a);
-      case OpKind::Log:
-        return std::log(std::max(a, 1e-12));
-      case OpKind::Exp:
-        return std::exp(a);
-      case OpKind::Sqrt:
-        return std::sqrt(std::max(a, 0.0));
-      case OpKind::Abs:
-        return std::fabs(a);
-      case OpKind::Min:
-        return std::min(a, b);
-      case OpKind::Max:
-        return std::max(a, b);
-      case OpKind::Const:
-      case OpKind::Input:
-        break;
-    }
-    COSMIC_FATAL("evaluateOp on non-operation " << opKindName(op));
-}
 
 Interpreter::Interpreter(const Translation &translation,
                          double (*quantizer)(double))

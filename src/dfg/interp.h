@@ -15,19 +15,71 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "dfg/translator.h"
 
 namespace cosmic::dfg {
 
 /**
  * Arithmetic of one PE operation — the single source of truth for the
- * datapath semantics, shared by the interpreter and the cycle
- * simulator. Unary operations ignore b and c; Select reads all three.
+ * datapath semantics, shared by the interpreter, the tape executor and
+ * the cycle simulator. Unary operations ignore b and c; Select reads
+ * all three. Defined inline so the executors' dispatch loops can fold
+ * the switch into their instruction stream.
  */
-double evaluateOp(OpKind op, double a, double b, double c);
+inline double
+evaluateOp(OpKind op, double a, double b, double c)
+{
+    switch (op) {
+      case OpKind::Add:
+        return a + b;
+      case OpKind::Sub:
+        return a - b;
+      case OpKind::Mul:
+        return a * b;
+      case OpKind::Div:
+        return a / (b == 0.0 ? 1e-12 : b);
+      case OpKind::Neg:
+        return -a;
+      case OpKind::CmpGt:
+        return a > b ? 1.0 : 0.0;
+      case OpKind::CmpLt:
+        return a < b ? 1.0 : 0.0;
+      case OpKind::CmpGe:
+        return a >= b ? 1.0 : 0.0;
+      case OpKind::CmpLe:
+        return a <= b ? 1.0 : 0.0;
+      case OpKind::CmpEq:
+        return a == b ? 1.0 : 0.0;
+      case OpKind::Select:
+        return a != 0.0 ? b : c;
+      case OpKind::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-a));
+      case OpKind::Gaussian:
+        return std::exp(-a * a);
+      case OpKind::Log:
+        return std::log(std::max(a, 1e-12));
+      case OpKind::Exp:
+        return std::exp(a);
+      case OpKind::Sqrt:
+        return std::sqrt(std::max(a, 0.0));
+      case OpKind::Abs:
+        return std::fabs(a);
+      case OpKind::Min:
+        return std::min(a, b);
+      case OpKind::Max:
+        return std::max(a, b);
+      case OpKind::Const:
+      case OpKind::Input:
+        break;
+    }
+    COSMIC_FATAL("evaluateOp on non-operation " << opKindName(op));
+}
 
 /** Evaluates a DFG over one training record. */
 class Interpreter

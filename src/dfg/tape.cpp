@@ -1,0 +1,214 @@
+#include "dfg/tape.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "dfg/interp.h"
+
+namespace cosmic::dfg {
+
+namespace {
+
+/** Node id -> scratch slot. Maps kInvalidNode (-1) onto the pinned
+ *  zero slot 0, which is what makes operand resolution branch-free. */
+inline int32_t
+slotOf(NodeId v)
+{
+    return static_cast<int32_t>(v) + 1;
+}
+
+} // namespace
+
+Tape::Tape(const Translation &translation, double (*quantizer)(double))
+    : tr_(&translation), quantizer_(quantizer)
+{
+    const Dfg &dfg = tr_->dfg;
+    const int64_t n = dfg.size();
+    COSMIC_ASSERT(n < std::numeric_limits<int32_t>::max(),
+                  "DFG too large for 32-bit tape slots");
+
+    image_.assign(n + 1, 0.0);
+    instrs_.reserve(dfg.operationCount());
+    dataGather_.reserve(dfg.dataInputCount());
+    modelGather_.reserve(dfg.modelInputCount());
+
+    for (NodeId v = 0; v < n; ++v) {
+        const Node &node = dfg.node(v);
+        switch (node.op) {
+          case OpKind::Const: {
+            double value = dfg.constValue(v);
+            image_[slotOf(v)] =
+                quantizer_ ? quantizer_(value) : value;
+            break;
+          }
+          case OpKind::Input: {
+            auto &list = node.category == Category::Data
+                             ? dataGather_
+                             : modelGather_;
+            list.push_back(
+                {slotOf(v), static_cast<int32_t>(dfg.inputPos(v))});
+            break;
+          }
+          default:
+            instrs_.push_back({node.op, slotOf(v), slotOf(node.a),
+                               slotOf(node.b), slotOf(node.c)});
+            break;
+        }
+    }
+
+    // Group consecutive same-opcode instructions into dispatch runs.
+    const int32_t count = static_cast<int32_t>(instrs_.size());
+    for (int32_t i = 0; i < count;) {
+        int32_t j = i + 1;
+        while (j < count && instrs_[j].op == instrs_[i].op)
+            ++j;
+        runs_.push_back({instrs_[i].op, i, j});
+        i = j;
+    }
+
+    gradSlots_.reserve(dfg.gradientNodes().size());
+    for (NodeId g : dfg.gradientNodes())
+        gradSlots_.push_back(slotOf(g));
+}
+
+TapeExecutor::TapeExecutor(const Tape &tape)
+    : tape_(tape), scratch_(tape.image_)
+{}
+
+template <bool Quantized>
+void
+TapeExecutor::runRecord(const double *record, const double *model)
+{
+    double *s = scratch_.data();
+    const Tape &t = tape_;
+    double (*q)(double) = t.quantizer_;
+
+    for (const TapeGather &g : t.dataGather_)
+        s[g.slot] = Quantized ? q(record[g.pos]) : record[g.pos];
+    for (const TapeGather &g : t.modelGather_)
+        s[g.slot] = Quantized ? q(model[g.pos]) : model[g.pos];
+
+    const TapeInstr *ins = t.instrs_.data();
+    for (const TapeRun &run : t.runs_) {
+        const TapeInstr *p = ins + run.begin;
+        const TapeInstr *e = ins + run.end;
+        // One dispatch per run: the common ALU opcodes get dedicated
+        // tight loops, everything else (LUT ops, compares, select)
+        // goes through the shared datapath switch.
+        switch (run.op) {
+          case OpKind::Add:
+            for (; p != e; ++p) {
+                double v = s[p->a] + s[p->b];
+                s[p->dst] = Quantized ? q(v) : v;
+            }
+            break;
+          case OpKind::Sub:
+            for (; p != e; ++p) {
+                double v = s[p->a] - s[p->b];
+                s[p->dst] = Quantized ? q(v) : v;
+            }
+            break;
+          case OpKind::Mul:
+            for (; p != e; ++p) {
+                double v = s[p->a] * s[p->b];
+                s[p->dst] = Quantized ? q(v) : v;
+            }
+            break;
+          default:
+            for (; p != e; ++p) {
+                double v =
+                    evaluateOp(run.op, s[p->a], s[p->b], s[p->c]);
+                s[p->dst] = Quantized ? q(v) : v;
+            }
+            break;
+        }
+    }
+}
+
+void
+TapeExecutor::run(std::span<const double> record,
+                  std::span<const double> model,
+                  std::span<double> grad_out)
+{
+    const Translation &tr = *tape_.tr_;
+    COSMIC_ASSERT(static_cast<int64_t>(record.size()) >= tr.recordWords,
+                  "record shorter than the translation's stream layout");
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr.modelWords,
+                  "model shorter than the translation's layout");
+    COSMIC_ASSERT(static_cast<int64_t>(grad_out.size()) >=
+                      tr.gradientWords,
+                  "gradient buffer shorter than gradientWords");
+
+    if (tape_.quantizer_)
+        runRecord<true>(record.data(), model.data());
+    else
+        runRecord<false>(record.data(), model.data());
+
+    std::fill(grad_out.begin(), grad_out.begin() + tr.gradientWords,
+              0.0);
+    for (size_t i = 0; i < tape_.gradSlots_.size(); ++i)
+        grad_out[i] = scratch_[tape_.gradSlots_[i]];
+}
+
+void
+TapeExecutor::runBatch(std::span<const double> records,
+                       int64_t record_count,
+                       std::span<const double> model,
+                       std::span<double> grad_accum)
+{
+    const Translation &tr = *tape_.tr_;
+    COSMIC_ASSERT(static_cast<int64_t>(records.size()) >=
+                      record_count * tr.recordWords,
+                  "record span shorter than the batch");
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr.modelWords,
+                  "model shorter than the translation's layout");
+    COSMIC_ASSERT(static_cast<int64_t>(grad_accum.size()) >=
+                      tr.gradientWords,
+                  "gradient accumulator shorter than gradientWords");
+
+    const double *rec = records.data();
+    const double *mod = model.data();
+    const int32_t *slots = tape_.gradSlots_.data();
+    const size_t grads = tape_.gradSlots_.size();
+    const bool quantized = tape_.quantizer_ != nullptr;
+    for (int64_t r = 0; r < record_count; ++r, rec += tr.recordWords) {
+        if (quantized)
+            runRecord<true>(rec, mod);
+        else
+            runRecord<false>(rec, mod);
+        for (size_t i = 0; i < grads; ++i)
+            grad_accum[i] += scratch_[slots[i]];
+    }
+}
+
+void
+TapeExecutor::sgdSweep(std::span<const double> records,
+                       int64_t record_count, std::span<double> model,
+                       double learning_rate)
+{
+    const Translation &tr = *tape_.tr_;
+    COSMIC_ASSERT(tr.gradientWords == tr.modelWords,
+                  "SGD requires one gradient element per parameter");
+    COSMIC_ASSERT(static_cast<int64_t>(records.size()) >=
+                      record_count * tr.recordWords,
+                  "record span shorter than the sweep");
+    COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr.modelWords,
+                  "model shorter than the translation's layout");
+
+    const double *rec = records.data();
+    double *mod = model.data();
+    const int32_t *slots = tape_.gradSlots_.data();
+    const size_t grads = tape_.gradSlots_.size();
+    const bool quantized = tape_.quantizer_ != nullptr;
+    for (int64_t r = 0; r < record_count; ++r, rec += tr.recordWords) {
+        if (quantized)
+            runRecord<true>(rec, mod);
+        else
+            runRecord<false>(rec, mod);
+        for (size_t i = 0; i < grads; ++i)
+            mod[i] -= learning_rate * scratch_[slots[i]];
+    }
+}
+
+} // namespace cosmic::dfg

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Compiled tape executor — the training hot path's compute kernel.
+ *
+ * The functional Interpreter re-dispatches a switch over *every* DFG
+ * node — constants, inputs and operations alike — once per training
+ * record. That is fine for cross-checks but it is the inner loop of the
+ * whole scale-out runtime: every gradient in the cluster flows through
+ * it. The Tape lowers a Translation once into a flat instruction
+ * stream so the per-record loop touches only real operations:
+ *
+ *  - operations appear in topological (node) order with their operand
+ *    *scratch slots* pre-resolved; absent operands point at a pinned
+ *    zero slot, so the loop has no kInvalidNode branches;
+ *  - constants are preloaded (and pre-quantized) into a reusable
+ *    scratch image built at lowering time — they cost nothing per
+ *    record;
+ *  - DATA and MODEL inputs become two gather lists (slot, position)
+ *    executed as tight copy loops before the operation stream;
+ *  - consecutive instructions with the same opcode are grouped into
+ *    runs, so the executor dispatches once per run, not once per op
+ *    (the Translator's statement expansion emits long homogeneous
+ *    runs: a mul run, an add-tree run, ...).
+ *
+ * Execution order and arithmetic are identical to the Interpreter's
+ * node-order walk, so tape gradients are bit-exact against it — with
+ * and without the fixed-point quantizer hook.
+ *
+ * The Tape itself is immutable and shareable across threads; each
+ * worker owns a TapeExecutor holding the mutable scratch vector.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dfg/translator.h"
+
+namespace cosmic::dfg {
+
+/** One tape instruction: scratch[dst] = op(scratch[a], [b], [c]). */
+struct TapeInstr
+{
+    OpKind op = OpKind::Add;
+    /** Scratch slot indices; absent operands resolve to slot 0 (zero). */
+    int32_t dst = 0;
+    int32_t a = 0;
+    int32_t b = 0;
+    int32_t c = 0;
+};
+
+/** A maximal run of consecutive instructions sharing one opcode. */
+struct TapeRun
+{
+    OpKind op = OpKind::Add;
+    /** Half-open range [begin, end) into the instruction stream. */
+    int32_t begin = 0;
+    int32_t end = 0;
+};
+
+/** One input gather: scratch[slot] = source[pos]. */
+struct TapeGather
+{
+    int32_t slot = 0;
+    int32_t pos = 0;
+};
+
+/** The compiled, immutable execution schedule for one Translation. */
+class Tape
+{
+  public:
+    /**
+     * Lowers @p translation into the flat instruction stream.
+     *
+     * @param quantizer Optional value-rounding hook applied to every
+     *        buffered value, exactly as in the Interpreter (constants
+     *        are quantized once, here at lowering time). Null = exact
+     *        doubles.
+     */
+    explicit Tape(const Translation &translation,
+                  double (*quantizer)(double) = nullptr);
+
+    const Translation &translation() const { return *tr_; }
+    bool quantized() const { return quantizer_ != nullptr; }
+
+    /** Scratch slots an executor needs (slot 0 is the pinned zero). */
+    int64_t slotCount() const
+    {
+        return static_cast<int64_t>(image_.size());
+    }
+
+    /** Executable operations on the tape (== dfg.operationCount()). */
+    int64_t instructionCount() const
+    {
+        return static_cast<int64_t>(instrs_.size());
+    }
+
+    /** Opcode-homogeneous dispatch groups. */
+    int64_t runCount() const
+    {
+        return static_cast<int64_t>(runs_.size());
+    }
+
+  private:
+    friend class TapeExecutor;
+
+    const Translation *tr_;
+    double (*quantizer_)(double) = nullptr;
+    std::vector<TapeInstr> instrs_;
+    std::vector<TapeRun> runs_;
+    std::vector<TapeGather> dataGather_;
+    std::vector<TapeGather> modelGather_;
+    /** Scratch slot of each flattened-gradient element, in order. */
+    std::vector<int32_t> gradSlots_;
+    /** Scratch image: constants preloaded, everything else zero. */
+    std::vector<double> image_;
+};
+
+/**
+ * Per-worker execution state for one Tape. Not thread-safe: each
+ * worker thread owns its own executor (and thus its own scratch).
+ */
+class TapeExecutor
+{
+  public:
+    explicit TapeExecutor(const Tape &tape);
+
+    /**
+     * Computes the gradient of a single record into @p grad_out
+     * (caller-owned, at least gradientWords long). No allocations.
+     */
+    void run(std::span<const double> record,
+             std::span<const double> model, std::span<double> grad_out);
+
+    /**
+     * Accumulates gradients over @p record_count consecutive records:
+     * grad_accum[i] += per-record gradient, in record order (the same
+     * summation order as Interpreter::accumulate). The caller owns and
+     * zeroes @p grad_accum; no allocations per call.
+     */
+    void runBatch(std::span<const double> records, int64_t record_count,
+                  std::span<const double> model,
+                  std::span<double> grad_accum);
+
+    /**
+     * Runs one plain-SGD sweep: for each record in order, computes the
+     * gradient at the current @p model and applies
+     * model[i] -= learning_rate * grad[i] in place. Requires
+     * gradientWords == modelWords (one gradient element per
+     * parameter). No allocations per call.
+     */
+    void sgdSweep(std::span<const double> records, int64_t record_count,
+                  std::span<double> model, double learning_rate);
+
+    const Tape &tape() const { return tape_; }
+
+  private:
+    /** Executes the tape over one record, leaving results in scratch. */
+    template <bool Quantized>
+    void runRecord(const double *record, const double *model);
+
+    const Tape &tape_;
+    /** Working image; slot 0 stays 0.0, const slots stay preloaded. */
+    std::vector<double> scratch_;
+};
+
+} // namespace cosmic::dfg

@@ -61,6 +61,11 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
 
     holdout_ = full.partition(config_.nodes * config_.recordsPerNode,
                               holdout_count);
+
+    // One long-lived worker per node: each iteration's node tasks all
+    // block on each other's channels, so the pool must be able to run
+    // every node concurrently.
+    nodeWorkers_ = std::make_unique<ThreadPool>(config_.nodes);
 }
 
 ClusterRuntime::~ClusterRuntime()
@@ -71,17 +76,20 @@ ClusterRuntime::~ClusterRuntime()
 
 std::vector<double>
 ClusterRuntime::runIteration(const std::vector<double> &model,
-                             uint64_t seq, double *max_compute_sec)
+                             uint64_t seq, IterationStats *stats)
 {
     const int n = config_.nodes;
     const int64_t words = translation_.modelWords;
     const int master = topology_.masterId();
     std::vector<double> new_model;
-    std::vector<std::thread> threads;
     std::vector<double> compute_sec(config_.nodes, 0.0);
+    std::vector<double> aggregation_sec(config_.nodes, 0.0);
+    int64_t records_before = 0;
+    for (const auto &node : nodes_)
+        records_before += node->recordsProcessed();
 
     for (const auto &assign : topology_.nodes) {
-        threads.emplace_back([&, assign] {
+        nodeWorkers_->submit([&, assign] {
             if (config_.maxStragglerDelayMs > 0.0) {
                 // Deterministic injected skew (failure-injection mode).
                 Rng jitter(config_.seed ^
@@ -102,9 +110,10 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
                                               config_.minibatchPerNode)
                     : node.computeGradientSum(
                           model, config_.minibatchPerNode);
+            auto compute_end = std::chrono::steady_clock::now();
             compute_sec[assign.id] =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - compute_start)
+                std::chrono::duration<double>(compute_end -
+                                              compute_start)
                     .count();
 
             switch (assign.role) {
@@ -198,15 +207,26 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
                 break;
               }
             }
+            // Everything after the gradient compute is aggregation and
+            // communication wait — the Fig. 13 breakdown's other half.
+            aggregation_sec[assign.id] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - compute_end)
+                    .count();
         });
     }
-    for (auto &t : threads)
-        t.join();
+    nodeWorkers_->waitIdle();
     COSMIC_ASSERT(!new_model.empty(), "master produced no model");
-    if (max_compute_sec) {
-        *max_compute_sec = 0.0;
+    if (stats) {
+        *stats = IterationStats{};
         for (double s : compute_sec)
-            *max_compute_sec = std::max(*max_compute_sec, s);
+            stats->maxComputeSec = std::max(stats->maxComputeSec, s);
+        for (double s : aggregation_sec)
+            stats->maxAggregationSec =
+                std::max(stats->maxAggregationSec, s);
+        for (const auto &node : nodes_)
+            stats->records += node->recordsProcessed();
+        stats->records -= records_before;
     }
     return new_model;
 }
@@ -234,13 +254,19 @@ ClusterRuntime::train(int epochs)
     for (int e = 0; e < epochs; ++e) {
         for (int64_t i = 0; i < iters_per_epoch; ++i) {
             auto start = std::chrono::steady_clock::now();
-            double max_compute = 0.0;
-            model = runIteration(model, seq++, &max_compute);
-            report.iterationSeconds.push_back(
+            IterationStats stats;
+            model = runIteration(model, seq++, &stats);
+            double iter_sec =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
-                    .count());
-            report.maxNodeComputeSeconds.push_back(max_compute);
+                    .count();
+            report.iterationSeconds.push_back(iter_sec);
+            report.maxNodeComputeSeconds.push_back(
+                stats.maxComputeSec);
+            report.recordsPerSecond.push_back(
+                iter_sec > 0.0 ? stats.records / iter_sec : 0.0);
+            report.aggregationWaitSeconds.push_back(
+                stats.maxAggregationSec);
         }
         report.epochLoss.push_back(reference_.meanLoss(
             holdout_.data, holdout_.count, model));

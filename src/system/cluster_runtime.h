@@ -23,6 +23,7 @@
 #include "system/aggregation.h"
 #include "system/channel.h"
 #include "system/director.h"
+#include "system/thread_pool.h"
 #include "system/training_node.h"
 
 namespace cosmic::sys {
@@ -65,6 +66,18 @@ struct ClusterConfig
     double maxStragglerDelayMs = 0.0;
 };
 
+/** Per-iteration performance counters (observability). */
+struct IterationStats
+{
+    /** Slowest node's partial-update compute time. */
+    double maxComputeSec = 0.0;
+    /** Slowest node's post-compute time: waiting on partial updates,
+     *  aggregating, and waiting for the model broadcast. */
+    double maxAggregationSec = 0.0;
+    /** Training records processed cluster-wide this iteration. */
+    int64_t records = 0;
+};
+
 /** Result of a training run. */
 struct TrainingReport
 {
@@ -80,6 +93,11 @@ struct TrainingReport
     /** Slowest node's partial-update compute time per iteration —
      *  with straggler injection this is where the skew shows up. */
     std::vector<double> maxNodeComputeSeconds;
+    /** Cluster-wide training throughput per iteration. */
+    std::vector<double> recordsPerSecond;
+    /** Slowest node's aggregation/communication wait per iteration —
+     *  iteration time not spent computing gradients. */
+    std::vector<double> aggregationWaitSeconds;
 };
 
 /** Orchestrates distributed training of one workload. */
@@ -101,11 +119,10 @@ class ClusterRuntime
 
     /** One synchronous iteration over the hierarchy; returns the new
      *  globally aggregated model. Exposed for tests.
-     *  @param max_compute_sec Optional out: the slowest node's
-     *         partial-update compute time. */
+     *  @param stats Optional out: the iteration's perf counters. */
     std::vector<double> runIteration(const std::vector<double> &model,
                                      uint64_t seq,
-                                     double *max_compute_sec = nullptr);
+                                     IterationStats *stats = nullptr);
 
     const ClusterTopology &topology() const { return topology_; }
     const dfg::Translation &translation() const { return translation_; }
@@ -123,6 +140,10 @@ class ClusterRuntime
     std::vector<std::unique_ptr<Channel>> inboxes_;
     /** One aggregation engine per Sigma node (indexed by node id). */
     std::vector<std::unique_ptr<AggregationEngine>> engines_;
+    /** Long-lived per-node workers: one pool thread drives each node's
+     *  role for the whole run — runIteration only submits tasks and
+     *  waits at the iteration barrier, it never spawns threads. */
+    std::unique_ptr<ThreadPool> nodeWorkers_;
 };
 
 } // namespace cosmic::sys

@@ -1,7 +1,6 @@
 #include "system/training_node.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/error.h"
 
@@ -10,7 +9,8 @@ namespace cosmic::sys {
 TrainingNode::TrainingNode(const dfg::Translation &translation,
                            ml::Dataset partition,
                            const NodeComputeConfig &config)
-    : tr_(translation), partition_(std::move(partition)), config_(config)
+    : tr_(translation), partition_(std::move(partition)),
+      config_(config), tape_(tr_), pool_(config.acceleratorThreads)
 {
     COSMIC_ASSERT(config_.acceleratorThreads > 0,
                   "node needs at least one worker thread");
@@ -20,8 +20,30 @@ TrainingNode::TrainingNode(const dfg::Translation &translation,
     COSMIC_ASSERT(tr_.gradientWords == tr_.modelWords,
                   "local SGD requires one gradient element per model "
                   "parameter (declare gradients in model order)");
-    for (int t = 0; t < config_.acceleratorThreads; ++t)
-        interps_.push_back(std::make_unique<dfg::Interpreter>(tr_));
+    workers_.resize(config_.acceleratorThreads);
+    for (auto &w : workers_) {
+        w.exec = std::make_unique<dfg::TapeExecutor>(tape_);
+        w.model.resize(tr_.modelWords, 0.0);
+        w.grad.resize(tr_.gradientWords, 0.0);
+    }
+}
+
+template <typename Fn>
+void
+TrainingNode::forWorkerRecords(int t, int64_t batch_records, Fn &&fn)
+{
+    const int workers = config_.acceleratorThreads;
+    const int64_t per_worker = (batch_records + workers - 1) / workers;
+    int64_t first = cursor_ + t * per_worker;
+    int64_t last = std::min<int64_t>(cursor_ + batch_records,
+                                     first + per_worker);
+    Worker &w = workers_[t];
+    while (first < last) {
+        int64_t start = first % partition_.count;
+        int64_t n = std::min(last - first, partition_.count - start);
+        fn(w, partition_.slice(start, n), n);
+        first += n;
+    }
 }
 
 std::vector<double>
@@ -34,39 +56,30 @@ TrainingNode::computeLocalUpdate(const std::vector<double> &model,
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 
     // Divide the batch into equal sub-partitions (Fig. 1), one per
-    // worker thread; each worker performs plain SGD on a private model
-    // copy (parallelized SGD, Eq. 3a).
-    std::vector<std::vector<double>> worker_models(
-        workers, std::vector<double>(model));
-    std::vector<std::thread> threads;
-    const int64_t per_worker = (batch_records + workers - 1) / workers;
+    // pool worker; each performs plain SGD on its preallocated private
+    // model copy (parallelized SGD, Eq. 3a).
     const double mu = config_.learningRate;
-
     for (int t = 0; t < workers; ++t) {
-        threads.emplace_back([&, t] {
-            auto &local = worker_models[t];
-            std::vector<double> grad;
-            int64_t first = cursor_ + t * per_worker;
-            int64_t last = std::min<int64_t>(cursor_ + batch_records,
-                                             first + per_worker);
-            for (int64_t r = first; r < last; ++r) {
-                int64_t idx = r % partition_.count;
-                interps_[t]->run(partition_.record(idx), local, grad);
-                for (int64_t i = 0; i < tr_.gradientWords; ++i)
-                    local[i] -= mu * grad[i];
-            }
+        pool_.submit([this, t, &model, batch_records, mu] {
+            std::copy(model.begin(), model.end(),
+                      workers_[t].model.begin());
+            forWorkerRecords(
+                t, batch_records,
+                [&](Worker &w, std::span<const double> records,
+                    int64_t n) {
+                    w.exec->sgdSweep(records, n, w.model, mu);
+                });
         });
     }
-    for (auto &th : threads)
-        th.join();
+    pool_.waitIdle();
     cursor_ = (cursor_ + batch_records) % partition_.count;
     recordsProcessed_ += batch_records;
 
     // The accelerator's local aggregation across worker threads.
     std::vector<double> update(model.size(), 0.0);
-    for (const auto &wm : worker_models)
+    for (const auto &w : workers_)
         for (size_t i = 0; i < update.size(); ++i)
-            update[i] += wm[i];
+            update[i] += w.model[i];
     for (auto &v : update)
         v /= workers;
     return update;
@@ -81,36 +94,27 @@ TrainingNode::computeGradientSum(const std::vector<double> &model,
     const int workers = config_.acceleratorThreads;
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 
-    std::vector<std::vector<double>> worker_sums(
-        workers, std::vector<double>(tr_.gradientWords, 0.0));
-    std::vector<std::thread> threads;
-    const int64_t per_worker = (batch_records + workers - 1) / workers;
-
     for (int t = 0; t < workers; ++t) {
-        threads.emplace_back([&, t] {
-            auto &sum = worker_sums[t];
-            std::vector<double> grad;
-            int64_t first = cursor_ + t * per_worker;
-            int64_t last = std::min<int64_t>(cursor_ + batch_records,
-                                             first + per_worker);
-            for (int64_t r = first; r < last; ++r) {
-                int64_t idx = r % partition_.count;
-                interps_[t]->run(partition_.record(idx), model, grad);
-                for (int64_t i = 0; i < tr_.gradientWords; ++i)
-                    sum[i] += grad[i];
-            }
+        pool_.submit([this, t, &model, batch_records] {
+            std::fill(workers_[t].grad.begin(),
+                      workers_[t].grad.end(), 0.0);
+            forWorkerRecords(
+                t, batch_records,
+                [&](Worker &w, std::span<const double> records,
+                    int64_t n) {
+                    w.exec->runBatch(records, n, model, w.grad);
+                });
         });
     }
-    for (auto &th : threads)
-        th.join();
+    pool_.waitIdle();
     cursor_ = (cursor_ + batch_records) % partition_.count;
     recordsProcessed_ += batch_records;
 
     // Local aggregation: plain summation over worker threads.
     std::vector<double> total(tr_.gradientWords, 0.0);
-    for (const auto &ws : worker_sums)
+    for (const auto &w : workers_)
         for (int64_t i = 0; i < tr_.gradientWords; ++i)
-            total[i] += ws[i];
+            total[i] += w.grad[i];
     return total;
 }
 

@@ -3,11 +3,18 @@
  * One node of the functional scale-out runtime.
  *
  * A TrainingNode owns a partition of the training data and emulates the
- * node of Fig. 1: the "accelerator" is the DFG interpreter running the
- * compiled gradient program over the node's sub-partitions with
+ * node of Fig. 1: the "accelerator" is the compiled tape executor
+ * running the gradient program over the node's sub-partitions with
  * multiple worker threads, each performing local SGD (Eq. 3a) on its
  * own model copy; the node then aggregates its workers locally and
  * ships the partial update to its Sigma node.
+ *
+ * The workers are *persistent*, mirroring the paper's internally
+ * managed thread pools (Sec. 3): the pool is spawned once in the
+ * constructor and mini-batches are fed to it as tasks, so the
+ * per-iteration hot path performs no thread spawn/join and no buffer
+ * allocation — each worker reuses a preallocated model/gradient
+ * buffer and its own TapeExecutor scratch.
  */
 #pragma once
 
@@ -15,9 +22,10 @@
 #include <memory>
 #include <vector>
 
-#include "dfg/interp.h"
+#include "dfg/tape.h"
 #include "dfg/translator.h"
 #include "ml/dataset.h"
+#include "system/thread_pool.h"
 
 namespace cosmic::sys {
 
@@ -71,11 +79,33 @@ class TrainingNode
     int64_t recordsProcessed() const { return recordsProcessed_; }
 
   private:
+    /** Persistent per-worker state, preallocated in the constructor. */
+    struct Worker
+    {
+        /** Executor holds the tape's mutable scratch image. */
+        std::unique_ptr<dfg::TapeExecutor> exec;
+        /** Local model copy (modelWords) for SGD sweeps. */
+        std::vector<double> model;
+        /** Gradient accumulator (gradientWords). */
+        std::vector<double> grad;
+    };
+
+    /**
+     * Invokes @p fn(worker, chunk) on worker @p t's share of the
+     * batch, splitting the wrap-around at the partition boundary into
+     * at most two contiguous record chunks (in record order).
+     */
+    template <typename Fn>
+    void forWorkerRecords(int t, int64_t batch_records, Fn &&fn);
+
     const dfg::Translation &tr_;
     ml::Dataset partition_;
     NodeComputeConfig config_;
-    /** One interpreter per worker thread (they hold scratch state). */
-    std::vector<std::unique_ptr<dfg::Interpreter>> interps_;
+    /** Compiled execution schedule, shared by all workers. */
+    dfg::Tape tape_;
+    std::vector<Worker> workers_;
+    /** The node's persistent accelerator worker pool. */
+    ThreadPool pool_;
     int64_t cursor_ = 0;
     int64_t recordsProcessed_ = 0;
 };

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tape executor correctness: bit-exact gradient equivalence against the
+ * Interpreter (with and without the fixed-point quantizer) across the
+ * whole benchmark suite at two scales, the zero-allocation batch and
+ * SGD entry points, and an end-to-end check that the persistent-worker
+ * runtime reproduces the seed training trajectory.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "accel/fixed_point.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dfg/tape.h"
+#include "dfg/translator.h"
+#include "dsl/parser.h"
+#include "ml/dataset.h"
+#include "ml/reference.h"
+#include "ml/workloads.h"
+#include "system/cluster_runtime.h"
+
+namespace cosmic {
+namespace {
+
+dfg::Translation
+translateWorkload(const ml::Workload &w, double scale)
+{
+    auto prog = dsl::Parser::parse(w.dslSource(scale));
+    return dfg::Translator::translate(prog);
+}
+
+/** Bit-exact equivalence vs the Interpreter on every suite benchmark,
+ *  at two scales, with and without the Q16.16 quantizer. */
+class TapeEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, double>>
+{};
+
+TEST_P(TapeEquivalence, MatchesInterpreterBitExact)
+{
+    const auto &w = ml::Workload::byName(std::get<0>(GetParam()));
+    const double scale = std::get<1>(GetParam());
+    auto tr = translateWorkload(w, scale);
+
+    Rng rng(11);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 4, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+
+    for (double (*quantizer)(double) :
+         {static_cast<double (*)(double)>(nullptr),
+          &accel::quantizeToFixed}) {
+        dfg::Interpreter interp(tr, quantizer);
+        dfg::Tape tape(tr, quantizer);
+        EXPECT_EQ(tape.instructionCount(), tr.dfg.operationCount());
+        dfg::TapeExecutor exec(tape);
+
+        std::vector<double> want, got(tr.gradientWords, 0.0);
+        for (int64_t r = 0; r < ds.count; ++r) {
+            interp.run(ds.record(r), model, want);
+            exec.run(ds.record(r), model, got);
+            ASSERT_EQ(static_cast<int64_t>(want.size()),
+                      tr.gradientWords);
+            for (int64_t i = 0; i < tr.gradientWords; ++i)
+                ASSERT_EQ(got[i], want[i])
+                    << "gradient element " << i << " of record " << r
+                    << (quantizer ? " (quantized)" : " (exact)");
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TapeEquivalence,
+    ::testing::Combine(
+        ::testing::Values("mnist", "acoustic", "stock", "texture",
+                          "tumor", "cancer1", "movielens", "netflix",
+                          "face", "cancer2"),
+        ::testing::Values(64.0, 16.0)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_scale" +
+               std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(Tape, RunBatchMatchesInterpreterAccumulate)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    auto tr = translateWorkload(w, 64.0);
+    Rng rng(23);
+    auto ds = ml::DatasetGenerator::generate(w, 64.0, 16, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, 64.0, rng);
+
+    dfg::Interpreter interp(tr);
+    std::vector<double> want;
+    interp.accumulate(ds.data, ds.count, model, want);
+
+    dfg::Tape tape(tr);
+    dfg::TapeExecutor exec(tape);
+    std::vector<double> got(tr.gradientWords, 0.0);
+    exec.runBatch(ds.data, ds.count, model, got);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "accumulated element " << i;
+}
+
+TEST(Tape, SgdSweepMatchesPerRecordSteps)
+{
+    const auto &w = ml::Workload::byName("stock");
+    auto tr = translateWorkload(w, 64.0);
+    Rng rng(31);
+    auto ds = ml::DatasetGenerator::generate(w, 64.0, 12, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, 64.0, rng);
+    const double mu = 0.05;
+
+    // Reference: interpreter gradient + explicit SGD step per record.
+    dfg::Interpreter interp(tr);
+    std::vector<double> want(model), grad;
+    for (int64_t r = 0; r < ds.count; ++r) {
+        interp.run(ds.record(r), want, grad);
+        for (int64_t i = 0; i < tr.gradientWords; ++i)
+            want[i] -= mu * grad[i];
+    }
+
+    dfg::Tape tape(tr);
+    dfg::TapeExecutor exec(tape);
+    std::vector<double> got(model);
+    exec.sgdSweep(ds.data, ds.count, got, mu);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "model element " << i;
+}
+
+TEST(Tape, AbsentOperandsReadPinnedZero)
+{
+    // Neg has only operand a; b and c resolve to the zero slot. A
+    // graph whose result flows through unary ops must still match.
+    auto prog = dsl::Parser::parse(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = 0 - sigmoid(0 - (w[i] * x[i]));
+    )");
+    auto tr = dfg::Translator::translate(prog);
+    dfg::Interpreter interp(tr);
+    dfg::Tape tape(tr);
+    dfg::TapeExecutor exec(tape);
+
+    std::vector<double> record = {0.5, -2.0};
+    std::vector<double> model = {1.5, 3.0};
+    std::vector<double> want, got(tr.gradientWords, 0.0);
+    interp.run(record, model, want);
+    exec.run(record, model, got);
+    for (int64_t i = 0; i < tr.gradientWords; ++i)
+        EXPECT_EQ(got[i], want[i]);
+}
+
+/**
+ * End-to-end: the persistent-worker runtime (tape + thread pools) must
+ * reproduce the parallelized-SGD trajectory of a serial re-computation
+ * with the Interpreter — same worker split, same record order, same
+ * local and global aggregation math as the seed implementation.
+ */
+TEST(Tape, ClusterTrajectoryMatchesInterpreterEmulation)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    const double scale = 64.0;
+    sys::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.groups = 1;
+    cfg.acceleratorThreadsPerNode = 2;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.learningRate = 0.4;
+
+    sys::ClusterRuntime runtime(w, scale, cfg);
+    const int epochs = 2;
+    auto report = runtime.train(epochs);
+
+    // Serial emulation mirroring the runtime's construction exactly.
+    auto tr = translateWorkload(w, scale);
+    Rng rng(cfg.seed);
+    int64_t holdout = std::min<int64_t>(128, cfg.recordsPerNode);
+    auto full = ml::DatasetGenerator::generate(
+        w, scale, cfg.nodes * cfg.recordsPerNode + holdout, rng);
+    std::vector<ml::Dataset> parts;
+    for (int i = 0; i < cfg.nodes; ++i)
+        parts.push_back(full.partition(i * cfg.recordsPerNode,
+                                       cfg.recordsPerNode));
+    auto held = full.partition(cfg.nodes * cfg.recordsPerNode, holdout);
+
+    Rng model_rng(cfg.seed + 1);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, model_rng);
+    ml::Reference ref(w, scale);
+    dfg::Interpreter interp(tr);
+
+    std::vector<double> loss_curve;
+    loss_curve.push_back(ref.meanLoss(held.data, held.count, model));
+    std::vector<int64_t> cursors(cfg.nodes, 0);
+    int64_t iters_per_epoch =
+        (cfg.recordsPerNode + cfg.minibatchPerNode - 1) /
+        cfg.minibatchPerNode;
+    const int workers = cfg.acceleratorThreadsPerNode;
+
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t it = 0; it < iters_per_epoch; ++it) {
+            std::vector<double> next(model.size(), 0.0);
+            for (int node = 0; node < cfg.nodes; ++node) {
+                int64_t batch = std::min(cfg.minibatchPerNode,
+                                         parts[node].count);
+                int64_t per = (batch + workers - 1) / workers;
+                std::vector<double> update(model.size(), 0.0);
+                for (int t = 0; t < workers; ++t) {
+                    std::vector<double> local(model), grad;
+                    int64_t first = cursors[node] + t * per;
+                    int64_t last = std::min(cursors[node] + batch,
+                                            first + per);
+                    for (int64_t r = first; r < last; ++r) {
+                        int64_t idx = r % parts[node].count;
+                        interp.run(parts[node].record(idx), local,
+                                   grad);
+                        for (int64_t i = 0; i < tr.gradientWords; ++i)
+                            local[i] -= cfg.learningRate * grad[i];
+                    }
+                    for (size_t i = 0; i < update.size(); ++i)
+                        update[i] += local[i];
+                }
+                for (auto &v : update)
+                    v /= workers;
+                cursors[node] =
+                    (cursors[node] + batch) % parts[node].count;
+                for (size_t i = 0; i < next.size(); ++i)
+                    next[i] += update[i];
+            }
+            for (auto &v : next)
+                v /= cfg.nodes;
+            model = std::move(next);
+        }
+        loss_curve.push_back(
+            ref.meanLoss(held.data, held.count, model));
+    }
+
+    ASSERT_EQ(report.epochLoss.size(), loss_curve.size());
+    for (size_t i = 0; i < loss_curve.size(); ++i)
+        EXPECT_NEAR(report.epochLoss[i], loss_curve[i], 1e-9)
+            << "epoch " << i;
+    ASSERT_EQ(report.finalModel.size(), model.size());
+    for (size_t i = 0; i < model.size(); ++i)
+        EXPECT_NEAR(report.finalModel[i], model[i], 1e-9)
+            << "model element " << i;
+}
+
+TEST(Tape, TrainingReportCarriesPerfCounters)
+{
+    sys::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.groups = 1;
+    cfg.minibatchPerNode = 16;
+    cfg.recordsPerNode = 32;
+    sys::ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
+                                cfg);
+    auto report = runtime.train(1);
+    ASSERT_EQ(report.recordsPerSecond.size(),
+              report.iterationSeconds.size());
+    ASSERT_EQ(report.aggregationWaitSeconds.size(),
+              report.iterationSeconds.size());
+    for (size_t i = 0; i < report.recordsPerSecond.size(); ++i) {
+        EXPECT_GT(report.recordsPerSecond[i], 0.0);
+        EXPECT_GE(report.aggregationWaitSeconds[i], 0.0);
+        EXPECT_LE(report.aggregationWaitSeconds[i],
+                  report.iterationSeconds[i] * 1.5 + 0.01);
+    }
+}
+
+} // namespace
+} // namespace cosmic
