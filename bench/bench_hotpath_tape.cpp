@@ -1,21 +1,29 @@
 /**
  * @file
- * Training hot-path throughput: interpreter vs compiled tape executor.
+ * Training hot-path throughput: interpreter vs compiled tape executor,
+ * with a lane-width sweep of the multi-lane (SIMD-across-records)
+ * batch path.
  *
  * Measures single-thread records/sec of the per-record gradient kernel
  * for all 10 Table-1 workloads — the node-order Interpreter against the
- * Tape's flat instruction stream — and times one functional-runtime
- * iteration to show the persistent-worker system layer end to end.
+ * Tape's flat instruction stream at lane widths 1 (scalar), 4 and 8 —
+ * and times one functional-runtime iteration to show the
+ * persistent-worker system layer end to end, with and without SGD
+ * shards driving the multi-lane sweep path.
  *
  * The last line of output is a machine-readable JSON summary so future
  * PRs can track the perf trajectory:
  *   {"bench":"hotpath_tape","scale":...,"results":[{"workload":...,
- *    "interp_rps":...,"tape_rps":...,"speedup":...},...],
- *    "iteration_sec":{...}}
+ *    "interp_rps":...,"tape_rps":...,"lane4_rps":...,"lane8_rps":...,
+ *    "speedup":...,"lane_speedup":...},...],"iteration":{...},
+ *    "iteration_lanes":{...}}
  *
- * Target (ISSUE 1): >= 3x single-thread throughput on the linear- and
- * logistic-regression workloads (stock, texture, tumor, cancer1).
+ * Targets: >= 3x tape-over-interpreter (ISSUE 1) and >= 1.5x
+ * lanes-over-scalar-tape (ISSUE 2) single-thread throughput on the
+ * linear- and logistic-regression workloads (stock, texture, tumor,
+ * cancer1).
  */
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <iostream>
@@ -57,6 +65,43 @@ measureRps(int64_t records, const std::function<void()> &body,
     return static_cast<double>(records) * reps / elapsed;
 }
 
+/** Best of three measurements: scheduling noise only ever slows a
+ *  run down, so the max is the stable estimate of attainable
+ *  throughput (this box shares its single core with the world). */
+double
+measureBestRps(int64_t records, const std::function<void()> &body)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep)
+        best = std::max(best, measureRps(records, body));
+    return best;
+}
+
+/** Average per-iteration seconds / records-per-second of one run. */
+struct IterationSummary
+{
+    double iterSec = 0.0;
+    double aggSec = 0.0;
+    double rps = 0.0;
+};
+
+IterationSummary
+measureIteration(sys::ClusterRuntime &runtime)
+{
+    auto report = runtime.train(2);
+    IterationSummary s;
+    for (size_t i = 0; i < report.iterationSeconds.size(); ++i) {
+        s.iterSec += report.iterationSeconds[i];
+        s.aggSec += report.aggregationWaitSeconds[i];
+        s.rps += report.recordsPerSecond[i];
+    }
+    size_t iters = report.iterationSeconds.size();
+    s.iterSec /= iters;
+    s.aggSec /= iters;
+    s.rps /= iters;
+    return s;
+}
+
 } // namespace
 
 int
@@ -66,16 +111,18 @@ main()
     const int64_t records = 256;
 
     TablePrinter table("Training hot path: single-thread records/sec, "
-                       "interpreter vs compiled tape (scale 1/" +
+                       "interpreter vs tape lane widths (scale 1/" +
                        std::to_string(static_cast<int>(scale)) + ")");
-    table.setHeader({"Benchmark", "Algorithm", "DFG ops", "Tape runs",
-                     "Interp rec/s", "Tape rec/s", "Speedup"});
+    table.setHeader({"Benchmark", "Algorithm", "DFG ops",
+                     "Interp rec/s", "Tape W=1", "Tape W=4", "Tape W=8",
+                     "Tape x", "Lane x"});
 
     std::ostringstream json;
     json << "{\"bench\":\"hotpath_tape\",\"scale\":" << scale
          << ",\"records\":" << records << ",\"results\":[";
 
-    bool regression_ok = true;
+    bool tape_ok = true;
+    bool lanes_ok = true;
     bool first = true;
     for (const auto &w : ml::Workload::suite()) {
         auto prog = dsl::Parser::parse(w.dslSource(scale));
@@ -93,69 +140,99 @@ main()
         std::vector<double> grad;
         std::vector<double> grad_accum(tr.gradientWords, 0.0);
 
-        double interp_rps = measureRps(records, [&] {
+        double interp_rps = measureBestRps(records, [&] {
             for (int64_t r = 0; r < records; ++r)
                 interp.run(ds.record(r), model, grad);
         });
-        double tape_rps = measureRps(records, [&] {
-            exec.runBatch(ds.data, records, model, grad_accum);
-        });
+        auto tape_rps_at = [&](int width) {
+            exec.setLaneWidth(width);
+            return measureBestRps(records, [&] {
+                exec.runBatch(ds.data, records, model, grad_accum);
+            });
+        };
+        double tape_rps = tape_rps_at(1);
+        double lane4_rps = tape_rps_at(4);
+        double lane8_rps = tape_rps_at(8);
+
         double speedup = tape_rps / interp_rps;
+        double lane_speedup =
+            std::max(lane4_rps, lane8_rps) / tape_rps;
 
         bool is_regression =
             w.algorithm == ml::Algorithm::LinearRegression ||
             w.algorithm == ml::Algorithm::LogisticRegression;
         if (is_regression && speedup < 3.0)
-            regression_ok = false;
+            tape_ok = false;
+        if (is_regression && lane_speedup < 1.5)
+            lanes_ok = false;
 
         table.addRow({w.name, ml::algorithmName(w.algorithm),
                       std::to_string(tr.dfg.operationCount()),
-                      std::to_string(tape.runCount()),
                       TablePrinter::num(interp_rps, 0),
                       TablePrinter::num(tape_rps, 0),
-                      TablePrinter::num(speedup, 2)});
+                      TablePrinter::num(lane4_rps, 0),
+                      TablePrinter::num(lane8_rps, 0),
+                      TablePrinter::num(speedup, 2),
+                      TablePrinter::num(lane_speedup, 2)});
 
         json << (first ? "" : ",") << "{\"workload\":\"" << w.name
              << "\",\"interp_rps\":" << TablePrinter::num(interp_rps, 0)
              << ",\"tape_rps\":" << TablePrinter::num(tape_rps, 0)
+             << ",\"lane4_rps\":" << TablePrinter::num(lane4_rps, 0)
+             << ",\"lane8_rps\":" << TablePrinter::num(lane8_rps, 0)
              << ",\"speedup\":" << TablePrinter::num(speedup, 3)
-             << "}";
+             << ",\"lane_speedup\":"
+             << TablePrinter::num(lane_speedup, 3) << "}";
         first = false;
     }
     table.print(std::cout);
-    std::cout << "\nTarget: >= 3x on the linear/logistic-regression "
-              << "workloads — "
-              << (regression_ok ? "MET" : "NOT MET") << "\n";
+    std::cout << "\nTargets on the linear/logistic-regression "
+              << "workloads: tape >= 3x interpreter — "
+              << (tape_ok ? "MET" : "NOT MET")
+              << "; lanes >= 1.5x scalar tape — "
+              << (lanes_ok ? "MET" : "NOT MET") << "\n";
 
     // One functional-runtime iteration: the persistent-worker system
-    // layer (tape executors fed through the nodes' thread pools).
+    // layer (tape executors fed through the nodes' thread pools),
+    // then the same cluster with 8 SGD shards per node so each
+    // accelerator thread drives a multi-lane sweep.
     sys::ClusterConfig cfg;
     cfg.nodes = 4;
     cfg.minibatchPerNode = 64;
     cfg.recordsPerNode = 256;
     sys::ClusterRuntime runtime(ml::Workload::byName("tumor"), scale,
                                 cfg);
-    auto report = runtime.train(2);
-    double iter_sec = 0.0, agg_sec = 0.0, rps = 0.0;
-    for (size_t i = 0; i < report.iterationSeconds.size(); ++i) {
-        iter_sec += report.iterationSeconds[i];
-        agg_sec += report.aggregationWaitSeconds[i];
-        rps += report.recordsPerSecond[i];
-    }
-    size_t iters = report.iterationSeconds.size();
-    iter_sec /= iters;
-    agg_sec /= iters;
-    rps /= iters;
+    auto base = measureIteration(runtime);
+
+    sys::ClusterConfig lane_cfg = cfg;
+    lane_cfg.sgdShardsPerNode = 8;
+    sys::ClusterRuntime lane_runtime(ml::Workload::byName("tumor"),
+                                     scale, lane_cfg);
+    auto lanes = measureIteration(lane_runtime);
+
     std::cout << "\nCluster iteration (tumor, 4 nodes, b=64): "
-              << TablePrinter::num(iter_sec * 1e3, 3) << " ms/iter, "
-              << TablePrinter::num(rps, 0) << " records/sec, "
-              << TablePrinter::num(agg_sec * 1e3, 3)
+              << TablePrinter::num(base.iterSec * 1e3, 3)
+              << " ms/iter, " << TablePrinter::num(base.rps, 0)
+              << " records/sec, "
+              << TablePrinter::num(base.aggSec * 1e3, 3)
+              << " ms aggregation wait\n"
+              << "Cluster iteration (8 SGD shards/node):   "
+              << TablePrinter::num(lanes.iterSec * 1e3, 3)
+              << " ms/iter, " << TablePrinter::num(lanes.rps, 0)
+              << " records/sec, "
+              << TablePrinter::num(lanes.aggSec * 1e3, 3)
               << " ms aggregation wait\n\n";
 
     json << "],\"iteration\":{\"workload\":\"tumor\",\"nodes\":"
-         << cfg.nodes << ",\"iter_sec\":" << iter_sec
-         << ",\"records_per_sec\":" << TablePrinter::num(rps, 0)
-         << ",\"aggregation_wait_sec\":" << agg_sec << "}}";
+         << cfg.nodes << ",\"iter_sec\":" << base.iterSec
+         << ",\"records_per_sec\":" << TablePrinter::num(base.rps, 0)
+         << ",\"aggregation_wait_sec\":" << base.aggSec
+         << "},\"iteration_lanes\":{\"workload\":\"tumor\",\"nodes\":"
+         << lane_cfg.nodes
+         << ",\"sgd_shards\":" << lane_cfg.sgdShardsPerNode
+         << ",\"iter_sec\":" << lanes.iterSec
+         << ",\"records_per_sec\":" << TablePrinter::num(lanes.rps, 0)
+         << ",\"aggregation_wait_sec\":" << lanes.aggSec << "}}";
     std::cout << json.str() << "\n";
-    return regression_ok ? 0 : 1;
+    return tape_ok && lanes_ok ? 0 : 1;
 }

@@ -118,12 +118,14 @@ void
 BM_CircularBuffer(benchmark::State &state)
 {
     sys::CircularBuffer ring(64);
-    sys::Chunk chunk{0, 0, std::vector<double>(1024, 1.0)};
+    std::vector<double> payload(1024, 1.0);
+    sys::Chunk chunk{0, 0, payload.data(),
+                     static_cast<int64_t>(payload.size()), -1};
     for (auto _ : state) {
         ring.push(chunk);
         sys::Chunk out;
         ring.pop(out);
-        benchmark::DoNotOptimize(out.values.data());
+        benchmark::DoNotOptimize(out.values);
     }
     state.SetBytesProcessed(state.iterations() * 1024 * 8);
 }

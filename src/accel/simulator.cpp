@@ -16,7 +16,9 @@ using dfg::OpKind;
 
 CycleSimulator::CycleSimulator(const dfg::Translation &translation,
                                const compiler::CompiledKernel &kernel)
-    : tr_(translation), kernel_(kernel)
+    : tr_(translation), kernel_(kernel),
+      bus_(compiler::BusKind::Hierarchical, kernel.mapping.columns,
+           kernel.mapping.rowsPerThread)
 {
     const auto &issue = kernel_.schedule.issueCycle;
     order_.reserve(tr_.dfg.size());
@@ -32,6 +34,34 @@ CycleSimulator::CycleSimulator(const dfg::Translation &translation,
             return issue[a] < issue[b];
         return a < b;
     });
+
+    // Per-edge route table: one bus.route lookup per cross-PE operand
+    // edge here at build time, zero per record in run().
+    const auto &mapping = kernel_.mapping;
+    routes_.resize(order_.size());
+    for (size_t i = 0; i < order_.size(); ++i) {
+        const auto &node = tr_.dfg.node(order_[i]);
+        const int pe = mapping.peOf[order_[i]];
+        const NodeId ids[3] = {node.a, node.b, node.c};
+        for (int k = 0; k < 3; ++k) {
+            OperandRoute &route = routes_[i][k];
+            if (ids[k] == kInvalidNode) {
+                route.kind = OperandKind::Absent;
+                continue;
+            }
+            const auto &op_node = tr_.dfg.node(ids[k]);
+            if (op_node.op == OpKind::Const ||
+                op_node.op == OpKind::Input) {
+                route.kind = OperandKind::Resident;
+            } else if (mapping.peOf[ids[k]] == pe) {
+                route.kind = OperandKind::SamePe;
+            } else {
+                route.kind = OperandKind::CrossPe;
+                route.latency =
+                    bus_.route(mapping.peOf[ids[k]], pe).latency;
+            }
+        }
+    }
 
     // Scratch buffers are sized once; constants never change between
     // records, so they are preloaded here and only inputs are
@@ -55,9 +85,6 @@ CycleSimulator::run(std::span<const double> record,
     const dfg::Dfg &dfg = tr_.dfg;
     const auto &mapping = kernel_.mapping;
     const auto &issue = kernel_.schedule.issueCycle;
-    compiler::InterconnectModel bus(compiler::BusKind::Hierarchical,
-                                    mapping.columns,
-                                    mapping.rowsPerThread);
 
     SimulationResult result;
     COSMIC_ASSERT(static_cast<int64_t>(record.size()) >=
@@ -95,28 +122,25 @@ CycleSimulator::run(std::span<const double> record,
         result.violation = oss.str();
     };
 
-    for (NodeId v : order_) {
+    for (size_t i = 0; i < order_.size(); ++i) {
+        const NodeId v = order_[i];
         const auto &node = dfg.node(v);
-        const int pe = mapping.peOf[v];
         double operands[3] = {0.0, 0.0, 0.0};
-        NodeId ids[3] = {node.a, node.b, node.c};
+        const NodeId ids[3] = {node.a, node.b, node.c};
         for (int k = 0; k < 3; ++k) {
-            NodeId o = ids[k];
-            if (o == kInvalidNode)
+            const OperandRoute &route = routes_[i][k];
+            if (route.kind == OperandKind::Absent)
                 continue;
-            const auto &op_node = dfg.node(o);
-            bool is_op = op_node.op != OpKind::Const &&
-                         op_node.op != OpKind::Input;
-            if (is_op) {
+            const NodeId o = ids[k];
+            if (route.kind != OperandKind::Resident) {
                 if (!produced[o]) {
                     // Executed in time order, so an unproduced operand
                     // means the schedule runs the consumer first.
                     fail(v, o, -1);
                 }
                 int64_t arrival = finish[o];
-                if (mapping.peOf[o] != pe) {
-                    arrival +=
-                        bus.route(mapping.peOf[o], pe).latency;
+                if (route.kind == OperandKind::CrossPe) {
+                    arrival += route.latency;
                     ++result.messages;
                     // The scheduler reserved the transfer's bus slot;
                     // arrival at pure route latency is the earliest

@@ -14,12 +14,14 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "accel/plan.h"
+#include "compiler/interconnect.h"
 #include "compiler/kernel.h"
 #include "dfg/translator.h"
 
@@ -63,10 +65,36 @@ class CycleSimulator
                          std::span<const double> model) const;
 
   private:
+    /** How one operand reaches its consumer (precomputed per edge). */
+    enum class OperandKind : int8_t
+    {
+        /** Absent operand (kInvalidNode). */
+        Absent,
+        /** Constant or input: resident from cycle 0, no transfer. */
+        Resident,
+        /** Produced on the consumer's own PE. */
+        SamePe,
+        /** Produced on another PE; crosses the interconnect. */
+        CrossPe,
+    };
+
+    /** One precomputed operand edge of an operation. */
+    struct OperandRoute
+    {
+        OperandKind kind = OperandKind::Absent;
+        /** Route latency for CrossPe edges (one bus.route lookup at
+         *  construction, not one per record). */
+        int64_t latency = 0;
+    };
+
     const dfg::Translation &tr_;
     const compiler::CompiledKernel &kernel_;
+    /** Interconnect timing model, built once per simulator. */
+    compiler::InterconnectModel bus_;
     /** Operations in issue order (precomputed). */
     std::vector<dfg::NodeId> order_;
+    /** Per-operation operand routes, parallel to order_. */
+    std::vector<std::array<OperandRoute, 3>> routes_;
     /** Input nodes (precomputed; constants are preloaded in value_). */
     std::vector<dfg::NodeId> inputs_;
     /** Reusable per-record scratch: value/finish/produced per node. */

@@ -1,6 +1,7 @@
 #include "dfg/tape.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "common/error.h"
@@ -18,7 +19,28 @@ slotOf(NodeId v)
     return static_cast<int32_t>(v) + 1;
 }
 
+inline bool
+validLaneWidth(int lanes)
+{
+    return lanes == 1 || lanes == 4 || lanes == kMaxTapeLanes;
+}
+
 } // namespace
+
+int
+defaultTapeLanes()
+{
+    static const int lanes = [] {
+        const char *env = std::getenv("COSMIC_TAPE_LANES");
+        if (env) {
+            int v = std::atoi(env);
+            if (validLaneWidth(v))
+                return v;
+        }
+        return kMaxTapeLanes;
+    }();
+    return lanes;
+}
 
 Tape::Tape(const Translation &translation, double (*quantizer)(double))
     : tr_(&translation), quantizer_(quantizer)
@@ -73,10 +95,24 @@ Tape::Tape(const Translation &translation, double (*quantizer)(double))
 }
 
 TapeExecutor::TapeExecutor(const Tape &tape)
-    : tape_(tape), scratch_(tape.image_)
-{}
+    : tape_(tape), scratch_(tape.image_), lanes_(defaultTapeLanes())
+{
+    laneScratch_.resize(tape.image_.size() * kMaxTapeLanes);
+    for (size_t slot = 0; slot < tape.image_.size(); ++slot)
+        std::fill_n(laneScratch_.begin() + slot * kMaxTapeLanes,
+                    kMaxTapeLanes, tape.image_[slot]);
+}
 
-template <bool Quantized>
+void
+TapeExecutor::setLaneWidth(int lanes)
+{
+    COSMIC_ASSERT(validLaneWidth(lanes),
+                  "lane width must be 1, 4 or " << kMaxTapeLanes
+                  << ", got " << lanes);
+    lanes_ = lanes;
+}
+
+template <bool Quantized, bool GatherModel>
 void
 TapeExecutor::runRecord(const double *record, const double *model)
 {
@@ -86,8 +122,13 @@ TapeExecutor::runRecord(const double *record, const double *model)
 
     for (const TapeGather &g : t.dataGather_)
         s[g.slot] = Quantized ? q(record[g.pos]) : record[g.pos];
-    for (const TapeGather &g : t.modelGather_)
-        s[g.slot] = Quantized ? q(model[g.pos]) : model[g.pos];
+    // GatherModel == false: the model slots are already resident
+    // (runBatch gathers the frozen model once per batch; instructions
+    // never write input slots, so they stay valid across records).
+    if constexpr (GatherModel) {
+        for (const TapeGather &g : t.modelGather_)
+            s[g.slot] = Quantized ? q(model[g.pos]) : model[g.pos];
+    }
 
     const TapeInstr *ins = t.instrs_.data();
     for (const TapeRun &run : t.runs_) {
@@ -120,6 +161,97 @@ TapeExecutor::runRecord(const double *record, const double *model)
                 double v =
                     evaluateOp(run.op, s[p->a], s[p->b], s[p->c]);
                 s[p->dst] = Quantized ? q(v) : v;
+            }
+            break;
+        }
+    }
+}
+
+template <bool Quantized, int W>
+void
+TapeExecutor::runLanes(const double *const *records,
+                       const double *const *models)
+{
+    constexpr int S = kMaxTapeLanes;
+    double *ls = laneScratch_.data();
+    const Tape &t = tape_;
+    double (*q)(double) = t.quantizer_;
+
+    for (const TapeGather &g : t.dataGather_) {
+        double *d = ls + static_cast<size_t>(g.slot) * S;
+        for (int l = 0; l < W; ++l)
+            d[l] = Quantized ? q(records[l][g.pos]) : records[l][g.pos];
+    }
+    // models == nullptr means the model slots are already resident
+    // (broadcast once per batch by runBatchLanes — instructions never
+    // write input slots, so they stay valid across lane groups).
+    if (models) {
+        for (const TapeGather &g : t.modelGather_) {
+            double *d = ls + static_cast<size_t>(g.slot) * S;
+            for (int l = 0; l < W; ++l)
+                d[l] =
+                    Quantized ? q(models[l][g.pos]) : models[l][g.pos];
+        }
+    }
+
+    const TapeInstr *ins = t.instrs_.data();
+    for (const TapeRun &run : t.runs_) {
+        const TapeInstr *p = ins + run.begin;
+        const TapeInstr *e = ins + run.end;
+        // Same dispatch structure as the scalar path, but each
+        // instruction executes once per lane over the stride-1 SoA
+        // columns — the inner loop is what auto-vectorizes. The DFG is
+        // SSA, so an instruction's destination slot never aliases its
+        // operand slots: __restrict__ lets the compiler vectorize the
+        // lane loop without emitting runtime overlap checks.
+        switch (run.op) {
+          case OpKind::Add:
+            for (; p != e; ++p) {
+                double *__restrict__ d =
+                    ls + static_cast<size_t>(p->dst) * S;
+                const double *a = ls + static_cast<size_t>(p->a) * S;
+                const double *b = ls + static_cast<size_t>(p->b) * S;
+                for (int l = 0; l < W; ++l) {
+                    double v = a[l] + b[l];
+                    d[l] = Quantized ? q(v) : v;
+                }
+            }
+            break;
+          case OpKind::Sub:
+            for (; p != e; ++p) {
+                double *__restrict__ d =
+                    ls + static_cast<size_t>(p->dst) * S;
+                const double *a = ls + static_cast<size_t>(p->a) * S;
+                const double *b = ls + static_cast<size_t>(p->b) * S;
+                for (int l = 0; l < W; ++l) {
+                    double v = a[l] - b[l];
+                    d[l] = Quantized ? q(v) : v;
+                }
+            }
+            break;
+          case OpKind::Mul:
+            for (; p != e; ++p) {
+                double *__restrict__ d =
+                    ls + static_cast<size_t>(p->dst) * S;
+                const double *a = ls + static_cast<size_t>(p->a) * S;
+                const double *b = ls + static_cast<size_t>(p->b) * S;
+                for (int l = 0; l < W; ++l) {
+                    double v = a[l] * b[l];
+                    d[l] = Quantized ? q(v) : v;
+                }
+            }
+            break;
+          default:
+            for (; p != e; ++p) {
+                double *__restrict__ d =
+                    ls + static_cast<size_t>(p->dst) * S;
+                const double *a = ls + static_cast<size_t>(p->a) * S;
+                const double *b = ls + static_cast<size_t>(p->b) * S;
+                const double *c = ls + static_cast<size_t>(p->c) * S;
+                for (int l = 0; l < W; ++l) {
+                    double v = evaluateOp(run.op, a[l], b[l], c[l]);
+                    d[l] = Quantized ? q(v) : v;
+                }
             }
             break;
         }
@@ -169,14 +301,91 @@ TapeExecutor::runBatch(std::span<const double> records,
 
     const double *rec = records.data();
     const double *mod = model.data();
+    const bool quantized = tape_.quantizer_ != nullptr;
+    switch (lanes_) {
+      case 4:
+        if (quantized)
+            runBatchLanes<true, 4>(rec, record_count, mod,
+                                   grad_accum.data());
+        else
+            runBatchLanes<false, 4>(rec, record_count, mod,
+                                    grad_accum.data());
+        break;
+      case kMaxTapeLanes:
+        if (quantized)
+            runBatchLanes<true, kMaxTapeLanes>(rec, record_count, mod,
+                                               grad_accum.data());
+        else
+            runBatchLanes<false, kMaxTapeLanes>(rec, record_count, mod,
+                                                grad_accum.data());
+        break;
+      default:
+        if (quantized)
+            runBatchLanes<true, 1>(rec, record_count, mod,
+                                   grad_accum.data());
+        else
+            runBatchLanes<false, 1>(rec, record_count, mod,
+                                    grad_accum.data());
+        break;
+    }
+}
+
+template <bool Quantized, int W>
+void
+TapeExecutor::runBatchLanes(const double *records, int64_t record_count,
+                            const double *model, double *grad_accum)
+{
+    const int64_t stride = tape_.tr_->recordWords;
     const int32_t *slots = tape_.gradSlots_.data();
     const size_t grads = tape_.gradSlots_.size();
-    const bool quantized = tape_.quantizer_ != nullptr;
-    for (int64_t r = 0; r < record_count; ++r, rec += tr.recordWords) {
-        if (quantized)
-            runRecord<true>(rec, mod);
-        else
-            runRecord<false>(rec, mod);
+
+    if (record_count <= 0)
+        return;
+
+    // The model is frozen for the whole batch: gather it into the
+    // scalar scratch once — and broadcast it across the lane scratch
+    // once, instead of once per lane group. (The sweep path cannot do
+    // this — its models evolve every record.)
+    {
+        double (*q)(double) = tape_.quantizer_;
+        for (const TapeGather &g : tape_.modelGather_) {
+            const double v = Quantized ? q(model[g.pos]) : model[g.pos];
+            scratch_[g.slot] = v;
+            if constexpr (W > 1)
+                std::fill_n(laneScratch_.begin() +
+                                static_cast<size_t>(g.slot) *
+                                    kMaxTapeLanes,
+                            W, v);
+        }
+    }
+
+    int64_t r = 0;
+    if constexpr (W > 1) {
+        const double *recs[W];
+        for (; r + W <= record_count; r += W) {
+            for (int l = 0; l < W; ++l)
+                recs[l] = records + (r + l) * stride;
+            runLanes<Quantized, W>(recs, nullptr);
+            // Element-major fold over the SoA columns: per element the
+            // lanes still add in record order (each grad_accum[i] is
+            // an independent accumulator), so the summation sequence
+            // is exactly the scalar path's — but the W lane values of
+            // one slot are contiguous loads.
+            for (size_t i = 0; i < grads; ++i) {
+                const double *lane =
+                    laneScratch_.data() +
+                    static_cast<size_t>(slots[i]) * kMaxTapeLanes;
+                double acc = grad_accum[i];
+                for (int l = 0; l < W; ++l)
+                    acc += lane[l];
+                grad_accum[i] = acc;
+            }
+        }
+    }
+    // Scalar remainder (and the whole batch when W == 1); the model
+    // slots were gathered once above.
+    for (; r < record_count; ++r) {
+        runRecord<Quantized, false>(records + r * stride, model);
         for (size_t i = 0; i < grads; ++i)
             grad_accum[i] += scratch_[slots[i]];
     }
@@ -208,6 +417,85 @@ TapeExecutor::sgdSweep(std::span<const double> records,
             runRecord<false>(rec, mod);
         for (size_t i = 0; i < grads; ++i)
             mod[i] -= learning_rate * scratch_[slots[i]];
+    }
+}
+
+void
+TapeExecutor::sgdSweepLanes(std::span<SweepLane> lanes,
+                            double learning_rate)
+{
+    const dfg::Translation &tr = *tape_.tr_;
+    COSMIC_ASSERT(tr.gradientWords == tr.modelWords,
+                  "SGD requires one gradient element per parameter");
+    const int n = static_cast<int>(lanes.size());
+    const bool quantized = tape_.quantizer_ != nullptr;
+    if (n == 4) {
+        if (quantized)
+            sweepLanes<true, 4>(lanes.data(), learning_rate);
+        else
+            sweepLanes<false, 4>(lanes.data(), learning_rate);
+        return;
+    }
+    if (n == kMaxTapeLanes) {
+        if (quantized)
+            sweepLanes<true, kMaxTapeLanes>(lanes.data(), learning_rate);
+        else
+            sweepLanes<false, kMaxTapeLanes>(lanes.data(),
+                                             learning_rate);
+        return;
+    }
+    // Unsupported widths run each sweep scalar — identical results.
+    for (SweepLane &lane : lanes)
+        sgdSweep(std::span<const double>(lane.records,
+                                         lane.count * tr.recordWords),
+                 lane.count,
+                 std::span<double>(lane.model, tr.modelWords),
+                 learning_rate);
+}
+
+template <bool Quantized, int W>
+void
+TapeExecutor::sweepLanes(SweepLane *lanes, double learning_rate)
+{
+    const dfg::Translation &tr = *tape_.tr_;
+    const int64_t stride = tr.recordWords;
+    const int32_t *slots = tape_.gradSlots_.data();
+    const size_t grads = tape_.gradSlots_.size();
+
+    int64_t lockstep = lanes[0].count;
+    for (int l = 1; l < W; ++l)
+        lockstep = std::min(lockstep, lanes[l].count);
+
+    const double *recs[W];
+    const double *mods[W];
+    for (int l = 0; l < W; ++l)
+        mods[l] = lanes[l].model;
+    // Lockstep region: one tape pass advances every sweep by one
+    // record. Models are re-gathered each step, so lane l always sees
+    // its own model as updated by its previous record — exactly the
+    // scalar sweep's recurrence.
+    for (int64_t r = 0; r < lockstep; ++r) {
+        for (int l = 0; l < W; ++l)
+            recs[l] = lanes[l].records + r * stride;
+        runLanes<Quantized, W>(recs, mods);
+        for (int l = 0; l < W; ++l) {
+            double *mod = lanes[l].model;
+            for (size_t i = 0; i < grads; ++i)
+                mod[i] -= learning_rate *
+                          laneScratch_[static_cast<size_t>(slots[i]) *
+                                           kMaxTapeLanes +
+                                       l];
+        }
+    }
+    // Ragged tails drain through the scalar sweep.
+    for (int l = 0; l < W; ++l) {
+        int64_t rest = lanes[l].count - lockstep;
+        if (rest > 0)
+            sgdSweep(std::span<const double>(
+                         lanes[l].records + lockstep * stride,
+                         rest * stride),
+                     rest, std::span<double>(lanes[l].model, tr.modelWords),
+                     learning_rate);
     }
 }
 

@@ -26,8 +26,19 @@
  * node-order walk, so tape gradients are bit-exact against it — with
  * and without the fixed-point quantizer hook.
  *
+ * Multi-lane execution (the software analogue of the paper's t_max
+ * thread dimension): records are independent, so the executor also
+ * keeps a structure-of-arrays lane scratch
+ * (`laneScratch[slot * kMaxTapeLanes + lane]`) and can execute each
+ * opcode run once for W records at a time — the inner lane loop is a
+ * tight, compiler-auto-vectorizable stride-1 sweep. Lane batching
+ * never changes per-record arithmetic or the record-order accumulation,
+ * so lane-batched gradients stay bit-exact against the scalar tape; a
+ * scalar remainder path handles record counts that are not a multiple
+ * of the lane width.
+ *
  * The Tape itself is immutable and shareable across threads; each
- * worker owns a TapeExecutor holding the mutable scratch vector.
+ * worker owns a TapeExecutor holding the mutable scratch vectors.
  */
 #pragma once
 
@@ -38,6 +49,16 @@
 #include "dfg/translator.h"
 
 namespace cosmic::dfg {
+
+/** Lane stride of the SoA scratch — the widest supported lane batch. */
+inline constexpr int kMaxTapeLanes = 8;
+
+/**
+ * Default lane width for batched execution. Tunable per process via
+ * the COSMIC_TAPE_LANES environment variable (1 = scalar, 4 or 8);
+ * anything else falls back to kMaxTapeLanes.
+ */
+int defaultTapeLanes();
 
 /** One tape instruction: scratch[dst] = op(scratch[a], [b], [c]). */
 struct TapeInstr
@@ -138,6 +159,11 @@ class TapeExecutor
      * grad_accum[i] += per-record gradient, in record order (the same
      * summation order as Interpreter::accumulate). The caller owns and
      * zeroes @p grad_accum; no allocations per call.
+     *
+     * Executes laneWidth() records per tape pass (bit-exact against
+     * the scalar path: every lane performs the same per-record
+     * arithmetic and lanes are accumulated in record order), with a
+     * scalar remainder for record_count % laneWidth() leftovers.
      */
     void runBatch(std::span<const double> records, int64_t record_count,
                   std::span<const double> model,
@@ -149,20 +175,76 @@ class TapeExecutor
      * model[i] -= learning_rate * grad[i] in place. Requires
      * gradientWords == modelWords (one gradient element per
      * parameter). No allocations per call.
+     *
+     * Inherently scalar: record r's gradient depends on the model
+     * after record r-1, so there is no bit-exact lane batching within
+     * one sweep — use sgdSweepLanes for *independent* sweeps.
      */
     void sgdSweep(std::span<const double> records, int64_t record_count,
                   std::span<double> model, double learning_rate);
 
+    /** One independent SGD sweep for sgdSweepLanes. */
+    struct SweepLane
+    {
+        /** Contiguous records (count * recordWords doubles). */
+        const double *records = nullptr;
+        int64_t count = 0;
+        /** The lane's private model (modelWords doubles), updated in
+         *  place. Lanes must not alias each other's models. */
+        double *model = nullptr;
+    };
+
+    /**
+     * Advances several *independent* SGD sweeps in lockstep, one tape
+     * pass per record step with one lane per sweep. Each lane's model
+     * update uses only that lane's gradient, so every lane is
+     * bit-exact against a scalar sgdSweep over the same records.
+     * Lane counts may be ragged: the lockstep region covers the
+     * shortest lane, the rest drains through the scalar sweep. When
+     * lanes.size() is not a supported lane width (4 or 8), every lane
+     * falls back to the scalar sweep — results are identical either
+     * way.
+     */
+    void sgdSweepLanes(std::span<SweepLane> lanes, double learning_rate);
+
+    /** Lane width used by runBatch (1 = scalar, 4 or 8). */
+    int laneWidth() const { return lanes_; }
+
+    /** Overrides the lane width (bench/test hook; 1, 4 or 8). */
+    void setLaneWidth(int lanes);
+
     const Tape &tape() const { return tape_; }
 
   private:
-    /** Executes the tape over one record, leaving results in scratch. */
-    template <bool Quantized>
+    /** Executes the tape over one record, leaving results in scratch.
+     *  GatherModel == false skips the model gather (batch paths gather
+     *  the frozen model once up front). */
+    template <bool Quantized, bool GatherModel = true>
     void runRecord(const double *record, const double *model);
+
+    /**
+     * Executes the tape once for W records — lane l reads record
+     * records[l] and model models[l] — leaving per-lane results in
+     * laneScratch_[slot * kMaxTapeLanes + lane].
+     */
+    template <bool Quantized, int W>
+    void runLanes(const double *const *records,
+                  const double *const *models);
+
+    template <bool Quantized, int W>
+    void runBatchLanes(const double *records, int64_t record_count,
+                       const double *model, double *grad_accum);
+
+    template <bool Quantized, int W>
+    void sweepLanes(SweepLane *lanes, double learning_rate);
 
     const Tape &tape_;
     /** Working image; slot 0 stays 0.0, const slots stay preloaded. */
     std::vector<double> scratch_;
+    /** SoA lane image: slot-major, kMaxTapeLanes values per slot, the
+     *  constant image replicated across lanes. */
+    std::vector<double> laneScratch_;
+    int lanes_ = kMaxTapeLanes;
 };
 
 } // namespace cosmic::dfg

@@ -1,14 +1,15 @@
 #include "system/aggregation.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/error.h"
 
 namespace cosmic::sys {
 
 AggregationEngine::AggregationEngine(const AggregationConfig &config)
-    : config_(config), netPool_(config.networkingThreads),
+    : config_(config),
+      pool_(config.pool ? config.pool : std::make_shared<BufferPool>()),
+      netPool_(config.networkingThreads),
       aggPool_(config.aggregationThreads), ring_(config.ringCapacity),
       stripes_(64)
 {
@@ -24,7 +25,8 @@ void
 AggregationEngine::begin(int senders, int64_t words)
 {
     COSMIC_ASSERT(senders >= 0 && words > 0, "bad aggregation round");
-    aggBuffer_.assign(words, 0.0);
+    aggBuffer_ = pool_->acquire(words);
+    std::fill(aggBuffer_.begin(), aggBuffer_.end(), 0.0);
     stripeWords_ = std::max<size_t>(
         config_.chunkWords,
         (words + stripes_.size() - 1) / stripes_.size());
@@ -39,21 +41,46 @@ AggregationEngine::onMessage(Message msg)
                   "partial update width " << msg.payload.size()
                   << " does not match aggregation buffer "
                   << aggBuffer_.size());
-    // Networking pool: copy the "socket" data into the circular buffer
-    // chunk by chunk; each produced chunk wakes one aggregation task.
-    auto shared = std::make_shared<Message>(std::move(msg));
-    netPool_.submit([this, shared] {
-        const auto &payload = shared->payload;
-        for (size_t off = 0; off < payload.size();
-             off += config_.chunkWords) {
+    // Move the payload into a pooled slot — the networking threads
+    // will hand out references into it, never copies. Deque growth is
+    // serialized by slotsMutex_ and element addresses are stable, so
+    // the resolved pointer stays valid lock-free for the slot's
+    // acquired lifetime.
+    PayloadSlot *slot;
+    {
+        std::lock_guard<std::mutex> lock(slotsMutex_);
+        if (freeSlots_.empty()) {
+            slots_.emplace_back();
+            slots_.back().id =
+                static_cast<int32_t>(slots_.size()) - 1;
+            freeSlots_.push_back(slots_.back().id);
+        }
+        slot = &slots_[freeSlots_.back()];
+        freeSlots_.pop_back();
+    }
+    slot->data = std::move(msg.payload);
+    slot->sender = msg.from;
+    const size_t words = slot->data.size();
+    const int64_t chunks = static_cast<int64_t>(
+        (words + config_.chunkWords - 1) / config_.chunkWords);
+    slot->chunksRemaining.store(chunks, std::memory_order_relaxed);
+
+    // Networking pool: produce (sender, offset, span) records into the
+    // circular buffer; each produced chunk wakes one aggregation task.
+    // The two-pointer capture stays within std::function's inline
+    // storage, so dispatching a message allocates nothing.
+    netPool_.submit([this, slot] {
+        const double *payload = slot->data.data();
+        const size_t total = slot->data.size();
+        for (size_t off = 0; off < total; off += config_.chunkWords) {
             Chunk chunk;
-            chunk.sender = shared->from;
+            chunk.sender = slot->sender;
             chunk.offset = static_cast<int64_t>(off);
-            size_t n = std::min(config_.chunkWords,
-                                payload.size() - off);
-            chunk.values.assign(payload.begin() + off,
-                                payload.begin() + off + n);
-            ring_.push(std::move(chunk));
+            chunk.values = payload + off;
+            chunk.length = static_cast<int64_t>(
+                std::min(config_.chunkWords, total - off));
+            chunk.slot = slot->id;
+            ring_.push(chunk);
             aggPool_.submit([this] { accumulateOneChunk(); });
         }
     });
@@ -70,12 +97,25 @@ AggregationEngine::accumulateOneChunk()
         stripes_.size();
     {
         std::lock_guard<std::mutex> lock(stripes_[stripe]);
-        for (size_t i = 0; i < chunk.values.size(); ++i)
+        for (int64_t i = 0; i < chunk.length; ++i)
             aggBuffer_[chunk.offset + i] += chunk.values[i];
+    }
+    // The fold above is the last read through chunk.values: only after
+    // it may this chunk's credit free the slot for reuse.
+    PayloadSlot *slot;
+    {
+        std::lock_guard<std::mutex> lock(slotsMutex_);
+        slot = &slots_[chunk.slot];
+    }
+    if (slot->chunksRemaining.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+        pool_->release(std::move(slot->data));
+        std::lock_guard<std::mutex> lock(slotsMutex_);
+        freeSlots_.push_back(chunk.slot);
     }
     {
         std::lock_guard<std::mutex> lock(doneMutex_);
-        wordsRemaining_ -= static_cast<int64_t>(chunk.values.size());
+        wordsRemaining_ -= chunk.length;
         if (wordsRemaining_ <= 0)
             doneCv_.notify_all();
     }
@@ -90,7 +130,8 @@ AggregationEngine::finish()
     // Both pools are quiescent for this round once every word landed.
     netPool_.waitIdle();
     aggPool_.waitIdle();
-    return aggBuffer_;
+    // Move, don't copy: begin() re-acquires from the pool.
+    return std::move(aggBuffer_);
 }
 
 } // namespace cosmic::sys

@@ -3,22 +3,30 @@
  * The Sigma node's aggregation engine (paper Fig. 2).
  *
  * Wiring: the Incoming Network Handler (the caller's receive loop — our
- * epoll analog) hands each received partial update to onMessage(). A
- * networking-pool thread copies it out of the "socket" into the bounded
- * Circular Buffer in chunks; for each produced chunk an aggregation-
- * pool task consumes one chunk and folds it into the Aggregation
- * Buffer. Networking threads are the producers, aggregation threads
- * the consumers, and the bounded ring lets communication overlap with
- * computation while capping memory.
+ * epoll analog) hands each received partial update to onMessage(). The
+ * update's payload is *moved* into a pooled payload slot — never
+ * copied — and a networking-pool thread produces (sender, offset,
+ * span-into-slot) reference records into the bounded Circular Buffer;
+ * for each produced chunk an aggregation-pool task consumes one chunk
+ * and folds the referenced span into the Aggregation Buffer. When the
+ * last chunk of a slot is consumed, the slot's vector is recycled
+ * through the BufferPool so the sender side can reuse it next round.
+ * Networking threads are the producers, aggregation threads the
+ * consumers, and the bounded ring lets communication overlap with
+ * computation while capping memory — with zero per-chunk and (steady
+ * state) zero per-message allocation.
  */
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "system/buffer_pool.h"
 #include "system/channel.h"
 #include "system/circular_buffer.h"
 #include "system/thread_pool.h"
@@ -34,6 +42,12 @@ struct AggregationConfig
     size_t ringCapacity = 16;
     /** Words per chunk the networking threads produce. */
     size_t chunkWords = 1024;
+    /**
+     * Recycler for consumed payloads and round buffers. Shared with
+     * the runtime so buffers circulate sender -> engine -> sender;
+     * the engine creates a private pool when left null.
+     */
+    std::shared_ptr<BufferPool> pool;
 };
 
 /** Concurrent sum-aggregator for fixed-width vectors. */
@@ -49,25 +63,56 @@ class AggregationEngine
      */
     void begin(int senders, int64_t words);
 
-    /** Dispatches one received partial update into the pipeline. */
+    /**
+     * Dispatches one received partial update into the pipeline. The
+     * payload is moved into a pooled slot; the caller's vector is
+     * consumed (zero-copy).
+     */
     void onMessage(Message msg);
 
     /**
-     * Blocks until every expected word has been aggregated and returns
-     * the summed vector.
+     * Blocks until every expected word has been aggregated and *moves*
+     * the summed vector out, leaving the engine ready for the next
+     * begin(). The caller may release the returned buffer back to the
+     * engine's pool when done with it.
      */
     std::vector<double> finish();
 
     /** Ring high-water mark (observability). */
     size_t ringHighWater() const { return ring_.highWater(); }
 
+    /** The payload recycler in use (shared or engine-private). */
+    const std::shared_ptr<BufferPool> &pool() const { return pool_; }
+
   private:
+    /** One in-flight message payload shared by its chunks. */
+    struct PayloadSlot
+    {
+        std::vector<double> data;
+        /** Chunks still unconsumed; the last consumer recycles. */
+        std::atomic<int64_t> chunksRemaining{0};
+        /** Originating node of the payload currently in the slot. */
+        int sender = -1;
+        /** The slot's own index in slots_ (fixed at creation). */
+        int32_t id = -1;
+    };
+
     void accumulateOneChunk();
 
     AggregationConfig config_;
+    std::shared_ptr<BufferPool> pool_;
     ThreadPool netPool_;
     ThreadPool aggPool_;
     CircularBuffer ring_;
+
+    /** Payload slots (deque: grows to the peak in-flight message
+     *  count, addresses stay stable, slots are reused via the
+     *  freelist). Guarded by slotsMutex_; slot.data of an *acquired*
+     *  slot is read lock-free by aggregation threads, which is safe
+     *  because it is only reassigned while the slot is free. */
+    std::deque<PayloadSlot> slots_;
+    std::vector<int32_t> freeSlots_;
+    std::mutex slotsMutex_;
 
     std::vector<double> aggBuffer_;
     /** Striped locks over aggBuffer_ regions (one per chunk slot). */

@@ -1,0 +1,58 @@
+#include "system/buffer_pool.h"
+
+#include "common/error.h"
+
+namespace cosmic::sys {
+
+std::vector<double>
+BufferPool::acquire(int64_t words)
+{
+    COSMIC_ASSERT(words >= 0, "buffer width must be non-negative");
+    std::vector<double> buffer;
+    bool fresh = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++acquires_;
+        if (!free_.empty()) {
+            buffer = std::move(free_.back());
+            free_.pop_back();
+            fresh = buffer.capacity() < static_cast<size_t>(words);
+        }
+        if (fresh)
+            ++allocations_;
+    }
+    buffer.resize(words);
+    return buffer;
+}
+
+void
+BufferPool::release(std::vector<double> &&buffer)
+{
+    if (buffer.capacity() == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(buffer));
+}
+
+uint64_t
+BufferPool::acquires() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acquires_;
+}
+
+uint64_t
+BufferPool::allocations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocations_;
+}
+
+size_t
+BufferPool::freeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+} // namespace cosmic::sys

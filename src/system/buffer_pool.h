@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pooled payload buffers for the message/aggregation data path.
+ *
+ * Every partial update, aggregated sum and model broadcast in the
+ * cluster is a flattened `std::vector<double>` of the same width, and
+ * the hot loop used to construct a fresh one per message per
+ * iteration. The pool closes that loop: senders acquire a buffer,
+ * move it through a Channel as the Message payload, and whoever
+ * consumes the message (an AggregationEngine slot, a broadcast
+ * receiver) releases the vector — capacity intact — back to the pool.
+ * After the first iteration warms the freelist, the steady-state
+ * runtime performs no payload allocation at all; the allocations()
+ * counter is the test hook that proves it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cosmic::sys {
+
+/** Thread-safe freelist of reusable payload vectors. */
+class BufferPool
+{
+  public:
+    /**
+     * Returns a vector sized to @p words. Contents are unspecified
+     * (stale values from a previous round) — the caller overwrites.
+     * Served from the freelist when possible; growth is counted.
+     */
+    std::vector<double> acquire(int64_t words);
+
+    /** Returns a buffer to the freelist, keeping its capacity. */
+    void release(std::vector<double> &&buffer);
+
+    /** Total acquire() calls (observability). */
+    uint64_t acquires() const;
+
+    /**
+     * Acquires that had to allocate: the freelist was empty or the
+     * recycled buffer's capacity was below the requested width. A
+     * steady-state hot loop must stop advancing this counter.
+     */
+    uint64_t allocations() const;
+
+    /** Buffers currently parked in the freelist. */
+    size_t freeCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::vector<double>> free_;
+    uint64_t acquires_ = 0;
+    uint64_t allocations_ = 0;
+};
+
+} // namespace cosmic::sys

@@ -2,11 +2,18 @@
  * @file
  * The bounded circular buffer between networking and aggregation.
  *
- * Paper Sec. 3 / Fig. 2: networking threads copy received partial
- * updates out of the socket in chunks and produce them into a Circular
- * Buffer; aggregation threads consume chunks and fold them into the
- * Aggregation Buffer. The bounded ring keeps memory small while letting
- * communication and computation overlap.
+ * Paper Sec. 3 / Fig. 2: networking threads hand received partial
+ * updates to the ring in chunks and aggregation threads consume chunks
+ * and fold them into the Aggregation Buffer. The bounded ring keeps
+ * memory small while letting communication and computation overlap.
+ *
+ * A Chunk is a *reference*, not a copy: it points into a shared
+ * payload slot owned by the producer (the AggregationEngine's pooled
+ * payload slots), mirroring the paper's design where networking hands
+ * the aggregation pool references into the circular buffer rather than
+ * duplicating the data. Producing or consuming a chunk therefore never
+ * allocates. The slot owner must keep the payload alive until every
+ * chunk referencing it has been consumed.
  */
 #pragma once
 
@@ -17,14 +24,19 @@
 
 namespace cosmic::sys {
 
-/** One chunk of a partial update in flight. */
+/** One chunk of a partial update in flight (a borrowed span). */
 struct Chunk
 {
     /** Originating node. */
     int sender = -1;
     /** Word offset of this chunk within the full vector. */
     int64_t offset = 0;
-    std::vector<double> values;
+    /** Borrowed pointer into the shared payload (not owned). */
+    const double *values = nullptr;
+    /** Words in this chunk. */
+    int64_t length = 0;
+    /** Producer-defined payload slot to credit on consumption, or -1. */
+    int32_t slot = -1;
 };
 
 /** Fixed-capacity blocking ring of chunks. */

@@ -33,7 +33,13 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
     Rng rng(config_.seed);
     NodeComputeConfig node_config;
     node_config.acceleratorThreads = config_.acceleratorThreadsPerNode;
+    node_config.sgdShards = config_.sgdShardsPerNode;
     node_config.learningRate = config_.learningRate;
+
+    // One shared payload recycler: engines release consumed payloads
+    // into it and runIteration acquires its message buffers from it.
+    pool_ = std::make_shared<BufferPool>();
+    config_.aggregation.pool = pool_;
 
     // One synthesis call so every partition (and the holdout) shares
     // the same hidden ground-truth model.
@@ -66,6 +72,8 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
     // block on each other's channels, so the pool must be able to run
     // every node concurrently.
     nodeWorkers_ = std::make_unique<ThreadPool>(config_.nodes);
+    computeSec_.resize(config_.nodes, 0.0);
+    aggregationSec_.resize(config_.nodes, 0.0);
 }
 
 ClusterRuntime::~ClusterRuntime()
@@ -82,8 +90,10 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
     const int64_t words = translation_.modelWords;
     const int master = topology_.masterId();
     std::vector<double> new_model;
-    std::vector<double> compute_sec(config_.nodes, 0.0);
-    std::vector<double> aggregation_sec(config_.nodes, 0.0);
+    std::vector<double> &compute_sec = computeSec_;
+    std::vector<double> &aggregation_sec = aggregationSec_;
+    std::fill(compute_sec.begin(), compute_sec.end(), 0.0);
+    std::fill(aggregation_sec.begin(), aggregation_sec.end(), 0.0);
     int64_t records_before = 0;
     for (const auto &node : nodes_)
         records_before += node->recordsProcessed();
@@ -104,12 +114,16 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
             }
             TrainingNode &node = *nodes_[assign.id];
             auto compute_start = std::chrono::steady_clock::now();
-            std::vector<double> update =
-                config_.mode == TrainingMode::ModelAveraging
-                    ? node.computeLocalUpdate(model,
-                                              config_.minibatchPerNode)
-                    : node.computeGradientSum(
-                          model, config_.minibatchPerNode);
+            // Pooled partial-update buffer: filled here, shipped as a
+            // message payload (deltas/sigmas) and eventually recycled
+            // by whoever consumes it — no steady-state allocation.
+            std::vector<double> update = pool_->acquire(words);
+            if (config_.mode == TrainingMode::ModelAveraging)
+                node.computeLocalUpdate(model, config_.minibatchPerNode,
+                                        update);
+            else
+                node.computeGradientSum(model, config_.minibatchPerNode,
+                                        update);
             auto compute_end = std::chrono::steady_clock::now();
             compute_sec[assign.id] =
                 std::chrono::duration<double>(compute_end -
@@ -119,13 +133,15 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
             switch (assign.role) {
               case NodeRole::Delta: {
                 // Ship theta_i to the group's Sigma, then wait for the
-                // broadcast of the new global model.
+                // broadcast of the new global model. The received
+                // payload goes back to the pool.
                 inboxes_[assign.parent]->send(
                     Message{assign.id, seq, std::move(update)});
                 Message bcast;
                 bool ok = inboxes_[assign.id]->receive(bcast);
                 COSMIC_ASSERT(ok && bcast.seq == seq,
                               "broadcast lost on node " << assign.id);
+                pool_->release(std::move(bcast.payload));
                 break;
               }
               case NodeRole::GroupSigma: {
@@ -144,17 +160,24 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
                 std::vector<double> sum = engine.finish();
                 for (int64_t i = 0; i < words; ++i)
                     sum[i] += update[i];
+                pool_->release(std::move(update));
                 inboxes_[master]->send(
                     Message{assign.id, seq, std::move(sum)});
 
-                // Wait for the master's broadcast, forward to members.
+                // Wait for the master's broadcast, forward pooled
+                // copies to members and recycle the received payload.
                 Message bcast;
                 bool ok = inboxes_[assign.id]->receive(bcast);
                 COSMIC_ASSERT(ok && bcast.seq == seq,
                               "broadcast lost at sigma " << assign.id);
-                for (int member : members)
+                for (int member : members) {
+                    std::vector<double> copy = pool_->acquire(words);
+                    std::copy(bcast.payload.begin(),
+                              bcast.payload.end(), copy.begin());
                     inboxes_[member]->send(
-                        Message{assign.id, seq, bcast.payload});
+                        Message{assign.id, seq, std::move(copy)});
+                }
+                pool_->release(std::move(bcast.payload));
                 break;
               }
               case NodeRole::MasterSigma: {
@@ -176,11 +199,12 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
                 std::vector<double> sum = engine.finish();
                 for (int64_t i = 0; i < words; ++i)
                     sum[i] += update[i];
+                pool_->release(std::move(update));
                 if (config_.mode == TrainingMode::ModelAveraging) {
                     // Eq. 3b: the average of the nodes' local updates.
                     for (auto &v : sum)
                         v /= n;
-                    new_model = sum;
+                    new_model = std::move(sum);
                 } else {
                     // Batched GD: one step on the aggregated gradient,
                     // normalized per the program's aggregation operator
@@ -191,19 +215,29 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
                             ? static_cast<double>(n) *
                                   config_.minibatchPerNode
                             : 1.0;
-                    new_model = model;
+                    new_model = pool_->acquire(words);
                     for (int64_t i = 0; i < words; ++i)
-                        new_model[i] -= config_.learningRate *
-                                        sum[i] / divisor;
+                        new_model[i] = model[i] -
+                                       config_.learningRate * sum[i] /
+                                           divisor;
+                    pool_->release(std::move(sum));
                 }
 
-                // Broadcast down the hierarchy.
-                for (int sigma : sigmas)
+                // Broadcast pooled copies down the hierarchy.
+                for (int sigma : sigmas) {
+                    std::vector<double> copy = pool_->acquire(words);
+                    std::copy(new_model.begin(), new_model.end(),
+                              copy.begin());
                     inboxes_[sigma]->send(
-                        Message{assign.id, seq, new_model});
-                for (int member : members)
+                        Message{assign.id, seq, std::move(copy)});
+                }
+                for (int member : members) {
+                    std::vector<double> copy = pool_->acquire(words);
+                    std::copy(new_model.begin(), new_model.end(),
+                              copy.begin());
                     inboxes_[member]->send(
-                        Message{assign.id, seq, new_model});
+                        Message{assign.id, seq, std::move(copy)});
+                }
                 break;
               }
             }
@@ -255,7 +289,12 @@ ClusterRuntime::train(int epochs)
         for (int64_t i = 0; i < iters_per_epoch; ++i) {
             auto start = std::chrono::steady_clock::now();
             IterationStats stats;
-            model = runIteration(model, seq++, &stats);
+            std::vector<double> next =
+                runIteration(model, seq++, &stats);
+            // Recycle the superseded model: it becomes a future
+            // message payload, closing the steady-state buffer loop.
+            pool_->release(std::move(model));
+            model = std::move(next);
             double iter_sec =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)

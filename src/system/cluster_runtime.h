@@ -48,6 +48,11 @@ struct ClusterConfig
     /** 0 = let the Director pick (nodes/4, min 1). */
     int groups = 0;
     int acceleratorThreadsPerNode = 2;
+    /** Local-SGD shards per node (the accelerator's t_max thread
+     *  dimension); 0 = one per accelerator thread. Shards beyond the
+     *  thread count run in tape lanes. The training math depends only
+     *  on this count, never on threads or lane width. */
+    int sgdShardsPerNode = 0;
     double learningRate = 0.05;
     /** Mini-batch size b per node per iteration (Eq. 3a). */
     int64_t minibatchPerNode = 64;
@@ -127,6 +132,10 @@ class ClusterRuntime
     const ClusterTopology &topology() const { return topology_; }
     const dfg::Translation &translation() const { return translation_; }
 
+    /** The shared payload recycler (test hook: its allocations()
+     *  counter must stop advancing once the hot path is warm). */
+    const BufferPool &bufferPool() const { return *pool_; }
+
   private:
     ml::Workload workload_;
     double scale_;
@@ -136,6 +145,11 @@ class ClusterRuntime
     ml::Reference reference_;
     ml::Dataset holdout_;
 
+    /** Shared recycler: every message payload, aggregation buffer and
+     *  broadcast copy circulates through this pool, so the steady
+     *  state performs no per-message allocation. */
+    std::shared_ptr<BufferPool> pool_;
+
     std::vector<std::unique_ptr<TrainingNode>> nodes_;
     std::vector<std::unique_ptr<Channel>> inboxes_;
     /** One aggregation engine per Sigma node (indexed by node id). */
@@ -144,6 +158,10 @@ class ClusterRuntime
      *  role for the whole run — runIteration only submits tasks and
      *  waits at the iteration barrier, it never spawns threads. */
     std::unique_ptr<ThreadPool> nodeWorkers_;
+
+    /** Per-node perf counters, reused across iterations. */
+    std::vector<double> computeSec_;
+    std::vector<double> aggregationSec_;
 };
 
 } // namespace cosmic::sys

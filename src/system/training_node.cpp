@@ -14,80 +14,130 @@ TrainingNode::TrainingNode(const dfg::Translation &translation,
 {
     COSMIC_ASSERT(config_.acceleratorThreads > 0,
                   "node needs at least one worker thread");
+    COSMIC_ASSERT(config_.sgdShards >= 0,
+                  "shard count cannot be negative");
     COSMIC_ASSERT(partition_.recordWords == tr_.recordWords,
                   "partition record width " << partition_.recordWords
                   << " does not match the program's " << tr_.recordWords);
     COSMIC_ASSERT(tr_.gradientWords == tr_.modelWords,
                   "local SGD requires one gradient element per model "
                   "parameter (declare gradients in model order)");
+    shards_ = config_.sgdShards > 0 ? config_.sgdShards
+                                    : config_.acceleratorThreads;
     workers_.resize(config_.acceleratorThreads);
     for (auto &w : workers_) {
         w.exec = std::make_unique<dfg::TapeExecutor>(tape_);
-        w.model.resize(tr_.modelWords, 0.0);
         w.grad.resize(tr_.gradientWords, 0.0);
     }
+    shardModels_.resize(shards_);
+    for (auto &m : shardModels_)
+        m.resize(tr_.modelWords, 0.0);
 }
 
-template <typename Fn>
-void
-TrainingNode::forWorkerRecords(int t, int64_t batch_records, Fn &&fn)
+int
+TrainingNode::shardSegments(int s, int shard_count,
+                            int64_t batch_records, Segment segs[2]) const
 {
-    const int workers = config_.acceleratorThreads;
-    const int64_t per_worker = (batch_records + workers - 1) / workers;
-    int64_t first = cursor_ + t * per_worker;
-    int64_t last = std::min<int64_t>(cursor_ + batch_records,
-                                     first + per_worker);
-    Worker &w = workers_[t];
-    while (first < last) {
+    const int64_t per =
+        (batch_records + shard_count - 1) / shard_count;
+    int64_t first = cursor_ + s * per;
+    const int64_t last =
+        std::min<int64_t>(cursor_ + batch_records, first + per);
+    int count = 0;
+    while (first < last && count < 2) {
         int64_t start = first % partition_.count;
         int64_t n = std::min(last - first, partition_.count - start);
-        fn(w, partition_.slice(start, n), n);
+        segs[count].records =
+            partition_.data.data() + start * partition_.recordWords;
+        segs[count].count = n;
+        ++count;
         first += n;
+    }
+    return count;
+}
+
+void
+TrainingNode::sweepShardRange(int t, int s0, int s1,
+                              int64_t batch_records,
+                              const std::vector<double> &model)
+{
+    Worker &w = workers_[t];
+    const double mu = config_.learningRate;
+    // Advance the owned shards in lane groups: the group's round-k
+    // segments form the lanes of one multi-lane sweep. With the
+    // classic one-shard-per-thread configuration the group has a
+    // single lane and sgdSweepLanes degenerates to the scalar sweep —
+    // either way, each shard's trajectory is bit-exact.
+    for (int base = s0; base < s1; base += dfg::kMaxTapeLanes) {
+        const int group =
+            std::min<int>(dfg::kMaxTapeLanes, s1 - base);
+        Segment segs[dfg::kMaxTapeLanes][2];
+        int seg_count[dfg::kMaxTapeLanes];
+        for (int i = 0; i < group; ++i) {
+            std::copy(model.begin(), model.end(),
+                      shardModels_[base + i].begin());
+            seg_count[i] = shardSegments(base + i, shards_,
+                                         batch_records, segs[i]);
+        }
+        for (int round = 0; round < 2; ++round) {
+            dfg::TapeExecutor::SweepLane lanes[dfg::kMaxTapeLanes];
+            int n = 0;
+            for (int i = 0; i < group; ++i) {
+                if (round >= seg_count[i])
+                    continue;
+                lanes[n].records = segs[i][round].records;
+                lanes[n].count = segs[i][round].count;
+                lanes[n].model = shardModels_[base + i].data();
+                ++n;
+            }
+            if (n > 0)
+                w.exec->sgdSweepLanes({lanes, static_cast<size_t>(n)},
+                                      mu);
+        }
     }
 }
 
-std::vector<double>
+void
 TrainingNode::computeLocalUpdate(const std::vector<double> &model,
-                                 int64_t batch_records)
+                                 int64_t batch_records,
+                                 std::vector<double> &update)
 {
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
                   "model width mismatch");
-    const int workers = config_.acceleratorThreads;
+    const int threads = config_.acceleratorThreads;
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 
-    // Divide the batch into equal sub-partitions (Fig. 1), one per
-    // pool worker; each performs plain SGD on its preallocated private
-    // model copy (parallelized SGD, Eq. 3a).
-    const double mu = config_.learningRate;
-    for (int t = 0; t < workers; ++t) {
-        pool_.submit([this, t, &model, batch_records, mu] {
-            std::copy(model.begin(), model.end(),
-                      workers_[t].model.begin());
-            forWorkerRecords(
-                t, batch_records,
-                [&](Worker &w, std::span<const double> records,
-                    int64_t n) {
-                    w.exec->sgdSweep(records, n, w.model, mu);
-                });
+    // Divide the batch into equal sub-partitions (Fig. 1), one per SGD
+    // shard; each shard performs plain SGD on its preallocated private
+    // model copy (parallelized SGD, Eq. 3a). Threads own contiguous
+    // shard groups and drive them through tape lanes.
+    const int per_thread = (shards_ + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+        const int s0 = t * per_thread;
+        const int s1 = std::min(shards_, s0 + per_thread);
+        if (s0 >= s1)
+            break;
+        pool_.submit([this, t, s0, s1, batch_records, &model] {
+            sweepShardRange(t, s0, s1, batch_records, model);
         });
     }
     pool_.waitIdle();
     cursor_ = (cursor_ + batch_records) % partition_.count;
     recordsProcessed_ += batch_records;
 
-    // The accelerator's local aggregation across worker threads.
-    std::vector<double> update(model.size(), 0.0);
-    for (const auto &w : workers_)
+    // The accelerator's local aggregation across SGD shards.
+    update.assign(model.size(), 0.0);
+    for (const auto &m : shardModels_)
         for (size_t i = 0; i < update.size(); ++i)
-            update[i] += w.model[i];
+            update[i] += m[i];
     for (auto &v : update)
-        v /= workers;
-    return update;
+        v /= shards_;
 }
 
-std::vector<double>
+void
 TrainingNode::computeGradientSum(const std::vector<double> &model,
-                                 int64_t batch_records)
+                                 int64_t batch_records,
+                                 std::vector<double> &grad)
 {
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
                   "model width mismatch");
@@ -95,15 +145,18 @@ TrainingNode::computeGradientSum(const std::vector<double> &model,
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 
     for (int t = 0; t < workers; ++t) {
-        pool_.submit([this, t, &model, batch_records] {
-            std::fill(workers_[t].grad.begin(),
-                      workers_[t].grad.end(), 0.0);
-            forWorkerRecords(
-                t, batch_records,
-                [&](Worker &w, std::span<const double> records,
-                    int64_t n) {
-                    w.exec->runBatch(records, n, model, w.grad);
-                });
+        pool_.submit([this, t, workers, &model, batch_records] {
+            Worker &w = workers_[t];
+            std::fill(w.grad.begin(), w.grad.end(), 0.0);
+            Segment segs[2];
+            const int n = shardSegments(t, workers, batch_records,
+                                        segs);
+            for (int i = 0; i < n; ++i)
+                w.exec->runBatch(
+                    {segs[i].records,
+                     static_cast<size_t>(segs[i].count *
+                                         partition_.recordWords)},
+                    segs[i].count, model, w.grad);
         });
     }
     pool_.waitIdle();
@@ -111,11 +164,10 @@ TrainingNode::computeGradientSum(const std::vector<double> &model,
     recordsProcessed_ += batch_records;
 
     // Local aggregation: plain summation over worker threads.
-    std::vector<double> total(tr_.gradientWords, 0.0);
+    grad.assign(tr_.gradientWords, 0.0);
     for (const auto &w : workers_)
         for (int64_t i = 0; i < tr_.gradientWords; ++i)
-            total[i] += w.grad[i];
-    return total;
+            grad[i] += w.grad[i];
 }
 
 } // namespace cosmic::sys

@@ -15,6 +15,15 @@
  * per-iteration hot path performs no thread spawn/join and no buffer
  * allocation — each worker reuses a preallocated model/gradient
  * buffer and its own TapeExecutor scratch.
+ *
+ * SGD shards are the software analogue of the accelerator template's
+ * t_max thread dimension: the node's local-SGD split is over
+ * `sgdShards` independent sub-models, which may exceed the OS thread
+ * count. Each pool thread drives its shard group through the tape's
+ * multi-lane sweep (one tape pass per record step, one lane per
+ * shard), so adding shards costs vector lanes, not threads. The
+ * training math depends only on the shard count — never on how shards
+ * are packed onto threads or lanes.
  */
 #pragma once
 
@@ -34,6 +43,13 @@ struct NodeComputeConfig
 {
     /** Worker threads of the node's accelerator. */
     int acceleratorThreads = 2;
+    /**
+     * Independent local-SGD sub-models (the paper's t_max thread
+     * dimension). 0 = one per accelerator thread (the classic
+     * configuration). When shards exceed threads, each thread
+     * advances its shard group in tape lanes.
+     */
+    int sgdShards = 0;
     /** SGD learning rate. */
     double learningRate = 0.05;
 };
@@ -51,52 +67,68 @@ class TrainingNode
                  const NodeComputeConfig &config);
 
     /**
-     * Computes the node's partial update for the next mini-batch: each
-     * worker thread runs SGD over its sub-partition slice starting from
-     * @p model, and the workers' models are averaged (the accelerator's
-     * local aggregation). Advances the node's batch cursor.
+     * Computes the node's partial update for the next mini-batch into
+     * @p update (resized to modelWords; steady state allocation-free
+     * when the caller reuses the buffer): each SGD shard runs local
+     * SGD over its sub-partition slice starting from @p model, and the
+     * shard models are averaged (the accelerator's local aggregation).
+     * Advances the node's batch cursor.
      *
      * @param model Current global model.
      * @param batch_records Mini-batch size b for this node.
-     * @return The locally aggregated updated model (theta_i).
+     * @param update Out: the locally aggregated updated model
+     *        (theta_i).
      */
-    std::vector<double>
-    computeLocalUpdate(const std::vector<double> &model,
-                       int64_t batch_records);
+    void computeLocalUpdate(const std::vector<double> &model,
+                            int64_t batch_records,
+                            std::vector<double> &update);
 
     /**
      * Batched-gradient variant (the paper's other parallel SGD family,
      * Sec. 2.2): each worker thread accumulates raw per-record
-     * gradients at the fixed @p model; the node returns the summed
-     * gradient over its batch slice instead of an updated model.
-     * Advances the same batch cursor.
+     * gradients at the fixed @p model through the lane-batched tape;
+     * the node writes the summed gradient over its batch slice into
+     * @p grad instead of an updated model. Advances the same batch
+     * cursor.
      */
-    std::vector<double>
-    computeGradientSum(const std::vector<double> &model,
-                       int64_t batch_records);
+    void computeGradientSum(const std::vector<double> &model,
+                            int64_t batch_records,
+                            std::vector<double> &grad);
 
     const ml::Dataset &partition() const { return partition_; }
     int64_t recordsProcessed() const { return recordsProcessed_; }
+    /** Resolved SGD shard count (>= 1). */
+    int sgdShards() const { return shards_; }
 
   private:
-    /** Persistent per-worker state, preallocated in the constructor. */
+    /** Persistent per-thread state, preallocated in the constructor. */
     struct Worker
     {
-        /** Executor holds the tape's mutable scratch image. */
+        /** Executor holds the tape's mutable scratch images. */
         std::unique_ptr<dfg::TapeExecutor> exec;
-        /** Local model copy (modelWords) for SGD sweeps. */
-        std::vector<double> model;
         /** Gradient accumulator (gradientWords). */
         std::vector<double> grad;
     };
 
+    /** A contiguous run of records within the partition. */
+    struct Segment
+    {
+        const double *records = nullptr;
+        int64_t count = 0;
+    };
+
     /**
-     * Invokes @p fn(worker, chunk) on worker @p t's share of the
-     * batch, splitting the wrap-around at the partition boundary into
-     * at most two contiguous record chunks (in record order).
+     * Resolves shard @p s's share of the batch under an @p shard_count
+     * way split into at most two contiguous record segments (the
+     * wrap-around at the partition boundary), in record order.
+     * @return The number of segments written to @p segs.
      */
-    template <typename Fn>
-    void forWorkerRecords(int t, int64_t batch_records, Fn &&fn);
+    int shardSegments(int s, int shard_count, int64_t batch_records,
+                      Segment segs[2]) const;
+
+    /** Runs the local-SGD sweeps for shards [s0, s1) on worker @p t. */
+    void sweepShardRange(int t, int s0, int s1, int64_t batch_records,
+                         const std::vector<double> &model);
 
     const dfg::Translation &tr_;
     ml::Dataset partition_;
@@ -104,6 +136,9 @@ class TrainingNode
     /** Compiled execution schedule, shared by all workers. */
     dfg::Tape tape_;
     std::vector<Worker> workers_;
+    /** Per-shard private model copies (modelWords each). */
+    std::vector<std::vector<double>> shardModels_;
+    int shards_ = 0;
     /** The node's persistent accelerator worker pool. */
     ThreadPool pool_;
     int64_t cursor_ = 0;

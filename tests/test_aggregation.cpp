@@ -5,11 +5,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <thread>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "system/aggregation.h"
+#include "system/buffer_pool.h"
 #include "system/director.h"
 
 namespace cosmic::sys {
@@ -162,6 +165,101 @@ INSTANTIATE_TEST_SUITE_P(
                "_chunk" + std::to_string(std::get<3>(info.param));
     });
 
+/**
+ * Zero-copy stress for the pooled-slot data path (the TSan target):
+ * many concurrent senders move pooled payloads into the engine while
+ * chunks reference the slots' storage. Odd chunk sizes leave ragged
+ * last chunks, the narrow rounds make chunkWords exceed the whole
+ * payload, and back-to-back rounds recycle every slot and buffer —
+ * any use-after-free of a recycled payload corrupts the sums or trips
+ * the sanitizer.
+ */
+TEST(AggregationEngine, ZeroCopyPayloadStressAcrossRounds)
+{
+    auto pool = std::make_shared<BufferPool>();
+    AggregationConfig config;
+    config.chunkWords = 7;
+    config.ringCapacity = 4;
+    config.networkingThreads = 3;
+    config.aggregationThreads = 3;
+    config.pool = pool;
+    AggregationEngine engine(config);
+
+    const int senders = 12;
+    for (int round = 0; round < 6; ++round) {
+        // Wide rounds split into many ragged chunks; narrow rounds fit
+        // inside a single oversized chunk.
+        const int64_t words = round % 2 == 0 ? 97 : 5;
+        engine.begin(senders, words);
+        std::vector<std::thread> threads;
+        for (int s = 0; s < senders; ++s) {
+            threads.emplace_back([&, s] {
+                std::vector<double> payload = pool->acquire(words);
+                for (int64_t i = 0; i < words; ++i)
+                    payload[i] = s + i * 0.25;
+                engine.onMessage(Message{
+                    s, static_cast<uint64_t>(round),
+                    std::move(payload)});
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        auto sum = engine.finish();
+        ASSERT_EQ(sum.size(), static_cast<size_t>(words));
+        for (int64_t i = 0; i < words; ++i) {
+            double expect = senders * (senders - 1) / 2.0 +
+                            senders * i * 0.25;
+            ASSERT_DOUBLE_EQ(sum[i], expect)
+                << "round " << round << " word " << i;
+        }
+        pool->release(std::move(sum));
+    }
+}
+
+/**
+ * Steady-state rounds are allocation-free: once the shared pool holds
+ * one buffer per sender plus the engine's round buffer, repeated
+ * begin/onMessage/finish cycles recirculate them without a single new
+ * allocation. Deterministic because finish() drains the pipeline, so
+ * every payload is back in the freelist before the next round starts.
+ */
+TEST(AggregationEngine, SteadyStateRoundsDoNotAllocate)
+{
+    auto pool = std::make_shared<BufferPool>();
+    AggregationConfig config;
+    config.chunkWords = 16;
+    config.pool = pool;
+    AggregationEngine engine(config);
+    ASSERT_EQ(engine.pool(), pool);
+
+    const int senders = 4;
+    const int64_t words = 64;
+    {
+        std::vector<std::vector<double>> warm;
+        for (int i = 0; i < senders + 1; ++i)
+            warm.push_back(pool->acquire(words));
+        for (auto &b : warm)
+            pool->release(std::move(b));
+    }
+
+    const uint64_t warm_allocations = pool->allocations();
+    for (int round = 0; round < 8; ++round) {
+        engine.begin(senders, words);
+        for (int s = 0; s < senders; ++s) {
+            std::vector<double> payload = pool->acquire(words);
+            std::fill(payload.begin(), payload.end(), 1.0);
+            engine.onMessage(Message{s, 0, std::move(payload)});
+        }
+        auto sum = engine.finish();
+        for (int64_t i = 0; i < words; ++i)
+            ASSERT_DOUBLE_EQ(sum[i], double(senders));
+        pool->release(std::move(sum));
+    }
+    EXPECT_EQ(pool->allocations(), warm_allocations)
+        << "steady-state rounds must not allocate payloads";
+    EXPECT_GT(pool->acquires(), warm_allocations);
+}
+
 TEST(AggregationEngine, RejectsWrongWidth)
 {
     AggregationEngine engine(AggregationConfig{});
@@ -193,8 +291,9 @@ TEST(SystemDirector, HierarchicalTopology)
             ++deltas;
             EXPECT_EQ(n.parent, topo.groupSigma(n.group));
         }
-        if (n.role == NodeRole::GroupSigma)
+        if (n.role == NodeRole::GroupSigma) {
             EXPECT_EQ(n.parent, 0);
+        }
     }
     EXPECT_EQ(deltas, 12);
     for (int g = 0; g < 4; ++g)

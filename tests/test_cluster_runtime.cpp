@@ -159,6 +159,36 @@ TEST(ClusterRuntime, BatchedGradientMatchesManualMinibatchStep)
     }
 }
 
+/**
+ * The pooled message path: payload traffic grows with the iteration
+ * count, pool allocations must not. Every partial update, aggregated
+ * sum and broadcast copy recirculates through the shared BufferPool,
+ * so total allocations stay bounded by the peak number of buffers in
+ * flight at once — independent of how long training runs.
+ */
+TEST(ClusterRuntime, SteadyStateIterationsDoNotGrowAllocations)
+{
+    for (TrainingMode mode : {TrainingMode::ModelAveraging,
+                              TrainingMode::BatchedGradient}) {
+        auto cfg = smallCluster(4, 1);
+        cfg.mode = mode;
+        ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
+                               cfg);
+        auto report = runtime.train(4); // 12 iterations
+        const BufferPool &pool = runtime.bufferPool();
+        // Peak in-flight buffers per iteration: one update per node,
+        // the engine's round buffer, the broadcast copies and the new
+        // model — about 3 per node. 4x is a generous scheduling bound;
+        // per-message allocation would blow past it within a few
+        // iterations.
+        EXPECT_LE(pool.allocations(),
+                  static_cast<uint64_t>(4 * cfg.nodes + 8))
+            << "mode " << static_cast<int>(mode);
+        EXPECT_GT(pool.acquires(), 4 * pool.allocations())
+            << "mode " << static_cast<int>(mode);
+    }
+}
+
 TEST(ClusterRuntime, MoreNodesSameDirectionOfLearning)
 {
     auto cfg4 = smallCluster(4, 1);

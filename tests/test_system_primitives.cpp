@@ -5,11 +5,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <set>
 #include <thread>
 
+#include "system/buffer_pool.h"
 #include "system/channel.h"
 #include "system/circular_buffer.h"
 #include "system/thread_pool.h"
@@ -79,13 +81,13 @@ TEST(CircularBuffer, BoundedAndOrdered)
 {
     CircularBuffer ring(4);
     for (int i = 0; i < 4; ++i)
-        ring.push(Chunk{0, i, {double(i)}});
+        ring.push(Chunk{0, i});
     EXPECT_EQ(ring.size(), 4u);
 
     Chunk c;
     ASSERT_TRUE(ring.pop(c));
     EXPECT_EQ(c.offset, 0);
-    ring.push(Chunk{0, 4, {}});
+    ring.push(Chunk{0, 4});
     for (int i = 1; i <= 4; ++i) {
         ASSERT_TRUE(ring.pop(c));
         EXPECT_EQ(c.offset, i);
@@ -95,12 +97,12 @@ TEST(CircularBuffer, BoundedAndOrdered)
 TEST(CircularBuffer, ProducerBlocksUntilConsumed)
 {
     CircularBuffer ring(2);
-    ring.push(Chunk{0, 0, {}});
-    ring.push(Chunk{0, 1, {}});
+    ring.push(Chunk{0, 0});
+    ring.push(Chunk{0, 1});
 
     std::atomic<bool> pushed{false};
     std::thread producer([&] {
-        ring.push(Chunk{0, 2, {}});
+        ring.push(Chunk{0, 2});
         pushed = true;
     });
     // Give the producer a chance to (wrongly) complete.
@@ -121,8 +123,10 @@ TEST(CircularBuffer, ConcurrentStressNoLossNoDup)
     std::vector<std::thread> threads;
     for (int p = 0; p < producers; ++p) {
         threads.emplace_back([&, p] {
+            // The offset doubles as the chunk's unique identity (the
+            // reference-record Chunk carries no owned values).
             for (int i = 0; i < per_producer; ++i)
-                ring.push(Chunk{p, i, {double(p * per_producer + i)}});
+                ring.push(Chunk{p, p * per_producer + i});
         });
     }
 
@@ -139,8 +143,7 @@ TEST(CircularBuffer, ConcurrentStressNoLossNoDup)
                     return;
                 ASSERT_TRUE(ring.pop(chunk));
                 std::lock_guard<std::mutex> lock(seen_mutex);
-                auto [it, inserted] = seen.insert(
-                    static_cast<int64_t>(chunk.values[0]));
+                auto [it, inserted] = seen.insert(chunk.offset);
                 EXPECT_TRUE(inserted) << "duplicate chunk";
             }
         });
@@ -152,6 +155,64 @@ TEST(CircularBuffer, ConcurrentStressNoLossNoDup)
     EXPECT_EQ(seen.size(),
               static_cast<size_t>(producers * per_producer));
     EXPECT_LE(ring.highWater(), ring.capacity());
+}
+
+TEST(BufferPool, RecyclesCapacityAndCountsAllocations)
+{
+    BufferPool pool;
+    auto a = pool.acquire(128);
+    EXPECT_EQ(a.size(), 128u);
+    EXPECT_EQ(pool.allocations(), 1u);
+    pool.release(std::move(a));
+    EXPECT_EQ(pool.freeCount(), 1u);
+
+    // A smaller request reuses the recycled capacity without growing.
+    auto b = pool.acquire(64);
+    EXPECT_EQ(b.size(), 64u);
+    EXPECT_EQ(pool.allocations(), 1u);
+    EXPECT_EQ(pool.freeCount(), 0u);
+    pool.release(std::move(b));
+
+    // A wider request outgrows the parked buffer and is counted.
+    auto c = pool.acquire(256);
+    EXPECT_EQ(c.size(), 256u);
+    EXPECT_EQ(pool.allocations(), 2u);
+    pool.release(std::move(c));
+    EXPECT_EQ(pool.acquires(), 3u);
+}
+
+TEST(BufferPool, IgnoresCapacityFreeReleases)
+{
+    BufferPool pool;
+    pool.release(std::vector<double>{});
+    EXPECT_EQ(pool.freeCount(), 0u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseKeepsBuffersDistinct)
+{
+    BufferPool pool;
+    const int threads = 4;
+    const int rounds = 200;
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int r = 0; r < rounds; ++r) {
+                auto buf = pool.acquire(32);
+                std::fill(buf.begin(), buf.end(), double(t));
+                for (double v : buf)
+                    if (v != double(t))
+                        ok = false;
+                pool.release(std::move(buf));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_TRUE(ok) << "two threads shared one pooled buffer";
+    EXPECT_EQ(pool.acquires(),
+              static_cast<uint64_t>(threads * rounds));
+    EXPECT_LE(pool.allocations(), static_cast<uint64_t>(threads));
 }
 
 TEST(ThreadPool, ExecutesAllTasks)

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <tuple>
 
 #include "accel/fixed_point.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "dfg/interp.h"
 #include "dfg/tape.h"
@@ -70,6 +72,46 @@ TEST_P(TapeEquivalence, MatchesInterpreterBitExact)
     }
 }
 
+/**
+ * Lane-batched runBatch must be bit-exact against the scalar tape at
+ * every supported lane width, for record counts that are not lane
+ * multiples (11 % 4 == 3, 11 % 8 == 3 exercises the scalar remainder;
+ * 3 < W exercises the all-remainder degenerate batch) and with the
+ * quantizer both off and on.
+ */
+TEST_P(TapeEquivalence, LaneBatchBitExactVsScalarWithRemainder)
+{
+    const auto &w = ml::Workload::byName(std::get<0>(GetParam()));
+    const double scale = std::get<1>(GetParam());
+    auto tr = translateWorkload(w, scale);
+
+    Rng rng(13);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 11, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+
+    for (double (*quantizer)(double) :
+         {static_cast<double (*)(double)>(nullptr),
+          &accel::quantizeToFixed}) {
+        dfg::Tape tape(tr, quantizer);
+        dfg::TapeExecutor exec(tape);
+        for (int64_t count : {int64_t{3}, ds.count}) {
+            std::vector<double> want(tr.gradientWords, 0.0);
+            exec.setLaneWidth(1);
+            exec.runBatch(ds.data, count, model, want);
+            for (int width : {4, 8}) {
+                std::vector<double> got(tr.gradientWords, 0.0);
+                exec.setLaneWidth(width);
+                exec.runBatch(ds.data, count, model, got);
+                for (int64_t i = 0; i < tr.gradientWords; ++i)
+                    ASSERT_EQ(got[i], want[i])
+                        << "gradient element " << i << " at lane width "
+                        << width << ", " << count << " records"
+                        << (quantizer ? " (quantized)" : " (exact)");
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, TapeEquivalence,
     ::testing::Combine(
@@ -81,6 +123,68 @@ INSTANTIATE_TEST_SUITE_P(
         return std::get<0>(info.param) + "_scale" +
                std::to_string(static_cast<int>(std::get<1>(info.param)));
     });
+
+TEST(Tape, LaneWidthValidation)
+{
+    const int lanes = dfg::defaultTapeLanes();
+    EXPECT_TRUE(lanes == 1 || lanes == 4 || lanes == dfg::kMaxTapeLanes);
+
+    auto tr = translateWorkload(ml::Workload::byName("stock"), 64.0);
+    dfg::Tape tape(tr);
+    dfg::TapeExecutor exec(tape);
+    exec.setLaneWidth(4);
+    EXPECT_EQ(exec.laneWidth(), 4);
+    EXPECT_THROW(exec.setLaneWidth(5), cosmic::CosmicError);
+    EXPECT_THROW(exec.setLaneWidth(0), cosmic::CosmicError);
+}
+
+/**
+ * sgdSweepLanes advances independent sweeps in lockstep; every lane
+ * must be bit-exact against a scalar sgdSweep over the same records.
+ * Lane counts are ragged (the lockstep region covers the shortest lane
+ * only), and 3 lanes exercise the unsupported-width scalar fallback.
+ */
+TEST(Tape, SgdSweepLanesBitExactVsScalarSweeps)
+{
+    const auto &w = ml::Workload::byName("stock");
+    auto tr = translateWorkload(w, 64.0);
+    Rng rng(47);
+    auto ds = ml::DatasetGenerator::generate(w, 64.0, 64, rng);
+    auto model0 = ml::DatasetGenerator::initialModel(w, 64.0, rng);
+    const double mu = 0.05;
+
+    for (double (*quantizer)(double) :
+         {static_cast<double (*)(double)>(nullptr),
+          &accel::quantizeToFixed}) {
+        dfg::Tape tape(tr, quantizer);
+        dfg::TapeExecutor scalar_exec(tape);
+        dfg::TapeExecutor lane_exec(tape);
+        for (int n : {3, 4, 8}) {
+            std::vector<std::vector<double>> want(n, model0);
+            std::vector<std::vector<double>> got(n, model0);
+            std::vector<dfg::TapeExecutor::SweepLane> lanes;
+            int64_t off = 0;
+            for (int l = 0; l < n; ++l) {
+                const int64_t count = 5 + l % 3; // ragged: 5, 6, 7, ...
+                const double *recs =
+                    ds.data.data() + off * tr.recordWords;
+                scalar_exec.sgdSweep(
+                    std::span<const double>(recs,
+                                            count * tr.recordWords),
+                    count, want[l], mu);
+                lanes.push_back({recs, count, got[l].data()});
+                off += count;
+            }
+            lane_exec.sgdSweepLanes(lanes, mu);
+            for (int l = 0; l < n; ++l)
+                for (int64_t i = 0; i < tr.modelWords; ++i)
+                    ASSERT_EQ(got[l][i], want[l][i])
+                        << "lane " << l << " of " << n << " element "
+                        << i
+                        << (quantizer ? " (quantized)" : " (exact)");
+        }
+    }
+}
 
 TEST(Tape, RunBatchMatchesInterpreterAccumulate)
 {
@@ -157,29 +261,24 @@ TEST(Tape, AbsentOperandsReadPinnedZero)
         EXPECT_EQ(got[i], want[i]);
 }
 
-/**
- * End-to-end: the persistent-worker runtime (tape + thread pools) must
- * reproduce the parallelized-SGD trajectory of a serial re-computation
- * with the Interpreter — same worker split, same record order, same
- * local and global aggregation math as the seed implementation.
- */
-TEST(Tape, ClusterTrajectoryMatchesInterpreterEmulation)
+/** An emulated training run: holdout loss per epoch + final model. */
+struct Trajectory
 {
-    const auto &w = ml::Workload::byName("tumor");
-    const double scale = 64.0;
-    sys::ClusterConfig cfg;
-    cfg.nodes = 2;
-    cfg.groups = 1;
-    cfg.acceleratorThreadsPerNode = 2;
-    cfg.minibatchPerNode = 32;
-    cfg.recordsPerNode = 64;
-    cfg.learningRate = 0.4;
+    std::vector<double> epochLoss;
+    std::vector<double> model;
+};
 
-    sys::ClusterRuntime runtime(w, scale, cfg);
-    const int epochs = 2;
-    auto report = runtime.train(epochs);
-
-    // Serial emulation mirroring the runtime's construction exactly.
+/**
+ * Serial interpreter emulation of the runtime's parallelized SGD,
+ * mirroring its construction exactly: @p workers independent
+ * sub-models per node (one per accelerator thread in the seed, one per
+ * SGD shard when sgdShardsPerNode is set), the same contiguous record
+ * split, the same local averaging and global aggregation math.
+ */
+Trajectory
+emulateTrajectory(const ml::Workload &w, double scale,
+                  const sys::ClusterConfig &cfg, int epochs, int workers)
+{
     auto tr = translateWorkload(w, scale);
     Rng rng(cfg.seed);
     int64_t holdout = std::min<int64_t>(128, cfg.recordsPerNode);
@@ -196,13 +295,12 @@ TEST(Tape, ClusterTrajectoryMatchesInterpreterEmulation)
     ml::Reference ref(w, scale);
     dfg::Interpreter interp(tr);
 
-    std::vector<double> loss_curve;
-    loss_curve.push_back(ref.meanLoss(held.data, held.count, model));
+    Trajectory out;
+    out.epochLoss.push_back(ref.meanLoss(held.data, held.count, model));
     std::vector<int64_t> cursors(cfg.nodes, 0);
     int64_t iters_per_epoch =
         (cfg.recordsPerNode + cfg.minibatchPerNode - 1) /
         cfg.minibatchPerNode;
-    const int workers = cfg.acceleratorThreadsPerNode;
 
     for (int e = 0; e < epochs; ++e) {
         for (int64_t it = 0; it < iters_per_epoch; ++it) {
@@ -238,18 +336,95 @@ TEST(Tape, ClusterTrajectoryMatchesInterpreterEmulation)
                 v /= cfg.nodes;
             model = std::move(next);
         }
-        loss_curve.push_back(
+        out.epochLoss.push_back(
             ref.meanLoss(held.data, held.count, model));
     }
+    out.model = std::move(model);
+    return out;
+}
 
-    ASSERT_EQ(report.epochLoss.size(), loss_curve.size());
-    for (size_t i = 0; i < loss_curve.size(); ++i)
-        EXPECT_NEAR(report.epochLoss[i], loss_curve[i], 1e-9)
+void
+expectMatchesTrajectory(const sys::TrainingReport &report,
+                        const Trajectory &want)
+{
+    ASSERT_EQ(report.epochLoss.size(), want.epochLoss.size());
+    for (size_t i = 0; i < want.epochLoss.size(); ++i)
+        EXPECT_NEAR(report.epochLoss[i], want.epochLoss[i], 1e-9)
             << "epoch " << i;
-    ASSERT_EQ(report.finalModel.size(), model.size());
-    for (size_t i = 0; i < model.size(); ++i)
-        EXPECT_NEAR(report.finalModel[i], model[i], 1e-9)
+    ASSERT_EQ(report.finalModel.size(), want.model.size());
+    for (size_t i = 0; i < want.model.size(); ++i)
+        EXPECT_NEAR(report.finalModel[i], want.model[i], 1e-9)
             << "model element " << i;
+}
+
+/**
+ * End-to-end: the persistent-worker runtime (tape + thread pools) must
+ * reproduce the parallelized-SGD trajectory of a serial re-computation
+ * with the Interpreter — same worker split, same record order, same
+ * local and global aggregation math as the seed implementation.
+ */
+TEST(Tape, ClusterTrajectoryMatchesInterpreterEmulation)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    const double scale = 64.0;
+    sys::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.groups = 1;
+    cfg.acceleratorThreadsPerNode = 2;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.learningRate = 0.4;
+
+    sys::ClusterRuntime runtime(w, scale, cfg);
+    const int epochs = 2;
+    auto report = runtime.train(epochs);
+
+    auto want = emulateTrajectory(w, scale, cfg, epochs,
+                                  cfg.acceleratorThreadsPerNode);
+    expectMatchesTrajectory(report, want);
+}
+
+/**
+ * Decoupling shards from threads: with sgdShardsPerNode set, the
+ * training math follows the shard count, never the thread/lane
+ * packing. threads=1 drives all 4 shards as one multi-lane sweep
+ * (the W=4 lane path); threads=3 splits them into groups of 2 (the
+ * unsupported-width scalar fallback). Both must match the serial
+ * 4-worker emulation — and, since lane batching is bit-exact, match
+ * each other to the last bit.
+ */
+TEST(Tape, ShardedClusterTrajectoryIndependentOfThreadCount)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    const double scale = 64.0;
+    sys::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.groups = 1;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.learningRate = 0.4;
+    cfg.sgdShardsPerNode = 4;
+
+    const int epochs = 2;
+    auto want = emulateTrajectory(w, scale, cfg, epochs,
+                                  cfg.sgdShardsPerNode);
+
+    cfg.acceleratorThreadsPerNode = 1;
+    sys::ClusterRuntime lane_runtime(w, scale, cfg);
+    auto lane_report = lane_runtime.train(epochs);
+    expectMatchesTrajectory(lane_report, want);
+
+    cfg.acceleratorThreadsPerNode = 3;
+    sys::ClusterRuntime fallback_runtime(w, scale, cfg);
+    auto fallback_report = fallback_runtime.train(epochs);
+    expectMatchesTrajectory(fallback_report, want);
+
+    ASSERT_EQ(lane_report.finalModel.size(),
+              fallback_report.finalModel.size());
+    for (size_t i = 0; i < lane_report.finalModel.size(); ++i)
+        EXPECT_EQ(lane_report.finalModel[i],
+                  fallback_report.finalModel[i])
+            << "lane and scalar shard packings diverged at " << i;
 }
 
 TEST(Tape, TrainingReportCarriesPerfCounters)
