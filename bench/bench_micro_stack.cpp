@@ -153,7 +153,7 @@ BM_AggregationRound(benchmark::State &state)
     const int64_t words = state.range(0);
     std::vector<double> payload(words, 1.0);
     for (auto _ : state) {
-        engine.begin(senders, words);
+        engine.begin(words, 0);
         for (int s = 0; s < senders; ++s)
             engine.onMessage(sys::Message{s, 0, payload});
         auto sum = engine.finish();

@@ -56,8 +56,17 @@ ScaleOutEstimator::withNodeTime(double node_batch_sec,
                                 int64_t total_records)
 {
     COSMIC_ASSERT(config.nodes >= 1, "cluster needs nodes");
+    COSMIC_ASSERT(config.failedNodes >= 0 &&
+                      config.failedNodes < config.nodes,
+                  "failed nodes must leave at least one survivor");
+    // Graceful degradation: the aggregation tree and the throughput
+    // both shrink to the surviving nodes. Survivors keep their
+    // original 1/nodes partitions (the runtime does not repartition
+    // on eviction), so iterations per epoch are unchanged while the
+    // records the dead nodes owned leave the epoch with them.
+    const int survivors = config.nodes - config.failedNodes;
     sys::ClusterModelConfig cluster = config.cluster;
-    cluster.nodes = config.nodes;
+    cluster.nodes = survivors;
     cluster.groups = config.groups;
     sys::CosmicClusterModel model(cluster, model_bytes);
 
@@ -71,7 +80,7 @@ ScaleOutEstimator::withNodeTime(double node_batch_sec,
     est.epochSeconds = est.iterationsPerEpoch *
                        est.iteration.totalSec();
     double records_per_iter = static_cast<double>(
-        config.minibatchPerNode) * config.nodes;
+        config.minibatchPerNode) * survivors;
     est.recordsPerSecond = records_per_iter / est.iteration.totalSec();
     return est;
 }

@@ -72,6 +72,13 @@ struct ScaleOutConfig
     int groups = 0;
     /** Mini-batch records per node per iteration. */
     int64_t minibatchPerNode = 10000;
+    /**
+     * Nodes assumed lost to failures (graceful degradation, mirroring
+     * the runtime's Director-driven eviction): the cluster shrinks to
+     * the survivors, which keep their original data partitions — the
+     * evicted nodes' records leave the epoch with them.
+     */
+    int failedNodes = 0;
     sys::ClusterModelConfig cluster;
 };
 

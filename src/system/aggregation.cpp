@@ -22,25 +22,57 @@ AggregationEngine::~AggregationEngine()
 }
 
 void
-AggregationEngine::begin(int senders, int64_t words)
+AggregationEngine::begin(int64_t words, uint64_t seq)
 {
-    COSMIC_ASSERT(senders >= 0 && words > 0, "bad aggregation round");
+    COSMIC_ASSERT(words > 0, "bad aggregation round");
     aggBuffer_ = pool_->acquire(words);
     std::fill(aggBuffer_.begin(), aggBuffer_.end(), 0.0);
     stripeWords_ = std::max<size_t>(
         config_.chunkWords,
         (words + stripes_.size() - 1) / stripes_.size());
+    {
+        std::lock_guard<std::mutex> lock(roundMutex_);
+        roundSeq_ = seq;
+        seenSenders_.clear();
+        contributors_ = 0;
+    }
     std::lock_guard<std::mutex> lock(doneMutex_);
-    wordsRemaining_ = static_cast<int64_t>(senders) * words;
+    wordsRemaining_ = 0; // grows as messages are accepted
 }
 
-void
+bool
 AggregationEngine::onMessage(Message msg)
 {
     COSMIC_ASSERT(msg.payload.size() == aggBuffer_.size(),
                   "partial update width " << msg.payload.size()
                   << " does not match aggregation buffer "
                   << aggBuffer_.size());
+    // Sequence-number reconciliation: wrong-round messages (a
+    // straggler's late partial) and same-round duplicate senders (the
+    // wire's duplicated delivery) are recycled, counted, and never
+    // touch the sum — aggregation is idempotent.
+    {
+        std::lock_guard<std::mutex> lock(roundMutex_);
+        if (msg.seq != roundSeq_) {
+            ++staleDropped_;
+            pool_->release(std::move(msg.payload));
+            return false;
+        }
+        if (std::find(seenSenders_.begin(), seenSenders_.end(),
+                      msg.from) != seenSenders_.end()) {
+            ++duplicatesDropped_;
+            pool_->release(std::move(msg.payload));
+            return false;
+        }
+        seenSenders_.push_back(msg.from);
+        contributors_ += msg.contributors;
+    }
+    {
+        // Claim this round's words before dispatch so finish() (called
+        // after the last onMessage returns) sees the full total.
+        std::lock_guard<std::mutex> lock(doneMutex_);
+        wordsRemaining_ += static_cast<int64_t>(msg.payload.size());
+    }
     // Move the payload into a pooled slot — the networking threads
     // will hand out references into it, never copies. Deque growth is
     // serialized by slotsMutex_ and element addresses are stable, so
@@ -84,6 +116,35 @@ AggregationEngine::onMessage(Message msg)
             aggPool_.submit([this] { accumulateOneChunk(); });
         }
     });
+    return true;
+}
+
+int
+AggregationEngine::accepted() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return static_cast<int>(seenSenders_.size());
+}
+
+int
+AggregationEngine::contributors() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return contributors_;
+}
+
+uint64_t
+AggregationEngine::duplicatesDropped() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return duplicatesDropped_;
+}
+
+uint64_t
+AggregationEngine::staleDropped() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return staleDropped_;
 }
 
 void

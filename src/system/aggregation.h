@@ -15,6 +15,19 @@
  * consumers, and the bounded ring lets communication overlap with
  * computation while capping memory — with zero per-chunk and (steady
  * state) zero per-message allocation.
+ *
+ * Sequence-number reconciliation: each round is armed with the
+ * iteration's sequence number, and onMessage() rejects (a) messages
+ * from a round other than the current one — stragglers' late partials
+ * from an earlier iteration — and (b) same-round duplicates from a
+ * sender already folded in — the wire's duplicated deliveries. A
+ * rejected payload is recycled and never touches the sum, making
+ * aggregation idempotent under message duplication and reordering
+ * (property-tested in test_fault_injection.cpp). The engine no longer
+ * needs the sender count up front: finish() completes once every
+ * *accepted* word has landed, so a failure-tolerant caller can stop
+ * feeding it after a timeout and aggregate whatever k of n partials
+ * arrived.
  */
 #pragma once
 
@@ -58,25 +71,44 @@ class AggregationEngine
     ~AggregationEngine();
 
     /**
-     * Arms the engine for one round: @p senders vectors of @p words
-     * words each will arrive via onMessage.
+     * Arms the engine for one round of @p words-word vectors carrying
+     * sequence number @p seq. Any number of distinct senders may then
+     * arrive via onMessage — the round total is whatever was accepted
+     * by the time finish() is called.
      */
-    void begin(int senders, int64_t words);
+    void begin(int64_t words, uint64_t seq);
 
     /**
      * Dispatches one received partial update into the pipeline. The
      * payload is moved into a pooled slot; the caller's vector is
      * consumed (zero-copy).
+     *
+     * @return true when the message was accepted for this round;
+     *         false when it was rejected (stale sequence number or a
+     *         same-round duplicate sender) — the payload is recycled
+     *         and the rejection counted.
      */
-    void onMessage(Message msg);
+    bool onMessage(Message msg);
 
     /**
-     * Blocks until every expected word has been aggregated and *moves*
+     * Blocks until every accepted word has been aggregated and *moves*
      * the summed vector out, leaving the engine ready for the next
-     * begin(). The caller may release the returned buffer back to the
-     * engine's pool when done with it.
+     * begin(). Call only after the last onMessage() of the round has
+     * returned. The caller may release the returned buffer back to
+     * the engine's pool when done with it.
      */
     std::vector<double> finish();
+
+    /** Messages accepted this round so far. */
+    int accepted() const;
+    /** Total contributor weight (sum of Message::contributors)
+     *  accepted this round — the k in k-of-n rescaling. */
+    int contributors() const;
+
+    /** Same-round duplicate messages rejected (cumulative). */
+    uint64_t duplicatesDropped() const;
+    /** Wrong-round messages rejected (cumulative). */
+    uint64_t staleDropped() const;
 
     /** Ring high-water mark (observability). */
     size_t ringHighWater() const { return ring_.highWater(); }
@@ -118,6 +150,16 @@ class AggregationEngine
     /** Striped locks over aggBuffer_ regions (one per chunk slot). */
     std::vector<std::mutex> stripes_;
     size_t stripeWords_ = 1;
+
+    /** Round state: the armed sequence number, senders folded in so
+     *  far, and their total contributor weight. Guarded by
+     *  roundMutex_ (onMessage may race in tests). */
+    mutable std::mutex roundMutex_;
+    uint64_t roundSeq_ = 0;
+    std::vector<int> seenSenders_;
+    int contributors_ = 0;
+    uint64_t duplicatesDropped_ = 0;
+    uint64_t staleDropped_ = 0;
 
     std::mutex doneMutex_;
     std::condition_variable doneCv_;

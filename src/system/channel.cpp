@@ -1,15 +1,39 @@
 #include "system/channel.h"
 
+#include <chrono>
+#include <thread>
+
+#include "system/fault.h"
+
 namespace cosmic::sys {
 
 void
 Channel::send(Message msg)
 {
+    bool duplicate = false;
+    if (injector_) {
+        FaultInjector::SendAction action =
+            injector_->onSend(msg.from, owner_, msg.seq);
+        if (action.delayMs > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    action.delayMs));
+        if (action.drop)
+            return; // the wire ate it
+        duplicate = action.duplicate;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return; // sends after close are dropped (no receiver left)
+        if (duplicate)
+            queue_.push_back(msg); // deliberate copy: the dup fault
         queue_.push_back(std::move(msg));
     }
-    available_.notify_one();
+    if (duplicate)
+        available_.notify_all();
+    else
+        available_.notify_one();
 }
 
 bool
@@ -22,6 +46,22 @@ Channel::receive(Message &out)
     out = std::move(queue_.front());
     queue_.pop_front();
     return true;
+}
+
+RecvStatus
+Channel::receiveFor(Message &out, double timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool ready = available_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [&] { return !queue_.empty() || closed_; });
+    if (!ready)
+        return RecvStatus::Timeout;
+    if (queue_.empty())
+        return RecvStatus::Closed;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return RecvStatus::Ok;
 }
 
 bool

@@ -7,7 +7,24 @@
  * channels with the same blocking semantics. A node's inbox Channel is
  * what the Sigma node's Incoming Network Handler "epolls": receive()
  * blocks until a message (or close) arrives, pending() is the readiness
- * probe.
+ * probe, and receiveFor() is the timed variant the failure-tolerant
+ * protocol uses so a lost message can never block a receiver forever.
+ *
+ * Close/drain ordering contract (regression-tested in
+ * test_system_primitives.cpp):
+ *  - Messages sent *before* close() remain receivable: receivers drain
+ *    the queue and only then observe the closed state.
+ *  - Messages sent *after* close() are dropped — the socket is gone,
+ *    so the wire eats them. Producers therefore need no shutdown
+ *    handshake; closing the inbox is always safe.
+ *  - On a closed-and-drained channel receive() returns false and
+ *    receiveFor() returns RecvStatus::Closed immediately; neither can
+ *    block (the original receive() would park forever on a channel
+ *    that was never closed — receiveFor() is the bounded alternative).
+ *
+ * Fault injection: an installed FaultInjector is consulted on every
+ * send with (from, owner, seq) and may drop, delay, or duplicate the
+ * message on the wire. The hook is a single null check when disabled.
  */
 #pragma once
 
@@ -19,6 +36,8 @@
 
 namespace cosmic::sys {
 
+class FaultInjector;
+
 /** One network message: a partial update (or broadcast model). */
 struct Message
 {
@@ -28,13 +47,28 @@ struct Message
     uint64_t seq = 0;
     /** Flattened vector payload (model or partial update). */
     std::vector<double> payload;
+    /** Delta nodes folded into this partial update (k-of-n weight). */
+    int contributors = 1;
+};
+
+/** Outcome of a timed receive. */
+enum class RecvStatus
+{
+    /** A message was dequeued. */
+    Ok,
+    /** The window expired with the channel still open and empty. */
+    Timeout,
+    /** The channel is closed and drained. */
+    Closed,
 };
 
 /** Thread-safe multi-producer single-consumer message queue. */
 class Channel
 {
   public:
-    /** Enqueues a message; never blocks (the switch buffers). */
+    /** Enqueues a message; never blocks (the switch buffers). Dropped
+     *  when the channel is closed, or when an installed fault hook
+     *  decides the wire eats it. */
     void send(Message msg);
 
     /**
@@ -43,20 +77,43 @@ class Channel
      */
     bool receive(Message &out);
 
+    /**
+     * Timed receive: blocks at most @p timeout_ms for a message.
+     * Returns immediately (Closed) on a closed-and-drained channel —
+     * a timeout can only mean the channel is still open.
+     */
+    RecvStatus receiveFor(Message &out, double timeout_ms);
+
     /** Non-blocking receive. */
     bool tryReceive(Message &out);
 
     /** True when a message is waiting (the epoll readiness analog). */
     bool pending() const;
 
-    /** Closes the channel; receivers drain and then get false. */
+    /** Closes the channel; receivers drain and then get false, later
+     *  sends are dropped (see the close/drain contract above). */
     void close();
+
+    /**
+     * Installs the fault-injection hook: this channel is node
+     * @p owner's inbox and every send() consults @p injector.
+     * Pass nullptr to disable (the default; zero-cost).
+     */
+    void
+    setFaultHook(FaultInjector *injector, int owner)
+    {
+        injector_ = injector;
+        owner_ = owner;
+    }
 
   private:
     mutable std::mutex mutex_;
     std::condition_variable available_;
     std::deque<Message> queue_;
     bool closed_ = false;
+    /** Fault hook (not owned); set once before traffic starts. */
+    FaultInjector *injector_ = nullptr;
+    int owner_ = -1;
 };
 
 } // namespace cosmic::sys

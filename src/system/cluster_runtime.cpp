@@ -68,6 +68,30 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
     holdout_ = full.partition(config_.nodes * config_.recordsPerNode,
                               holdout_count);
 
+    // Fault injection and the failure-tolerant protocol: zero-cost
+    // when disabled (no injector, blocking receives, identical math).
+    faultsActive_ =
+        config_.faultTolerance.enabled || !config_.faultPlan.empty();
+    if (faultsActive_) {
+        for (const auto &c : config_.faultPlan.crashes()) {
+            COSMIC_ASSERT(c.node >= 0 && c.node < config_.nodes,
+                          "fault plan crashes unknown node " << c.node);
+            if (c.node == topology_.masterId())
+                COSMIC_FATAL("fault plan kills the master Sigma (node "
+                             << c.node
+                             << "): master failover is unsupported");
+        }
+        injector_ =
+            std::make_unique<FaultInjector>(config_.faultPlan);
+        for (int i = 0; i < config_.nodes; ++i) {
+            inboxes_[i]->setFaultHook(injector_.get(), i);
+            nodes_[i]->setFaultInjector(injector_.get(), i);
+        }
+    }
+    recoveryScratch_.resize(config_.nodes);
+    suspectScratch_.resize(config_.nodes);
+    missStreak_.resize(config_.nodes, 0);
+
     // One long-lived worker per node: each iteration's node tasks all
     // block on each other's channels, so the pool must be able to run
     // every node concurrently.
@@ -82,180 +106,324 @@ ClusterRuntime::~ClusterRuntime()
         inbox->close();
 }
 
+RecvStatus
+ClusterRuntime::receiveProtocol(int node, Message &out,
+                                double budget_scale)
+{
+    if (!faultsActive_)
+        return inboxes_[node]->receive(out) ? RecvStatus::Ok
+                                            : RecvStatus::Closed;
+    const FaultToleranceConfig &ft = config_.faultTolerance;
+    double window = ft.receiveTimeoutMs * budget_scale;
+    for (int attempt = 0;; ++attempt) {
+        RecvStatus status = inboxes_[node]->receiveFor(out, window);
+        if (status != RecvStatus::Timeout)
+            return status;
+        ++recoveryScratch_[node].receiveTimeouts;
+        if (attempt >= ft.maxRetries)
+            return RecvStatus::Timeout;
+        window *= ft.backoffFactor;
+    }
+}
+
+void
+ClusterRuntime::collectPartials(const NodeAssignment &assign,
+                                const std::vector<int> &expected,
+                                uint64_t seq, double budget_scale)
+{
+    AggregationEngine &engine = *engines_[assign.id];
+    RecoveryStats &rc = recoveryScratch_[assign.id];
+    std::vector<int> got;
+    while (got.size() < expected.size()) {
+        Message msg;
+        RecvStatus r = receiveProtocol(assign.id, msg, budget_scale);
+        COSMIC_ASSERT(r != RecvStatus::Closed,
+                      "inbox closed mid-iteration at node "
+                          << assign.id);
+        if (r == RecvStatus::Timeout)
+            break; // give up on whoever is still missing
+        const int from = msg.from;
+        if (engine.onMessage(std::move(msg))) {
+            got.push_back(from);
+        } else {
+            // Duplicate or stale — counted by the engine. Impossible
+            // on the no-fault path, where it would be a stack bug.
+            COSMIC_ASSERT(faultsActive_,
+                          "unexpected partial rejected at node "
+                              << assign.id << " from " << from);
+        }
+    }
+    for (int sender : expected) {
+        if (std::find(got.begin(), got.end(), sender) == got.end()) {
+            ++rc.partialsMissed;
+            suspectScratch_[assign.id].push_back(sender);
+        }
+    }
+}
+
+bool
+ClusterRuntime::awaitBroadcast(const NodeAssignment &assign,
+                               uint64_t seq, Message &bcast)
+{
+    RecoveryStats &rc = recoveryScratch_[assign.id];
+    for (;;) {
+        // 3x window: a broadcast waiter sits behind the Sigma and
+        // master timeout levels, so it must outwait both.
+        RecvStatus r = receiveProtocol(assign.id, bcast, 3.0);
+        COSMIC_ASSERT(r != RecvStatus::Closed,
+                      "inbox closed mid-iteration at node "
+                          << assign.id);
+        if (r == RecvStatus::Timeout) {
+            ++rc.broadcastsMissed;
+            if (assign.parent >= 0)
+                suspectScratch_[assign.id].push_back(assign.parent);
+            return false;
+        }
+        if (bcast.seq != seq) {
+            // A delayed broadcast from an earlier round the receiver
+            // had already given up on.
+            COSMIC_ASSERT(faultsActive_,
+                          "broadcast seq " << bcast.seq
+                          << " != " << seq << " on node " << assign.id);
+            ++rc.staleDropped;
+            pool_->release(std::move(bcast.payload));
+            continue;
+        }
+        return true;
+    }
+}
+
+void
+ClusterRuntime::runNodeRole(const NodeAssignment &assign,
+                            const std::vector<double> &model,
+                            uint64_t seq,
+                            std::vector<double> &new_model)
+{
+    const int64_t words = translation_.modelWords;
+    const int master = topology_.masterId();
+
+    if (config_.maxStragglerDelayMs > 0.0) {
+        // Deterministic injected skew (failure-injection mode).
+        Rng jitter(config_.seed ^
+                   (static_cast<uint64_t>(assign.id) << 32) ^ seq);
+        auto delay = std::chrono::microseconds(static_cast<int64_t>(
+            jitter.uniform(0.0, config_.maxStragglerDelayMs) * 1000.0));
+        std::this_thread::sleep_for(delay);
+    }
+    TrainingNode &node = *nodes_[assign.id];
+    auto compute_start = std::chrono::steady_clock::now();
+    // Pooled partial-update buffer: filled here, shipped as a
+    // message payload (deltas/sigmas) and eventually recycled
+    // by whoever consumes it — no steady-state allocation.
+    std::vector<double> update = pool_->acquire(words);
+    if (config_.mode == TrainingMode::ModelAveraging)
+        node.computeLocalUpdate(model, config_.minibatchPerNode,
+                                update);
+    else
+        node.computeGradientSum(model, config_.minibatchPerNode,
+                                update);
+    auto compute_end = std::chrono::steady_clock::now();
+    computeSec_[assign.id] =
+        std::chrono::duration<double>(compute_end - compute_start)
+            .count();
+
+    switch (assign.role) {
+      case NodeRole::Delta: {
+        // Ship theta_i to the group's Sigma, then wait for the
+        // broadcast of the new global model. The received payload
+        // goes back to the pool. If the Sigma died, the broadcast
+        // never comes — the bounded wait records the miss and the
+        // Director will repair the group once the streak is long
+        // enough.
+        inboxes_[assign.parent]->send(
+            Message{assign.id, seq, std::move(update)});
+        Message bcast;
+        if (awaitBroadcast(assign, seq, bcast))
+            pool_->release(std::move(bcast.payload));
+        break;
+      }
+      case NodeRole::GroupSigma: {
+        // First level of the hierarchy: aggregate whichever group
+        // partials arrive in time (k-of-n).
+        auto members = topology_.groupMembers(assign.group);
+        AggregationEngine &engine = *engines_[assign.id];
+        engine.begin(words, seq);
+        collectPartials(assign, members, seq, 1.0);
+        std::vector<double> sum = engine.finish();
+        for (int64_t i = 0; i < words; ++i)
+            sum[i] += update[i];
+        // Contributor weight rides up the hierarchy so the master
+        // can rescale Eq. 3 over the survivors.
+        Message up{assign.id, seq, {},
+                   engine.contributors() + 1};
+        up.payload = std::move(sum);
+        pool_->release(std::move(update));
+        inboxes_[master]->send(std::move(up));
+
+        // Wait for the master's broadcast, forward pooled copies to
+        // members and recycle the received payload.
+        Message bcast;
+        if (awaitBroadcast(assign, seq, bcast)) {
+            for (int member : members) {
+                std::vector<double> copy = pool_->acquire(words);
+                std::copy(bcast.payload.begin(), bcast.payload.end(),
+                          copy.begin());
+                inboxes_[member]->send(
+                    Message{assign.id, seq, std::move(copy)});
+            }
+            pool_->release(std::move(bcast.payload));
+        }
+        break;
+      }
+      case NodeRole::MasterSigma: {
+        // The master folds its own group members and the other group
+        // Sigmas into a single order-independent round. 2x window:
+        // a group Sigma only reports after its own timeout budget.
+        auto members = topology_.groupMembers(assign.group);
+        auto sigmas = topology_.nonMasterSigmas();
+        std::vector<int> expected = members;
+        expected.insert(expected.end(), sigmas.begin(), sigmas.end());
+        AggregationEngine &engine = *engines_[assign.id];
+        engine.begin(words, seq);
+        collectPartials(assign, expected, seq, 2.0);
+        std::vector<double> sum = engine.finish();
+        for (int64_t i = 0; i < words; ++i)
+            sum[i] += update[i];
+        // k-of-n rescaling: the survivors' total weight. With every
+        // node healthy this is exactly n and the math is bit-for-bit
+        // the no-fault path.
+        const int contributors = engine.contributors() + 1;
+        pool_->release(std::move(update));
+        if (config_.mode == TrainingMode::ModelAveraging) {
+            // Eq. 3b: the average of the surviving local updates.
+            for (auto &v : sum)
+                v /= contributors;
+            new_model = std::move(sum);
+        } else {
+            // Batched GD: one step on the aggregated gradient,
+            // normalized per the program's aggregation operator
+            // (average over the surviving global batch, or raw sum).
+            double divisor =
+                translation_.aggregator == dsl::Aggregator::Average
+                    ? static_cast<double>(contributors) *
+                          config_.minibatchPerNode
+                    : 1.0;
+            new_model = pool_->acquire(words);
+            for (int64_t i = 0; i < words; ++i)
+                new_model[i] =
+                    model[i] -
+                    config_.learningRate * sum[i] / divisor;
+            pool_->release(std::move(sum));
+        }
+
+        // Broadcast pooled copies down the hierarchy.
+        for (int sigma : sigmas) {
+            std::vector<double> copy = pool_->acquire(words);
+            std::copy(new_model.begin(), new_model.end(),
+                      copy.begin());
+            inboxes_[sigma]->send(
+                Message{assign.id, seq, std::move(copy)});
+        }
+        for (int member : members) {
+            std::vector<double> copy = pool_->acquire(words);
+            std::copy(new_model.begin(), new_model.end(),
+                      copy.begin());
+            inboxes_[member]->send(
+                Message{assign.id, seq, std::move(copy)});
+        }
+        break;
+      }
+    }
+    // Everything after the gradient compute is aggregation and
+    // communication wait — the Fig. 13 breakdown's other half.
+    aggregationSec_[assign.id] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      compute_end)
+            .count();
+}
+
+void
+ClusterRuntime::applyRepairs()
+{
+    const int master = topology_.masterId();
+    std::vector<char> suspected(config_.nodes, 0);
+    for (const auto &reports : suspectScratch_)
+        for (int id : reports)
+            if (id >= 0 && id < config_.nodes)
+                suspected[id] = 1;
+
+    // A suspect must miss evictAfterMisses consecutive iterations
+    // before the Director gives up on it — one late partial (a
+    // straggler, a dropped message) is forgiven. The master is never
+    // evicted: it is this process's coordinator and master failover
+    // is out of scope.
+    std::vector<int> evict;
+    for (const auto &n : topology_.nodes) {
+        if (n.id == master)
+            continue;
+        if (suspected[n.id]) {
+            if (++missStreak_[n.id] >=
+                config_.faultTolerance.evictAfterMisses)
+                evict.push_back(n.id);
+        } else {
+            missStreak_[n.id] = 0;
+        }
+    }
+    if (evict.empty())
+        return;
+
+    auto repair = SystemDirector::repair(topology_, evict);
+    topology_ = std::move(repair.topology);
+    recovery_.nodesEvicted += repair.removed;
+    recovery_.sigmaPromotions += repair.promotions;
+    ++recovery_.topologyRepairs;
+    // A promoted Delta needs a Sigma's aggregation engine.
+    for (const auto &n : topology_.nodes)
+        if (n.role != NodeRole::Delta && !engines_[n.id])
+            engines_[n.id] =
+                std::make_unique<AggregationEngine>(config_.aggregation);
+}
+
 std::vector<double>
 ClusterRuntime::runIteration(const std::vector<double> &model,
                              uint64_t seq, IterationStats *stats)
 {
-    const int n = config_.nodes;
-    const int64_t words = translation_.modelWords;
-    const int master = topology_.masterId();
     std::vector<double> new_model;
-    std::vector<double> &compute_sec = computeSec_;
-    std::vector<double> &aggregation_sec = aggregationSec_;
-    std::fill(compute_sec.begin(), compute_sec.end(), 0.0);
-    std::fill(aggregation_sec.begin(), aggregation_sec.end(), 0.0);
+    std::fill(computeSec_.begin(), computeSec_.end(), 0.0);
+    std::fill(aggregationSec_.begin(), aggregationSec_.end(), 0.0);
+    if (faultsActive_) {
+        for (auto &rc : recoveryScratch_)
+            rc = RecoveryStats{};
+        for (auto &reports : suspectScratch_)
+            reports.clear();
+    }
     int64_t records_before = 0;
     for (const auto &node : nodes_)
         records_before += node->recordsProcessed();
 
     for (const auto &assign : topology_.nodes) {
-        nodeWorkers_->submit([&, assign] {
-            if (config_.maxStragglerDelayMs > 0.0) {
-                // Deterministic injected skew (failure-injection mode).
-                Rng jitter(config_.seed ^
-                           (static_cast<uint64_t>(assign.id) << 32) ^
-                           seq);
-                auto delay = std::chrono::microseconds(
-                    static_cast<int64_t>(
-                        jitter.uniform(0.0,
-                                       config_.maxStragglerDelayMs) *
-                        1000.0));
-                std::this_thread::sleep_for(delay);
-            }
-            TrainingNode &node = *nodes_[assign.id];
-            auto compute_start = std::chrono::steady_clock::now();
-            // Pooled partial-update buffer: filled here, shipped as a
-            // message payload (deltas/sigmas) and eventually recycled
-            // by whoever consumes it — no steady-state allocation.
-            std::vector<double> update = pool_->acquire(words);
-            if (config_.mode == TrainingMode::ModelAveraging)
-                node.computeLocalUpdate(model, config_.minibatchPerNode,
-                                        update);
-            else
-                node.computeGradientSum(model, config_.minibatchPerNode,
-                                        update);
-            auto compute_end = std::chrono::steady_clock::now();
-            compute_sec[assign.id] =
-                std::chrono::duration<double>(compute_end -
-                                              compute_start)
-                    .count();
-
-            switch (assign.role) {
-              case NodeRole::Delta: {
-                // Ship theta_i to the group's Sigma, then wait for the
-                // broadcast of the new global model. The received
-                // payload goes back to the pool.
-                inboxes_[assign.parent]->send(
-                    Message{assign.id, seq, std::move(update)});
-                Message bcast;
-                bool ok = inboxes_[assign.id]->receive(bcast);
-                COSMIC_ASSERT(ok && bcast.seq == seq,
-                              "broadcast lost on node " << assign.id);
-                pool_->release(std::move(bcast.payload));
-                break;
-              }
-              case NodeRole::GroupSigma: {
-                // First level of the hierarchy: aggregate the group.
-                auto members = topology_.groupMembers(assign.group);
-                AggregationEngine &engine = *engines_[assign.id];
-                engine.begin(static_cast<int>(members.size()), words);
-                for (size_t m = 0; m < members.size(); ++m) {
-                    Message msg;
-                    bool ok = inboxes_[assign.id]->receive(msg);
-                    COSMIC_ASSERT(ok && msg.seq == seq,
-                                  "partial update lost at sigma "
-                                      << assign.id);
-                    engine.onMessage(std::move(msg));
-                }
-                std::vector<double> sum = engine.finish();
-                for (int64_t i = 0; i < words; ++i)
-                    sum[i] += update[i];
-                pool_->release(std::move(update));
-                inboxes_[master]->send(
-                    Message{assign.id, seq, std::move(sum)});
-
-                // Wait for the master's broadcast, forward pooled
-                // copies to members and recycle the received payload.
-                Message bcast;
-                bool ok = inboxes_[assign.id]->receive(bcast);
-                COSMIC_ASSERT(ok && bcast.seq == seq,
-                              "broadcast lost at sigma " << assign.id);
-                for (int member : members) {
-                    std::vector<double> copy = pool_->acquire(words);
-                    std::copy(bcast.payload.begin(),
-                              bcast.payload.end(), copy.begin());
-                    inboxes_[member]->send(
-                        Message{assign.id, seq, std::move(copy)});
-                }
-                pool_->release(std::move(bcast.payload));
-                break;
-              }
-              case NodeRole::MasterSigma: {
-                // The master folds its own group members and the other
-                // group Sigmas into a single order-independent round.
-                auto members = topology_.groupMembers(assign.group);
-                auto sigmas = topology_.nonMasterSigmas();
-                int expected =
-                    static_cast<int>(members.size() + sigmas.size());
-                AggregationEngine &engine = *engines_[assign.id];
-                engine.begin(expected, words);
-                for (int m = 0; m < expected; ++m) {
-                    Message msg;
-                    bool ok = inboxes_[assign.id]->receive(msg);
-                    COSMIC_ASSERT(ok && msg.seq == seq,
-                                  "partial update lost at master");
-                    engine.onMessage(std::move(msg));
-                }
-                std::vector<double> sum = engine.finish();
-                for (int64_t i = 0; i < words; ++i)
-                    sum[i] += update[i];
-                pool_->release(std::move(update));
-                if (config_.mode == TrainingMode::ModelAveraging) {
-                    // Eq. 3b: the average of the nodes' local updates.
-                    for (auto &v : sum)
-                        v /= n;
-                    new_model = std::move(sum);
-                } else {
-                    // Batched GD: one step on the aggregated gradient,
-                    // normalized per the program's aggregation operator
-                    // (average over the global batch, or raw sum).
-                    double divisor =
-                        translation_.aggregator ==
-                                dsl::Aggregator::Average
-                            ? static_cast<double>(n) *
-                                  config_.minibatchPerNode
-                            : 1.0;
-                    new_model = pool_->acquire(words);
-                    for (int64_t i = 0; i < words; ++i)
-                        new_model[i] = model[i] -
-                                       config_.learningRate * sum[i] /
-                                           divisor;
-                    pool_->release(std::move(sum));
-                }
-
-                // Broadcast pooled copies down the hierarchy.
-                for (int sigma : sigmas) {
-                    std::vector<double> copy = pool_->acquire(words);
-                    std::copy(new_model.begin(), new_model.end(),
-                              copy.begin());
-                    inboxes_[sigma]->send(
-                        Message{assign.id, seq, std::move(copy)});
-                }
-                for (int member : members) {
-                    std::vector<double> copy = pool_->acquire(words);
-                    std::copy(new_model.begin(), new_model.end(),
-                              copy.begin());
-                    inboxes_[member]->send(
-                        Message{assign.id, seq, std::move(copy)});
-                }
-                break;
-              }
-            }
-            // Everything after the gradient compute is aggregation and
-            // communication wait — the Fig. 13 breakdown's other half.
-            aggregation_sec[assign.id] =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - compute_end)
-                    .count();
+        // A crashed node's process is gone: it computes nothing and
+        // sends nothing, and its silence is what the timeouts detect.
+        if (faultsActive_ && injector_->crashed(assign.id, seq))
+            continue;
+        nodeWorkers_->submit([this, assign, &model, seq, &new_model] {
+            runNodeRole(assign, model, seq, new_model);
         });
     }
     nodeWorkers_->waitIdle();
     COSMIC_ASSERT(!new_model.empty(), "master produced no model");
+
+    if (faultsActive_) {
+        for (const auto &rc : recoveryScratch_)
+            recovery_ += rc;
+        applyRepairs();
+    }
+
     if (stats) {
         *stats = IterationStats{};
-        for (double s : compute_sec)
+        for (double s : computeSec_)
             stats->maxComputeSec = std::max(stats->maxComputeSec, s);
-        for (double s : aggregation_sec)
+        for (double s : aggregationSec_)
             stats->maxAggregationSec =
                 std::max(stats->maxAggregationSec, s);
         for (const auto &node : nodes_)
@@ -265,11 +433,29 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
     return new_model;
 }
 
+RecoveryStats
+ClusterRuntime::recovery() const
+{
+    RecoveryStats merged = recovery_;
+    for (const auto &engine : engines_) {
+        if (!engine)
+            continue;
+        merged.duplicatesDropped += engine->duplicatesDropped();
+        merged.staleDropped += engine->staleDropped();
+    }
+    if (injector_) {
+        merged.messagesDropped = injector_->messagesDropped();
+        merged.messagesDelayed = injector_->messagesDelayed();
+        merged.messagesDuplicated = injector_->messagesDuplicated();
+        merged.stragglerStalls = injector_->stragglerStalls();
+    }
+    return merged;
+}
+
 TrainingReport
 ClusterRuntime::train(int epochs)
 {
     TrainingReport report;
-    report.topology = topology_;
 
     Rng rng(config_.seed + 1);
     std::vector<double> model =
@@ -312,6 +498,9 @@ ClusterRuntime::train(int epochs)
     }
     report.iterations = static_cast<int>(seq);
     report.finalModel = std::move(model);
+    // Post-repair state: the surviving role map and what recovery did.
+    report.topology = topology_;
+    report.recovery = recovery();
     return report;
 }
 

@@ -9,6 +9,17 @@
  * circular buffers, and the master broadcasts the new model down the
  * hierarchy. Training demonstrably converges — the convergence tests
  * ride on this runtime.
+ *
+ * Failure tolerance: with a FaultPlan installed (or the tolerant
+ * protocol force-enabled) every receive is bounded by a timeout with
+ * retry/backoff, Sigma nodes aggregate whichever k of n partials
+ * arrive and rescale the Eq. 3 weights by the surviving contributor
+ * count, sequence numbers reconcile duplicated and late messages, and
+ * nodes that miss enough consecutive rounds are evicted by a
+ * Director-driven topology repair (a dead GroupSigma's group promotes
+ * a Delta; a dead Delta shrinks its group). With the machinery
+ * disabled — the default — every hook is a null check and the
+ * trajectory is the original bit-exact math.
  */
 #pragma once
 
@@ -23,6 +34,7 @@
 #include "system/aggregation.h"
 #include "system/channel.h"
 #include "system/director.h"
+#include "system/fault.h"
 #include "system/thread_pool.h"
 #include "system/training_node.h"
 
@@ -69,6 +81,17 @@ struct ClusterConfig
      * the tests assert exactly that.
      */
     double maxStragglerDelayMs = 0.0;
+
+    /**
+     * Deterministic fault schedule (crashes, link faults,
+     * stragglers). A non-empty plan activates the failure-tolerant
+     * protocol; an empty plan leaves the runtime on the original
+     * bit-exact blocking path unless faultTolerance.enabled forces
+     * the tolerant protocol on.
+     */
+    FaultPlan faultPlan;
+    /** Timeout/retry/eviction policy of the tolerant protocol. */
+    FaultToleranceConfig faultTolerance;
 };
 
 /** Per-iteration performance counters (observability). */
@@ -103,6 +126,11 @@ struct TrainingReport
     /** Slowest node's aggregation/communication wait per iteration —
      *  iteration time not spent computing gradients. */
     std::vector<double> aggregationWaitSeconds;
+
+    /** Recovery/injection counters accumulated over the whole run —
+     *  a chaos test reconciles these against its FaultPlan. All zero
+     *  when no fault fired. */
+    RecoveryStats recovery;
 };
 
 /** Orchestrates distributed training of one workload. */
@@ -129,6 +157,7 @@ class ClusterRuntime
                                      uint64_t seq,
                                      IterationStats *stats = nullptr);
 
+    /** The current role map — repairs replace it between iterations. */
     const ClusterTopology &topology() const { return topology_; }
     const dfg::Translation &translation() const { return translation_; }
 
@@ -136,7 +165,44 @@ class ClusterRuntime
      *  counter must stop advancing once the hot path is warm). */
     const BufferPool &bufferPool() const { return *pool_; }
 
+    /** Recovery/injection counters so far (runtime + engines +
+     *  injector merged); all zero when no fault fired. */
+    RecoveryStats recovery() const;
+
   private:
+    /** Runs one node's role for one iteration (on its pool worker). */
+    void runNodeRole(const NodeAssignment &assign,
+                     const std::vector<double> &model, uint64_t seq,
+                     std::vector<double> &new_model);
+
+    /**
+     * One protocol receive on @p node's inbox. On the bit-exact
+     * no-fault path this is the original blocking receive; on the
+     * tolerant path it is receiveFor with retry/backoff, where
+     * @p budget_scale widens the window for receivers that sit behind
+     * other timeout levels (master 2x, broadcast waiters 3x).
+     */
+    RecvStatus receiveProtocol(int node, Message &out,
+                               double budget_scale);
+
+    /**
+     * Receives partial updates into @p node's engine until every
+     * sender in @p expected contributed or the retry budget is
+     * exhausted; missing senders are counted and suspected.
+     */
+    void collectPartials(const NodeAssignment &assign,
+                         const std::vector<int> &expected, uint64_t seq,
+                         double budget_scale);
+
+    /** Waits for the round-@p seq model broadcast, reconciling stale
+     *  deliveries. False when it never arrived (counted; parent
+     *  suspected). */
+    bool awaitBroadcast(const NodeAssignment &assign, uint64_t seq,
+                        Message &bcast);
+
+    /** Folds the iteration's suspect reports into miss streaks and
+     *  evicts nodes past the threshold via Director repair. */
+    void applyRepairs();
     ml::Workload workload_;
     double scale_;
     ClusterConfig config_;
@@ -162,6 +228,22 @@ class ClusterRuntime
     /** Per-node perf counters, reused across iterations. */
     std::vector<double> computeSec_;
     std::vector<double> aggregationSec_;
+
+    /** True when the failure-tolerant protocol is active (a fault
+     *  plan is installed or the policy is force-enabled). */
+    bool faultsActive_ = false;
+    /** Executes the fault plan; null when inactive. */
+    std::unique_ptr<FaultInjector> injector_;
+    /** Per-node recovery counters for the current iteration (each
+     *  node task writes only its own slot; folded at the barrier). */
+    std::vector<RecoveryStats> recoveryScratch_;
+    /** Per-node suspect reports for the current iteration. */
+    std::vector<std::vector<int>> suspectScratch_;
+    /** Consecutive iterations each node has been suspected. */
+    std::vector<int> missStreak_;
+    /** Counters accumulated across iterations (runtime-side only;
+     *  recovery() merges engine and injector counters in). */
+    RecoveryStats recovery_;
 };
 
 } // namespace cosmic::sys

@@ -1,5 +1,8 @@
 #include "system/director.h"
 
+#include <algorithm>
+#include <set>
+
 #include "common/error.h"
 
 namespace cosmic::sys {
@@ -89,6 +92,64 @@ SystemDirector::assign(int nodes, int groups)
         }
     }
     return topo;
+}
+
+SystemDirector::Repair
+SystemDirector::repair(const ClusterTopology &topology,
+                       const std::vector<int> &dead)
+{
+    const int master = topology.masterId();
+    for (int id : dead)
+        if (id == master)
+            COSMIC_FATAL("master Sigma " << master
+                         << " died: master failover is unsupported");
+
+    Repair result;
+    auto is_dead = [&](int id) {
+        return std::find(dead.begin(), dead.end(), id) != dead.end();
+    };
+    for (const auto &n : topology.nodes) {
+        if (is_dead(n.id))
+            ++result.removed;
+        else
+            result.topology.nodes.push_back(n);
+    }
+    COSMIC_ASSERT(!result.topology.nodes.empty(),
+                  "topology repair removed every node");
+
+    // Groups that lost their Sigma promote their lowest-id surviving
+    // Delta (survivors are still in id order); empty groups dissolve.
+    std::set<int> groups;
+    for (const auto &n : result.topology.nodes)
+        groups.insert(n.group);
+    for (int g : groups) {
+        bool has_sigma = false;
+        for (const auto &n : result.topology.nodes)
+            if (n.group == g && n.role != NodeRole::Delta)
+                has_sigma = true;
+        if (has_sigma)
+            continue;
+        for (auto &n : result.topology.nodes) {
+            if (n.group == g && n.role == NodeRole::Delta) {
+                n.role = NodeRole::GroupSigma;
+                ++result.promotions;
+                break;
+            }
+        }
+    }
+
+    // Recompute every parent pointer against the repaired role map.
+    for (auto &n : result.topology.nodes) {
+        switch (n.role) {
+          case NodeRole::MasterSigma: n.parent = -1; break;
+          case NodeRole::GroupSigma: n.parent = master; break;
+          case NodeRole::Delta:
+            n.parent = result.topology.groupSigma(n.group);
+            break;
+        }
+    }
+    result.topology.groups = static_cast<int>(groups.size());
+    return result;
 }
 
 } // namespace cosmic::sys

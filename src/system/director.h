@@ -7,6 +7,14 @@
  * group; one master Sigma combines the group aggregates and broadcasts
  * the new model. Aggregation is hierarchical so no single Sigma node is
  * overwhelmed.
+ *
+ * The Director is also the recovery authority: when the runtime's
+ * failure detector declares nodes dead, repair() rebuilds the role
+ * map around the survivors — a dead Delta shrinks its group, a dead
+ * GroupSigma is replaced by promoting the group's lowest-id surviving
+ * Delta, and a group with no survivors dissolves. Master failover is
+ * out of scope (the master is this process's coordinator); a plan
+ * that kills the master is rejected up front.
  */
 #pragma once
 
@@ -75,6 +83,27 @@ class SystemDirector
     {
         return nodes >= 8 ? nodes / 4 : 1;
     }
+
+    /** Result of one topology repair. */
+    struct Repair
+    {
+        ClusterTopology topology;
+        /** Deltas promoted to GroupSigma. */
+        int promotions = 0;
+        /** Nodes removed (dead ids actually present in the map). */
+        int removed = 0;
+    };
+
+    /**
+     * Rebuilds the role map with the @p dead nodes removed: groups
+     * that lost their Sigma promote their lowest-id surviving Delta,
+     * empty groups dissolve, and every parent pointer is recomputed.
+     *
+     * @throws CosmicError when @p dead includes the master Sigma
+     *         (master failover is unsupported) or every node.
+     */
+    static Repair repair(const ClusterTopology &topology,
+                         const std::vector<int> &dead);
 };
 
 } // namespace cosmic::sys

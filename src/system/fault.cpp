@@ -1,0 +1,185 @@
+#include "system/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cosmic::sys {
+
+FaultPlan &
+FaultPlan::crash(int node, uint64_t at_iteration)
+{
+    crashes_.push_back(CrashFault{node, at_iteration});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::drop(int from, int to, uint64_t iteration)
+{
+    links_.push_back(
+        LinkFault{LinkFaultKind::Drop, from, to, iteration, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::delay(int from, int to, uint64_t iteration, double delay_ms)
+{
+    COSMIC_ASSERT(delay_ms >= 0.0, "negative delay");
+    links_.push_back(
+        LinkFault{LinkFaultKind::Delay, from, to, iteration, delay_ms});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::duplicate(int from, int to, uint64_t iteration)
+{
+    links_.push_back(
+        LinkFault{LinkFaultKind::Duplicate, from, to, iteration, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::straggle(int node, uint64_t first, uint64_t last,
+                    double delay_ms)
+{
+    COSMIC_ASSERT(first <= last && delay_ms >= 0.0,
+                  "bad straggler window");
+    stragglers_.push_back(StragglerFault{node, first, last, delay_ms});
+    return *this;
+}
+
+bool
+FaultPlan::crashed(int node, uint64_t iteration) const
+{
+    for (const auto &c : crashes_)
+        if (c.node == node && iteration >= c.atIteration)
+            return true;
+    return false;
+}
+
+double
+FaultPlan::stragglerDelayMs(int node, uint64_t iteration) const
+{
+    double ms = 0.0;
+    for (const auto &s : stragglers_)
+        if (s.node == node && iteration >= s.firstIteration &&
+            iteration <= s.lastIteration)
+            ms += s.delayMs;
+    return ms;
+}
+
+FaultPlan
+FaultPlan::randomized(uint64_t seed, int nodes, uint64_t iterations)
+{
+    COSMIC_ASSERT(nodes >= 2 && iterations >= 2,
+                  "randomized plan needs a real cluster");
+    Rng rng(seed ^ 0xfa017ULL);
+    FaultPlan plan;
+    auto iter = [&] {
+        return static_cast<uint64_t>(
+            rng.integer(1, static_cast<int64_t>(iterations) - 1));
+    };
+    // Never crash node 0: it is the master Sigma in every Director
+    // assignment, and master failover is out of scope (DESIGN.md).
+    if (rng.coin(0.5))
+        plan.crash(static_cast<int>(rng.integer(1, nodes - 1)),
+                   static_cast<uint64_t>(rng.integer(
+                       1, std::max<int64_t>(
+                              1, static_cast<int64_t>(iterations) / 2))));
+    int link_faults = static_cast<int>(rng.integer(1, 3));
+    for (int i = 0; i < link_faults; ++i) {
+        int from = static_cast<int>(rng.integer(0, nodes - 1));
+        int to = static_cast<int>(rng.integer(0, nodes - 1));
+        if (to == from)
+            to = (to + 1) % nodes;
+        switch (rng.integer(0, 2)) {
+          case 0: plan.drop(from, to, iter()); break;
+          case 1: plan.delay(from, to, iter(), rng.uniform(1.0, 8.0));
+                  break;
+          default: plan.duplicate(from, to, iter()); break;
+        }
+    }
+    if (rng.coin(0.5)) {
+        uint64_t first = iter();
+        plan.straggle(static_cast<int>(rng.integer(0, nodes - 1)),
+                      first,
+                      std::min<uint64_t>(iterations - 1, first + 2),
+                      rng.uniform(1.0, 10.0));
+    }
+    return plan;
+}
+
+RecoveryStats &
+RecoveryStats::operator+=(const RecoveryStats &o)
+{
+    receiveTimeouts += o.receiveTimeouts;
+    partialsMissed += o.partialsMissed;
+    broadcastsMissed += o.broadcastsMissed;
+    duplicatesDropped += o.duplicatesDropped;
+    staleDropped += o.staleDropped;
+    messagesDropped += o.messagesDropped;
+    messagesDelayed += o.messagesDelayed;
+    messagesDuplicated += o.messagesDuplicated;
+    stragglerStalls += o.stragglerStalls;
+    nodesEvicted += o.nodesEvicted;
+    sigmaPromotions += o.sigmaPromotions;
+    topologyRepairs += o.topologyRepairs;
+    return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
+{
+    const size_t n = plan_.linkFaults().size();
+    if (n > 0) {
+        linkFired_ = std::make_unique<std::atomic<bool>[]>(n);
+        for (size_t i = 0; i < n; ++i)
+            linkFired_[i].store(false, std::memory_order_relaxed);
+    }
+}
+
+FaultInjector::SendAction
+FaultInjector::onSend(int from, int to, uint64_t seq)
+{
+    SendAction action;
+    const auto &links = plan_.linkFaults();
+    for (size_t i = 0; i < links.size(); ++i) {
+        const LinkFault &f = links[i];
+        if (f.iteration != seq)
+            continue;
+        if (f.from >= 0 && f.from != from)
+            continue;
+        if (f.to >= 0 && f.to != to)
+            continue;
+        // Fire-once: the first matching message claims the fault.
+        bool expected = false;
+        if (!linkFired_[i].compare_exchange_strong(expected, true))
+            continue;
+        switch (f.kind) {
+          case LinkFaultKind::Drop:
+            action.drop = true;
+            dropped_.fetch_add(1);
+            break;
+          case LinkFaultKind::Delay:
+            action.delayMs += f.delayMs;
+            delayed_.fetch_add(1);
+            break;
+          case LinkFaultKind::Duplicate:
+            action.duplicate = true;
+            duplicated_.fetch_add(1);
+            break;
+        }
+    }
+    return action;
+}
+
+double
+FaultInjector::stragglerDelayMs(int node, uint64_t seq)
+{
+    double ms = plan_.stragglerDelayMs(node, seq);
+    if (ms > 0.0)
+        stalls_.fetch_add(1);
+    return ms;
+}
+
+} // namespace cosmic::sys

@@ -1,8 +1,11 @@
 #include "system/training_node.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/error.h"
+#include "system/fault.h"
 
 namespace cosmic::sys {
 
@@ -98,12 +101,25 @@ TrainingNode::sweepShardRange(int t, int s0, int s1,
 }
 
 void
+TrainingNode::maybeStall()
+{
+    const uint64_t iteration = iteration_++;
+    if (!injector_)
+        return;
+    double ms = injector_->stragglerDelayMs(nodeId_, iteration);
+    if (ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
+void
 TrainingNode::computeLocalUpdate(const std::vector<double> &model,
                                  int64_t batch_records,
                                  std::vector<double> &update)
 {
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
                   "model width mismatch");
+    maybeStall();
     const int threads = config_.acceleratorThreads;
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 
@@ -141,6 +157,7 @@ TrainingNode::computeGradientSum(const std::vector<double> &model,
 {
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) == tr_.modelWords,
                   "model width mismatch");
+    maybeStall();
     const int workers = config_.acceleratorThreads;
     batch_records = std::min<int64_t>(batch_records, partition_.count);
 

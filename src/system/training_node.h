@@ -38,6 +38,8 @@
 
 namespace cosmic::sys {
 
+class FaultInjector;
+
 /** Per-node training configuration. */
 struct NodeComputeConfig
 {
@@ -100,7 +102,25 @@ class TrainingNode
     /** Resolved SGD shard count (>= 1). */
     int sgdShards() const { return shards_; }
 
+    /**
+     * Installs the fault-injection hook: before each compute call the
+     * node asks @p injector for node @p node_id's straggler stall at
+     * the node's current iteration and sleeps it off. Null disables
+     * (the default; a single pointer check on the hot path). The
+     * stall changes wall-clock only — the synchronous aggregation
+     * protocol makes the training math independent of skew.
+     */
+    void
+    setFaultInjector(FaultInjector *injector, int node_id)
+    {
+        injector_ = injector;
+        nodeId_ = node_id;
+    }
+
   private:
+    /** Serves the injected straggler stall and advances the node's
+     *  iteration counter (one tick per compute call). */
+    void maybeStall();
     /** Persistent per-thread state, preallocated in the constructor. */
     struct Worker
     {
@@ -143,6 +163,11 @@ class TrainingNode
     ThreadPool pool_;
     int64_t cursor_ = 0;
     int64_t recordsProcessed_ = 0;
+    /** Straggler-injection hook (not owned) and this node's id. */
+    FaultInjector *injector_ = nullptr;
+    int nodeId_ = -1;
+    /** Compute calls served (the iteration clock for the hook). */
+    uint64_t iteration_ = 0;
 };
 
 } // namespace cosmic::sys

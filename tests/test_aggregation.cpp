@@ -21,7 +21,7 @@ namespace {
 TEST(AggregationEngine, SumsOneSender)
 {
     AggregationEngine engine(AggregationConfig{});
-    engine.begin(1, 5);
+    engine.begin(5, 0);
     engine.onMessage(Message{1, 0, {1, 2, 3, 4, 5}});
     auto sum = engine.finish();
     EXPECT_EQ(sum, (std::vector<double>{1, 2, 3, 4, 5}));
@@ -49,7 +49,7 @@ TEST(AggregationEngine, SumsManySendersExactly)
         messages.push_back(std::move(msg));
     }
 
-    engine.begin(senders, words);
+    engine.begin(words, 0);
     for (auto &msg : messages)
         engine.onMessage(std::move(msg));
     auto sum = engine.finish();
@@ -61,7 +61,7 @@ TEST(AggregationEngine, SumsManySendersExactly)
 TEST(AggregationEngine, ZeroSendersFinishImmediately)
 {
     AggregationEngine engine(AggregationConfig{});
-    engine.begin(0, 8);
+    engine.begin(8, 0);
     auto sum = engine.finish();
     EXPECT_EQ(sum, std::vector<double>(8, 0.0));
 }
@@ -70,7 +70,7 @@ TEST(AggregationEngine, ReusableAcrossRounds)
 {
     AggregationEngine engine(AggregationConfig{});
     for (int round = 1; round <= 5; ++round) {
-        engine.begin(2, 3);
+        engine.begin(3, 0);
         engine.onMessage(Message{0, 0, {double(round), 0, 0}});
         engine.onMessage(Message{1, 0, {double(round), 1, 1}});
         auto sum = engine.finish();
@@ -90,7 +90,7 @@ TEST(AggregationEngine, ConcurrentSendersStress)
 
     const int senders = 16;
     const int64_t words = 257; // deliberately not a chunk multiple
-    engine.begin(senders, words);
+    engine.begin(words, 0);
 
     std::vector<std::thread> threads;
     for (int s = 0; s < senders; ++s) {
@@ -136,7 +136,7 @@ TEST_P(AggregationShapes, SumInvariantUnderConfiguration)
         messages.push_back(std::move(msg));
     }
 
-    engine.begin(senders, words);
+    engine.begin(words, 0);
     std::vector<std::thread> threads;
     for (auto &msg : messages)
         threads.emplace_back(
@@ -190,7 +190,7 @@ TEST(AggregationEngine, ZeroCopyPayloadStressAcrossRounds)
         // Wide rounds split into many ragged chunks; narrow rounds fit
         // inside a single oversized chunk.
         const int64_t words = round % 2 == 0 ? 97 : 5;
-        engine.begin(senders, words);
+        engine.begin(words, static_cast<uint64_t>(round));
         std::vector<std::thread> threads;
         for (int s = 0; s < senders; ++s) {
             threads.emplace_back([&, s] {
@@ -244,7 +244,7 @@ TEST(AggregationEngine, SteadyStateRoundsDoNotAllocate)
 
     const uint64_t warm_allocations = pool->allocations();
     for (int round = 0; round < 8; ++round) {
-        engine.begin(senders, words);
+        engine.begin(words, 0);
         for (int s = 0; s < senders; ++s) {
             std::vector<double> payload = pool->acquire(words);
             std::fill(payload.begin(), payload.end(), 1.0);
@@ -263,7 +263,7 @@ TEST(AggregationEngine, SteadyStateRoundsDoNotAllocate)
 TEST(AggregationEngine, RejectsWrongWidth)
 {
     AggregationEngine engine(AggregationConfig{});
-    engine.begin(1, 4);
+    engine.begin(4, 0);
     EXPECT_THROW(engine.onMessage(Message{0, 0, {1.0}}),
                  cosmic::CosmicError);
 }

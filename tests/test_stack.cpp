@@ -8,6 +8,7 @@
 
 #include "baselines/spark_model.h"
 #include "baselines/tabla_model.h"
+#include "common/error.h"
 #include "core/cosmic.h"
 
 namespace cosmic::core {
@@ -43,6 +44,41 @@ INSTANTIATE_TEST_SUITE_P(
                       "cancer1", "movielens", "netflix", "face",
                       "cancer2"),
     [](const auto &info) { return info.param; });
+
+TEST(FullStack, FailedNodesDegradeThroughputNotEpochLength)
+{
+    const auto &w = ml::Workload::byName("tumor");
+    auto built = CosmicStack::buildWorkload(
+        w, 32.0, accel::PlatformSpec::ultrascalePlus());
+
+    ScaleOutConfig cfg;
+    cfg.nodes = 16;
+    cfg.minibatchPerNode = 1000;
+    auto healthy = ScaleOutEstimator::cosmic(built, cfg, 160000);
+
+    cfg.failedNodes = 4;
+    auto degraded = ScaleOutEstimator::cosmic(built, cfg, 160000);
+
+    // Survivors keep their original partitions: the epoch's iteration
+    // count is unchanged, but 4/16 of the records (and the cluster's
+    // aggregate throughput with them) are gone.
+    EXPECT_NEAR(degraded.iterationsPerEpoch,
+                healthy.iterationsPerEpoch, 1e-12);
+    EXPECT_LT(degraded.recordsPerSecond,
+              healthy.recordsPerSecond);
+    EXPECT_GT(degraded.recordsPerSecond,
+              healthy.recordsPerSecond * 12.0 / 16.0 * 0.5);
+
+    // Losing every node but one is still estimable; losing all is not.
+    cfg.failedNodes = 15;
+    cfg.groups = 1;
+    EXPECT_GT(ScaleOutEstimator::cosmic(built, cfg, 160000)
+                  .recordsPerSecond,
+              0.0);
+    cfg.failedNodes = 16;
+    EXPECT_THROW(ScaleOutEstimator::cosmic(built, cfg, 160000),
+                 cosmic::CosmicError);
+}
 
 TEST(FullStack, BuildFromSourceMatchesWorkloadBuild)
 {

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -75,6 +76,87 @@ TEST(Channel, ManyProducersNoLoss)
     }
     for (int p = 0; p < producers; ++p)
         EXPECT_EQ(counts[p], per_producer);
+}
+
+/**
+ * The close/drain ordering contract (documented in channel.h):
+ * messages sent before close() stay receivable — receivers drain the
+ * queue first and only then observe the closed state.
+ */
+TEST(Channel, PreCloseSendsDrainBeforeClosedIsReported)
+{
+    Channel ch;
+    ch.send(Message{0, 0, {1.0}});
+    ch.send(Message{0, 1, {2.0}});
+    ch.close();
+
+    Message msg;
+    ASSERT_TRUE(ch.receive(msg));
+    EXPECT_EQ(msg.seq, 0u);
+    ASSERT_TRUE(ch.receive(msg));
+    EXPECT_EQ(msg.seq, 1u);
+    EXPECT_FALSE(ch.receive(msg)); // drained -> closed
+}
+
+/** The other half of the contract: post-close sends are dropped (the
+ *  socket is gone), so producers need no shutdown handshake. */
+TEST(Channel, PostCloseSendsAreDropped)
+{
+    Channel ch;
+    ch.send(Message{0, 0, {}});
+    ch.close();
+    ch.send(Message{0, 1, {}}); // eaten by the dead socket
+
+    Message msg;
+    ASSERT_TRUE(ch.receive(msg));
+    EXPECT_EQ(msg.seq, 0u);
+    EXPECT_FALSE(ch.receive(msg));
+    EXPECT_FALSE(ch.pending());
+}
+
+TEST(Channel, ReceiveForTimesOutOnOpenEmptyChannel)
+{
+    Channel ch;
+    Message msg;
+    EXPECT_EQ(ch.receiveFor(msg, 5.0), RecvStatus::Timeout);
+}
+
+TEST(Channel, ReceiveForDequeuesAndThenReportsClosed)
+{
+    Channel ch;
+    ch.send(Message{3, 7, {1.0}});
+    ch.close();
+
+    Message msg;
+    EXPECT_EQ(ch.receiveFor(msg, 1000.0), RecvStatus::Ok);
+    EXPECT_EQ(msg.from, 3);
+    // Closed-and-drained must return immediately, not burn the window.
+    EXPECT_EQ(ch.receiveFor(msg, 60000.0), RecvStatus::Closed);
+}
+
+TEST(Channel, ReceiveForWokenByLateSend)
+{
+    Channel ch;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ch.send(Message{1, 0, {4.0}});
+    });
+    Message msg;
+    EXPECT_EQ(ch.receiveFor(msg, 60000.0), RecvStatus::Ok);
+    EXPECT_EQ(msg.from, 1);
+    producer.join();
+}
+
+TEST(Channel, ReceiveForWokenByClose)
+{
+    Channel ch;
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ch.close();
+    });
+    Message msg;
+    EXPECT_EQ(ch.receiveFor(msg, 60000.0), RecvStatus::Closed);
+    closer.join();
 }
 
 TEST(CircularBuffer, BoundedAndOrdered)
