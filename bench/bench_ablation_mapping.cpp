@@ -10,11 +10,8 @@
 #include <iostream>
 
 #include "common/table.h"
-#include "compiler/kernel.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 using namespace cosmic;
 
@@ -33,10 +30,6 @@ main()
     for (const std::string name :
          {"stock", "tumor", "face", "cancer1", "cancer2", "texture"}) {
         const auto &w = ml::Workload::byName(name);
-        auto program = dsl::Parser::parse(w.dslSource());
-        auto tr = dfg::Translator::translate(program);
-        auto plan = planner::Planner::makePlan(tr, platform, 1,
-                                               platform.maxRows);
 
         std::vector<int64_t> makespans;
         for (auto strategy : {compiler::MappingStrategy::DataFirst,
@@ -46,9 +39,12 @@ main()
                 compiler::CompileOptions options;
                 options.strategy = strategy;
                 options.bus = bus;
-                auto kernel = compiler::KernelCompiler::compile(
-                    tr, plan, options);
-                makespans.push_back(kernel.schedule.makespan);
+                options.forceThreads = 1;
+                options.forceRowsPerThread = platform.maxRows;
+                compile::Pipeline pipeline(w.dslSource(), platform,
+                                           options);
+                makespans.push_back(
+                    pipeline.mapped().schedule.makespan);
             }
 
         double worst = static_cast<double>(

@@ -14,10 +14,8 @@
 #include <map>
 
 #include "common/table.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 using namespace cosmic;
 
@@ -28,11 +26,11 @@ main()
     for (const std::string name :
          {"mnist", "movielens", "stock", "tumor"}) {
         const auto &w = ml::Workload::byName(name);
-        auto program = dsl::Parser::parse(w.dslSource());
-        auto tr = dfg::Translator::translate(program);
         // Full exploration: no large-DFG pruning for this figure.
-        auto result = planner::Planner::plan(tr, platform, {},
-                                             /*prune_small_rows=*/false);
+        compiler::CompileOptions options;
+        options.pruneSmallRows = false;
+        compile::Pipeline pipeline(w.dslSource(), platform, options);
+        const auto &result = pipeline.planned();
 
         // Baseline: the T1xR1 point.
         double base = 0.0;

@@ -32,10 +32,9 @@
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
 #include "dfg/tape.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 #include "system/cluster_runtime.h"
@@ -124,9 +123,14 @@ main()
     bool tape_ok = true;
     bool lanes_ok = true;
     bool first = true;
+    int64_t frontend_passes = 0;
+    int64_t dfg_passes = 0;
     for (const auto &w : ml::Workload::suite()) {
-        auto prog = dsl::Parser::parse(w.dslSource(scale));
-        auto tr = dfg::Translator::translate(prog);
+        auto frontend = compile::translateCached(w.dslSource(scale));
+        const auto &tr = frontend->translation;
+        frontend_passes +=
+            static_cast<int64_t>(frontend->report.passes.size());
+        dfg_passes += frontend->report.dfgPassCount();
 
         Rng rng(99);
         auto ds = ml::DatasetGenerator::generate(w, scale, records,
@@ -223,7 +227,12 @@ main()
               << TablePrinter::num(lanes.aggSec * 1e3, 3)
               << " ms aggregation wait\n\n";
 
-    json << "],\"iteration\":{\"workload\":\"tumor\",\"nodes\":"
+    auto cache_stats = compile::BuildCache::instance().stats();
+    json << "],\"pipeline\":{\"frontend_passes\":" << frontend_passes
+         << ",\"dfg_passes\":" << dfg_passes
+         << ",\"cache_hits\":" << cache_stats.hits
+         << ",\"cache_misses\":" << cache_stats.misses << "}"
+         << ",\"iteration\":{\"workload\":\"tumor\",\"nodes\":"
          << cfg.nodes << ",\"iter_sec\":" << base.iterSec
          << ",\"records_per_sec\":" << TablePrinter::num(base.rps, 0)
          << ",\"aggregation_wait_sec\":" << base.aggSec

@@ -7,11 +7,9 @@
  */
 #include <benchmark/benchmark.h>
 
-#include "compiler/kernel.h"
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
@@ -34,31 +32,59 @@ BM_DslParse(benchmark::State &state)
 {
     std::string src = faceWorkload().dslSource();
     for (auto _ : state) {
-        auto prog = dsl::Parser::parse(src);
-        benchmark::DoNotOptimize(&prog);
+        compile::Pipeline pipeline(src);
+        benchmark::DoNotOptimize(&pipeline.parsed());
     }
     state.SetBytesProcessed(state.iterations() * src.size());
 }
 BENCHMARK(BM_DslParse);
 
 void
-BM_Translate(benchmark::State &state)
+BM_Frontend(benchmark::State &state)
 {
-    auto prog = dsl::Parser::parse(
-        faceWorkload().dslSource(state.range(0)));
+    // Parse + translate + DFG passes, uncached (the cache would turn
+    // every iteration after the first into a lookup).
+    std::string src = faceWorkload().dslSource(state.range(0));
     for (auto _ : state) {
-        auto tr = dfg::Translator::translate(prog);
+        auto tr = compile::translateSource(src);
         benchmark::DoNotOptimize(&tr);
         state.counters["nodes"] = static_cast<double>(tr.dfg.size());
     }
 }
-BENCHMARK(BM_Translate)->Arg(1)->Arg(8);
+BENCHMARK(BM_Frontend)->Arg(1)->Arg(8);
+
+void
+BM_FrontendCacheHit(benchmark::State &state)
+{
+    // Warm-cache frontend: one lookup in the content-hashed build
+    // cache instead of a parse + translate + passes run.
+    std::string src = faceWorkload().dslSource(8);
+    compile::translateCached(src);
+    for (auto _ : state) {
+        auto frontend = compile::translateCached(src);
+        benchmark::DoNotOptimize(frontend.get());
+    }
+}
+BENCHMARK(BM_FrontendCacheHit);
+
+void
+BM_BuildCacheHit(benchmark::State &state)
+{
+    // Warm-cache full build (frontend + plan + map + tape).
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+    std::string src = faceWorkload().dslSource(8);
+    compile::buildCached(src, platform);
+    for (auto _ : state) {
+        auto build = compile::buildCached(src, platform);
+        benchmark::DoNotOptimize(build.get());
+    }
+}
+BENCHMARK(BM_BuildCacheHit);
 
 void
 BM_MapDataFirst(benchmark::State &state)
 {
-    auto prog = dsl::Parser::parse(faceWorkload().dslSource());
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(faceWorkload().dslSource());
     auto plan = planner::Planner::makePlan(
         tr, accel::PlatformSpec::ultrascalePlus(), 4,
         static_cast<int>(state.range(0)));
@@ -75,8 +101,7 @@ BENCHMARK(BM_MapDataFirst)->Arg(2)->Arg(12);
 void
 BM_Schedule(benchmark::State &state)
 {
-    auto prog = dsl::Parser::parse(faceWorkload().dslSource());
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(faceWorkload().dslSource());
     auto plan = planner::Planner::makePlan(
         tr, accel::PlatformSpec::ultrascalePlus(), 4,
         static_cast<int>(state.range(0)));
@@ -97,8 +122,7 @@ void
 BM_InterpretRecord(benchmark::State &state)
 {
     const auto &w = faceWorkload();
-    auto prog = dsl::Parser::parse(w.dslSource());
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(w.dslSource());
     dfg::Interpreter interp(tr);
     Rng rng(1);
     auto ds = ml::DatasetGenerator::generate(w, 1.0, 4, rng);

@@ -8,9 +8,8 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "compiler/pipeline.h"
 #include "dfg/analysis.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/workloads.h"
 #include "accel/platform.h"
 
@@ -41,8 +40,7 @@ main()
 
     for (const auto &w : ml::Workload::suite()) {
         std::string dsl = w.dslSource();
-        auto program = dsl::Parser::parse(dsl);
-        auto tr = dfg::Translator::translate(program);
+        auto tr = compile::translateSource(dsl);
         int dsl_lines = static_cast<int>(
             std::count(dsl.begin(), dsl.end(), '\n'));
         table.addRow({w.name, ml::algorithmName(w.algorithm), w.domain,

@@ -14,11 +14,10 @@
 #include "accel/simulator.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 using namespace cosmic;
 
@@ -34,10 +33,10 @@ main()
                      "Replay"});
 
     for (const auto &w : ml::Workload::suite()) {
-        auto tr = dfg::Translator::translate(
-            dsl::Parser::parse(w.dslSource(scale)));
-        auto result = planner::Planner::plan(
-            tr, accel::PlatformSpec::ultrascalePlus());
+        auto artifact = compile::buildCached(
+            w.dslSource(scale), accel::PlatformSpec::ultrascalePlus());
+        const auto &tr = artifact->build.translation;
+        const auto &result = artifact->build.planResult;
         const auto &kernel = result.kernel;
 
         accel::CycleSimulator simulator(tr, kernel);

@@ -11,13 +11,14 @@
 #include "baselines/spark_model.h"
 #include "baselines/tabla_model.h"
 #include "common/error.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 
 namespace cosmic::bench {
 
 namespace {
 
-constexpr int kCacheVersion = 4;
+/** v5: workloads compile through the pipeline's DFG passes. */
+constexpr int kCacheVersion = 5;
 
 bool
 cacheEnabled()
@@ -139,8 +140,8 @@ buildTablaSummary(const ml::Workload &workload,
 
     std::fprintf(stderr, "[bench] building %s on %s (TABLA) ...\n",
                  workload.name.c_str(), platform.name.c_str());
-    auto program = dsl::Parser::parse(workload.dslSource(scale));
-    auto tr = dfg::Translator::translate(program);
+    auto frontend = compile::translateCached(workload.dslSource(scale));
+    const auto &tr = frontend->translation;
     auto tabla = baselines::TablaModel::build(tr, platform);
 
     accel::PerfEstimator perf(tr, tabla.kernel, tabla.plan);

@@ -17,6 +17,10 @@
  *     --emit-verilog                    print the generated modules
  *     --emit-microcode <pe>             print one PE's microcode
  *     --emit-rom <pe>                   print one PE's $readmemh image
+ *     --dump-passes                     print the pipeline pass report
+ *     --dump-ir=<stage>                 print the DFG as Graphviz at a
+ *                                       stage boundary (translate,
+ *                                       optimize, map)
  */
 #include <cstdio>
 #include <fstream>
@@ -27,8 +31,8 @@
 #include "accel/replay.h"
 #include "circuit/constructor.h"
 #include "common/error.h"
+#include "compiler/pipeline.h"
 #include "dfg/dot.h"
-#include "core/cosmic.h"
 #include "ml/workloads.h"
 
 using namespace cosmic;
@@ -51,7 +55,11 @@ usage()
         "  --emit-verilog                    print generated modules\n"
         "  --emit-microcode <pe>             print one PE's microcode\n"
         "  --emit-rom <pe>                   print one PE's ROM image\n"
-        "  --emit-dot                        print the DFG as Graphviz\n");
+        "  --emit-dot                        print the DFG as Graphviz\n"
+        "  --dump-passes                     print the pipeline pass "
+        "report\n"
+        "  --dump-ir=<stage>                 print the DFG as Graphviz "
+        "at a stage boundary (translate, optimize, map)\n");
 }
 
 accel::PlatformSpec
@@ -79,6 +87,8 @@ main(int argc, char **argv)
     bool dse = false;
     bool emit_verilog = false;
     bool emit_dot = false;
+    bool dump_passes = false;
+    std::string dump_ir;
     int microcode_pe = -1;
     int rom_pe = -1;
 
@@ -107,6 +117,12 @@ main(int argc, char **argv)
             rom_pe = std::stoi(next());
         } else if (arg == "--emit-dot") {
             emit_dot = true;
+        } else if (arg == "--dump-passes") {
+            dump_passes = true;
+        } else if (arg.rfind("--dump-ir=", 0) == 0) {
+            dump_ir = arg.substr(10);
+        } else if (arg == "--dump-ir") {
+            dump_ir = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -136,8 +152,8 @@ main(int argc, char **argv)
         }
 
         auto platform = platformByName(platform_name);
-        auto built = core::CosmicStack::buildFromSource(source,
-                                                        platform);
+        compile::Pipeline pipeline(source, platform);
+        auto built = pipeline.finish();
         const auto &plan = built.planResult.plan;
         const auto &kernel = built.planResult.kernel;
 
@@ -211,6 +227,33 @@ main(int argc, char **argv)
             dot_options.peOf = &mapping;
             std::cout << "\n" << dfg::toDot(built.translation,
                                             dot_options);
+        }
+
+        if (dump_passes) {
+            // Run the remaining stages so the report covers the whole
+            // pipeline, then print the per-pass table.
+            pipeline.mapped();
+            pipeline.tape();
+            std::cout << "\n" << pipeline.report().table();
+        }
+
+        if (!dump_ir.empty()) {
+            compile::Stage stage;
+            if (!compile::stageFromName(dump_ir, stage))
+                COSMIC_FATAL("unknown stage '"
+                             << dump_ir
+                             << "' (expected translate, optimize, "
+                                "or map)");
+            dfg::DotOptions dot_options;
+            dot_options.maxNodes = 1 << 20;
+            std::vector<int> pe_of;
+            if (stage == compile::Stage::Map) {
+                pe_of = pipeline.mapped().mapping.peOf;
+                dot_options.peOf = &pe_of;
+            }
+            std::cout << "\n"
+                      << dfg::toDot(pipeline.translationAt(stage),
+                                    dot_options);
         }
 
         if (emit_verilog || microcode_pe >= 0 || rom_pe >= 0) {

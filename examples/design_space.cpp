@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "dfg/translator.h"
-#include "dsl/parser.h"
-#include "planner/planner.h"
+#include "compiler/pipeline.h"
 
 using namespace cosmic;
 
@@ -32,16 +30,22 @@ main()
         << "g[i] = (p - y) * x[i];\n"
         << "minibatch 10000;\n";
 
-    auto program = dsl::Parser::parse(dsl.str());
-    auto tr = dfg::Translator::translate(program);
-    std::printf("DFG: %lld operations over %lld record words\n\n",
-                static_cast<long long>(tr.dfg.operationCount()),
-                static_cast<long long>(tr.recordWords));
-
+    bool printed_dfg = false;
     for (const auto &platform : {accel::PlatformSpec::ultrascalePlus(),
                                  accel::PlatformSpec::pasicF(),
                                  accel::PlatformSpec::pasicG()}) {
-        auto result = planner::Planner::plan(tr, platform);
+        // One pipeline per chip: the same DSL program reshaped by the
+        // Planner for each platform's resources.
+        compile::Pipeline pipeline(dsl.str(), platform);
+        const auto &tr = pipeline.optimized();
+        if (!printed_dfg) {
+            std::printf("DFG: %lld operations over %lld record "
+                        "words\n\n",
+                        static_cast<long long>(tr.dfg.operationCount()),
+                        static_cast<long long>(tr.recordWords));
+            printed_dfg = true;
+        }
+        const auto &result = pipeline.planned();
         std::printf("%s (t_max=%lld, %zu design points):\n",
                     platform.name.c_str(),
                     static_cast<long long>(result.maxThreadsBound),

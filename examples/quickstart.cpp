@@ -15,9 +15,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "core/cosmic.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
@@ -84,8 +84,7 @@ main()
     // --- 4. And actually train it ---------------------------------
     const auto &face = ml::Workload::byName("face");
     const double scale = 16.0; // small shapes for a quick demo
-    auto program = dsl::Parser::parse(face.dslSource(scale));
-    auto tr = dfg::Translator::translate(program);
+    auto tr = compile::translateSource(face.dslSource(scale));
     dfg::Interpreter interp(tr);
     ml::Reference ref(face, scale);
 

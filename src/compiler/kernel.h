@@ -24,6 +24,43 @@ struct CompileOptions
 {
     MappingStrategy strategy = MappingStrategy::DataFirst;
     BusKind bus = BusKind::Hierarchical;
+
+    /**
+     * DFG optimization passes (src/dfg/passes.h), run by the compile
+     * pipeline between translation and planning. Default on: every
+     * pass is required to keep trained trajectories bit-exact against
+     * the unoptimized graph in both plain-double and Q16.16 modes.
+     */
+    bool foldConstants = true;
+    bool cse = true;
+    bool deadNodeElim = true;
+
+    /**
+     * Skip narrow-thread design points for very large DFGs during
+     * planning (they cannot win and dominate exploration time); the
+     * design-space-exploration figure disables this to chart the
+     * whole space.
+     */
+    bool pruneSmallRows = true;
+
+    /**
+     * Force the planner to a single explicit (threads, rowsPerThread)
+     * design point instead of exploring — used by sensitivity sweeps
+     * (both must be > 0 to take effect).
+     */
+    int forceThreads = 0;
+    int forceRowsPerThread = 0;
+
+    /** Convenience: same options with all DFG passes toggled. */
+    CompileOptions
+    withDfgPasses(bool enabled) const
+    {
+        CompileOptions o = *this;
+        o.foldConstants = enabled;
+        o.cse = enabled;
+        o.deadNodeElim = enabled;
+        return o;
+    }
 };
 
 /** The fully compiled accelerator program for one plan. */

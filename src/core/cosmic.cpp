@@ -1,7 +1,7 @@
 #include "core/cosmic.h"
 
 #include "common/error.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 
 namespace cosmic::core {
 
@@ -18,17 +18,9 @@ CosmicStack::buildFromSource(const std::string &source,
                              const accel::PlatformSpec &platform,
                              const compiler::CompileOptions &options)
 {
-    BuildResult result;
-    auto program = dsl::Parser::parse(source);
-    result.translation = dfg::Translator::translate(program);
-    result.planResult =
-        planner::Planner::plan(result.translation, platform, options);
-    result.flopsPerRecord = static_cast<double>(
-        result.translation.dfg.operationCount() +
-        result.translation.gradientWords);
-    result.bytesPerRecord = 4.0 * result.translation.recordWords;
-    result.modelBytes = 4 * result.translation.modelWords;
-    return result;
+    // All builds funnel through the compile pipeline's content-hashed
+    // cache: identical (source, platform, options) share one compile.
+    return compile::buildCached(source, platform, options)->build;
 }
 
 BuildResult

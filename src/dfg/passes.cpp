@@ -1,0 +1,281 @@
+#include "dfg/passes.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "accel/fixed_point.h"
+#include "common/error.h"
+#include "dfg/interp.h"
+
+namespace cosmic::dfg {
+
+namespace {
+
+/**
+ * Incremental graph rebuild: walks the source graph in node order and
+ * re-emits the surviving nodes into a fresh Dfg through the public
+ * builder API, tracking old-id -> new-id. Because operands always
+ * precede their consumers in the source order, every operand is
+ * already remapped by the time its consumer is visited, and the
+ * rebuilt graph's construction order is again topological.
+ */
+struct Rebuild
+{
+    const Dfg &src;
+    Dfg out;
+    std::vector<NodeId> remap;
+
+    explicit Rebuild(const Dfg &dfg)
+        : src(dfg), remap(dfg.size(), kInvalidNode)
+    {}
+
+    NodeId
+    operand(NodeId v) const
+    {
+        return v == kInvalidNode ? kInvalidNode : remap[v];
+    }
+
+    /** Re-emits node @p v unchanged (operands remapped). */
+    void
+    copyNode(NodeId v)
+    {
+        const Node &n = src.node(v);
+        switch (n.op) {
+          case OpKind::Const:
+            remap[v] = out.addConst(src.constValue(v));
+            break;
+          case OpKind::Input:
+            remap[v] = n.category == Category::Data
+                           ? out.addDataInput(src.inputPos(v),
+                                              src.elementRef(v))
+                           : out.addModelInput(src.inputPos(v),
+                                               src.elementRef(v));
+            break;
+          default:
+            remap[v] = out.addOp(n.op, remap[n.a], operand(n.b),
+                                 operand(n.c));
+            break;
+        }
+    }
+
+    /** Re-marks gradient outputs and swaps the graph into @p tr. */
+    void
+    finish(Translation &tr)
+    {
+        const auto &grads = src.gradientNodes();
+        for (size_t g = 0; g < grads.size(); ++g) {
+            NodeId v = grads[g];
+            COSMIC_ASSERT(v != kInvalidNode &&
+                              remap[v] != kInvalidNode,
+                          "pass dropped gradient output " << g);
+            out.markGradient(remap[v], static_cast<int64_t>(g),
+                             src.elementRef(v));
+        }
+        tr.dfg = std::move(out);
+    }
+};
+
+PassOutcome
+outcomeFor(const Dfg &before, const Dfg &after)
+{
+    PassOutcome o;
+    o.nodesBefore = before.size();
+    o.nodesAfter = after.size();
+    o.edgesBefore = edgeCount(before);
+    o.edgesAfter = edgeCount(after);
+    return o;
+}
+
+bool
+bitEqual(double x, double y)
+{
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+/**
+ * A fold is only legal if pre-computing the value cannot be observed
+ * by either datapath. Plain doubles are exact by construction; the
+ * quantized datapath (interpreter with accel::quantizeToFixed, and
+ * the tape, which always quantizes) evaluates
+ * Q(op(Q(va), Q(vb), Q(vc))) at runtime, while a folded constant is
+ * loaded as Q(folded) — the two must agree bit-for-bit. NaN and -0.0
+ * results are rejected outright: both interact badly with the
+ * builder's by-value constant dedup (NaN never matches its cache key;
+ * -0.0 == 0.0 would silently canonicalize the sign bit).
+ */
+bool
+quantizerSafeFold(OpKind op, double va, double vb, double vc,
+                  double folded)
+{
+    if (std::isnan(folded))
+        return false;
+    if (folded == 0.0 && std::signbit(folded))
+        return false;
+    using accel::quantizeToFixed;
+    double runtime = quantizeToFixed(evaluateOp(
+        op, quantizeToFixed(va), quantizeToFixed(vb),
+        quantizeToFixed(vc)));
+    return bitEqual(quantizeToFixed(folded), runtime);
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+int64_t
+edgeCount(const Dfg &dfg)
+{
+    int64_t edges = 0;
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &n = dfg.node(v);
+        edges += (n.a != kInvalidNode) + (n.b != kInvalidNode) +
+                 (n.c != kInvalidNode);
+    }
+    return edges;
+}
+
+PassOutcome
+foldConstants(Translation &translation)
+{
+    const Dfg &dfg = translation.dfg;
+    Rebuild rb(dfg);
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &n = dfg.node(v);
+        if (n.op == OpKind::Const || n.op == OpKind::Input) {
+            rb.copyNode(v);
+            continue;
+        }
+        NodeId a = rb.remap[n.a];
+        NodeId b = rb.operand(n.b);
+        NodeId c = rb.operand(n.c);
+        auto is_const = [&](NodeId x) {
+            return x != kInvalidNode &&
+                   rb.out.node(x).op == OpKind::Const;
+        };
+
+        if (n.op == OpKind::Select) {
+            // A constant condition picks its branch at compile time,
+            // provided truthiness survives quantization.
+            if (is_const(a) && b != kInvalidNode && c != kInvalidNode) {
+                double cond = rb.out.constValue(a);
+                if ((cond != 0.0) ==
+                    (accel::quantizeToFixed(cond) != 0.0)) {
+                    rb.remap[v] = cond != 0.0 ? b : c;
+                    continue;
+                }
+            }
+        } else if (is_const(a) && (n.b == kInvalidNode || is_const(b)) &&
+                   (n.c == kInvalidNode || is_const(c))) {
+            double va = rb.out.constValue(a);
+            double vb = b == kInvalidNode ? 0.0 : rb.out.constValue(b);
+            double vc = c == kInvalidNode ? 0.0 : rb.out.constValue(c);
+            double folded = evaluateOp(n.op, va, vb, vc);
+            if (quantizerSafeFold(n.op, va, vb, vc, folded)) {
+                rb.remap[v] = rb.out.addConst(folded);
+                continue;
+            }
+        }
+        rb.copyNode(v);
+    }
+    PassOutcome o;
+    o.nodesBefore = dfg.size();
+    o.edgesBefore = edgeCount(dfg);
+    rb.finish(translation);
+    o.nodesAfter = translation.dfg.size();
+    o.edgesAfter = edgeCount(translation.dfg);
+    return o;
+}
+
+PassOutcome
+eliminateCommonSubexpressions(Translation &translation)
+{
+    const Dfg &dfg = translation.dfg;
+    Rebuild rb(dfg);
+    // (op, remapped operands) -> new node id, bucketed by hash with a
+    // full field compare on lookup so collisions cannot merge distinct
+    // expressions. Generalizes the builder's leaf-only value numbering
+    // to arbitrarily deep subtrees.
+    std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &n = dfg.node(v);
+        if (n.op == OpKind::Const || n.op == OpKind::Input) {
+            rb.copyNode(v);
+            continue;
+        }
+        NodeId a = rb.remap[n.a];
+        NodeId b = rb.operand(n.b);
+        NodeId c = rb.operand(n.c);
+        uint64_t h = mix64(static_cast<uint64_t>(n.op)) ^
+                     mix64(static_cast<uint64_t>(a) + 1) ^
+                     mix64((static_cast<uint64_t>(b + 1) << 21)) ^
+                     mix64((static_cast<uint64_t>(c + 1) << 42));
+        auto &bucket = buckets[h];
+        NodeId found = kInvalidNode;
+        for (NodeId candidate : bucket) {
+            const Node &m = rb.out.node(candidate);
+            if (m.op == n.op && m.a == a && m.b == b && m.c == c) {
+                found = candidate;
+                break;
+            }
+        }
+        if (found != kInvalidNode) {
+            rb.remap[v] = found;
+            continue;
+        }
+        rb.remap[v] = rb.out.addOp(n.op, a, b, c);
+        bucket.push_back(rb.remap[v]);
+    }
+    PassOutcome o;
+    o.nodesBefore = dfg.size();
+    o.edgesBefore = edgeCount(dfg);
+    rb.finish(translation);
+    o.nodesAfter = translation.dfg.size();
+    o.edgesAfter = edgeCount(translation.dfg);
+    return o;
+}
+
+PassOutcome
+eliminateDeadNodes(Translation &translation)
+{
+    const Dfg &dfg = translation.dfg;
+    std::vector<char> live(static_cast<size_t>(dfg.size()), 0);
+    for (NodeId g : dfg.gradientNodes())
+        if (g != kInvalidNode)
+            live[g] = 1;
+    // Operands precede consumers, so one reverse sweep propagates
+    // liveness from the gradient outputs to everything they reach.
+    for (NodeId v = dfg.size() - 1; v >= 0; --v) {
+        if (!live[v])
+            continue;
+        const Node &n = dfg.node(v);
+        if (n.a != kInvalidNode)
+            live[n.a] = 1;
+        if (n.b != kInvalidNode)
+            live[n.b] = 1;
+        if (n.c != kInvalidNode)
+            live[n.c] = 1;
+    }
+    Rebuild rb(dfg);
+    for (NodeId v = 0; v < dfg.size(); ++v)
+        if (live[v])
+            rb.copyNode(v);
+    PassOutcome o;
+    o.nodesBefore = dfg.size();
+    o.edgesBefore = edgeCount(dfg);
+    rb.finish(translation);
+    o.nodesAfter = translation.dfg.size();
+    o.edgesAfter = edgeCount(translation.dfg);
+    return o;
+}
+
+} // namespace cosmic::dfg

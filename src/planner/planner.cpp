@@ -68,12 +68,19 @@ Planner::makePlan(const dfg::Translation &tr,
 
 PlanResult
 Planner::plan(const dfg::Translation &tr, const PlatformSpec &platform,
-              const compiler::CompileOptions &options,
-              bool prune_small_rows)
+              const compiler::CompileOptions &options)
 {
     PlanResult result;
     result.maxThreadsBound = maxThreads(tr, platform);
-    auto points = enumerateDesignPoints(platform, result.maxThreadsBound);
+
+    // Sensitivity sweeps pin a single explicit point: no exploration,
+    // no t_max restriction (studying off-design points is the point).
+    const bool forced =
+        options.forceThreads > 0 && options.forceRowsPerThread > 0;
+    auto points =
+        forced ? std::vector<std::pair<int, int>>{
+                     {options.forceThreads, options.forceRowsPerThread}}
+               : enumerateDesignPoints(platform, result.maxThreadsBound);
     COSMIC_ASSERT(!points.empty(), "no design points to explore");
 
     // For very large DFGs (millions of operations), points with few
@@ -81,7 +88,7 @@ Planner::plan(const dfg::Translation &tr, const PlatformSpec &platform,
     // model's storage footprint, so narrow threads just starve the DFG
     // of PEs — and they are the most expensive to schedule. Prune them
     // to keep full exploration in the paper's minutes-not-hours range.
-    if (prune_small_rows && tr.dfg.size() > 1000000) {
+    if (!forced && options.pruneSmallRows && tr.dfg.size() > 1000000) {
         int min_rows = std::max(1, platform.maxRows / 8);
         std::erase_if(points, [&](const std::pair<int, int> &p) {
             return p.second < min_rows;

@@ -62,15 +62,16 @@ class Planner
      * Plans and compiles the accelerator for @p translation on
      * @p platform, exploring the pruned design space.
      *
-     * @param prune_small_rows Skip narrow-thread points for very large
-     *        DFGs (they cannot win and dominate exploration time); the
-     *        design-space-exploration figure disables this to chart the
-     *        whole space.
+     * Exploration knobs live in @p options: `pruneSmallRows` skips
+     * narrow-thread points for very large DFGs (they cannot win and
+     * dominate exploration time; the design-space-exploration figure
+     * disables it to chart the whole space), and
+     * `forceThreads`/`forceRowsPerThread` pin a single explicit design
+     * point for sensitivity sweeps.
      */
     static PlanResult plan(const dfg::Translation &translation,
                            const accel::PlatformSpec &platform,
-                           const compiler::CompileOptions &options = {},
-                           bool prune_small_rows = true);
+                           const compiler::CompileOptions &options = {});
 
     /** The t_max bound (Sec. 4.4). */
     static int64_t maxThreads(const dfg::Translation &translation,

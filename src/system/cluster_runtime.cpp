@@ -5,17 +5,20 @@
 #include <thread>
 
 #include "common/error.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 
 namespace cosmic::sys {
 
 namespace {
 
 dfg::Translation
-translateWorkload(const ml::Workload &workload, double scale)
+translateWorkload(const ml::Workload &workload, double scale,
+                  const compiler::CompileOptions &options)
 {
-    auto program = dsl::Parser::parse(workload.dslSource(scale));
-    return dfg::Translator::translate(program);
+    // Cached compile-pipeline frontend: repeated runtimes over the
+    // same workload share one parse/translate/optimize.
+    return compile::translateCached(workload.dslSource(scale), options)
+        ->translation;
 }
 
 } // namespace
@@ -23,7 +26,7 @@ translateWorkload(const ml::Workload &workload, double scale)
 ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
                                const ClusterConfig &config)
     : workload_(workload), scale_(scale), config_(config),
-      translation_(translateWorkload(workload, scale)),
+      translation_(translateWorkload(workload, scale, config.compile)),
       topology_(SystemDirector::assign(
           config.nodes, config.groups > 0
                             ? config.groups

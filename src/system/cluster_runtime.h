@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "compiler/kernel.h"
 #include "dfg/translator.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
@@ -72,6 +73,10 @@ struct ClusterConfig
     int64_t recordsPerNode = 256;
     uint64_t seed = 0x5eed;
     AggregationConfig aggregation;
+
+    /** Compile-pipeline options for the workload's DFG (the runtime
+     *  builds through compile::translateCached; passes default on). */
+    compiler::CompileOptions compile;
 
     /**
      * Failure/straggler injection: each node sleeps a deterministic

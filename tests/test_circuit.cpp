@@ -7,10 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "circuit/constructor.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 namespace cosmic::circuit {
 namespace {
@@ -64,11 +62,14 @@ BuiltDesign
 buildSvm()
 {
     const auto &w = ml::Workload::byName("face");
-    auto prog = dsl::Parser::parse(w.dslSource(16.0));
-    BuiltDesign b{dfg::Translator::translate(prog), {}, {}, {}};
-    b.plan = planner::Planner::makePlan(
-        b.tr, accel::PlatformSpec::ultrascalePlus(), 2, 2);
-    b.kernel = compiler::KernelCompiler::compile(b.tr, b.plan);
+    compiler::CompileOptions options;
+    options.forceThreads = 2;
+    options.forceRowsPerThread = 2;
+    compile::Pipeline pipeline(w.dslSource(16.0),
+                               accel::PlatformSpec::ultrascalePlus(),
+                               options);
+    BuiltDesign b{pipeline.optimized(), pipeline.planned().plan,
+                  pipeline.mapped(), {}};
     b.design = Constructor::generate(b.tr, b.plan, b.kernel);
     return b;
 }

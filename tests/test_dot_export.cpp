@@ -11,8 +11,8 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "dfg/dot.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
@@ -23,7 +23,7 @@ namespace {
 dfg::Translation
 tinyTranslation()
 {
-    return dfg::Translator::translate(dsl::Parser::parse(R"(
+    return compile::translateSource(R"(
         model_input x[3];
         model_output y;
         model w[3];
@@ -31,7 +31,7 @@ tinyTranslation()
         iterator i[0:3];
         e = sum[i](w[i] * x[i]) - y;
         g[i] = e * x[i];
-    )"));
+    )");
 }
 
 TEST(DotExport, ContainsStructuralElements)
@@ -66,8 +66,7 @@ TEST(DotExport, EdgeCountMatchesGraph)
 TEST(DotExport, RefusesHugeGraphs)
 {
     const auto &w = ml::Workload::byName("stock");
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(1.0)));
+    auto tr = compile::translateSource(w.dslSource(1.0));
     dfg::DotOptions options;
     options.maxNodes = 100;
     EXPECT_THROW(dfg::toDot(tr, options), CosmicError);
@@ -93,8 +92,7 @@ TEST_P(PasicGridCoverage, SimulatorMatchesInterpreterOnPasicG)
 {
     const auto &w = ml::Workload::byName(GetParam());
     const double scale = 64.0;
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(scale)));
+    auto tr = compile::translateSource(w.dslSource(scale));
     auto plan = planner::Planner::makePlan(
         tr, accel::PlatformSpec::pasicG(), 2, 3);
     ASSERT_EQ(plan.columns, 60);

@@ -11,6 +11,7 @@
 #include "accel/simulator.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
 #include "dsl/parser.h"
 #include "planner/planner.h"
@@ -21,8 +22,7 @@ namespace {
 dfg::Translation
 translate(const std::string &src)
 {
-    auto prog = dsl::Parser::parse(src);
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(src);
 }
 
 TEST(MinMax, ParseAndPrint)

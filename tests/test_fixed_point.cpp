@@ -11,8 +11,8 @@
 
 #include "accel/fixed_point.h"
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
@@ -72,8 +72,7 @@ TEST(QuantizedInterpreter, GradientsCloseToExact)
 {
     const auto &w = ml::Workload::byName("tumor");
     const double scale = 64.0;
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(scale)));
+    auto tr = compile::translateSource(w.dslSource(scale));
     dfg::Interpreter exact(tr);
     dfg::Interpreter quantized(tr, &quantizeToFixed);
 
@@ -94,8 +93,7 @@ TEST(QuantizedInterpreter, TrainingStillConverges)
     // The paper's datapath is fixed point; training must not care.
     const auto &w = ml::Workload::byName("face");
     const double scale = 64.0;
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(scale)));
+    auto tr = compile::translateSource(w.dslSource(scale));
     dfg::Interpreter quantized(tr, &quantizeToFixed);
     ml::Reference ref(w, scale);
 

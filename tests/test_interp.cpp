@@ -9,9 +9,8 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
@@ -22,8 +21,7 @@ namespace {
 dfg::Translation
 translate(const char *src)
 {
-    auto prog = dsl::Parser::parse(src);
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(src);
 }
 
 TEST(Interpreter, EvaluatesArithmetic)
@@ -144,8 +142,7 @@ TEST_P(SuiteGradientTest, MatchesReferenceGradient)
     const auto &w = ml::Workload::byName(GetParam());
     const double scale = 64.0;
 
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(w.dslSource(scale));
     dfg::Interpreter interp(tr);
     ml::Reference ref(w, scale);
 

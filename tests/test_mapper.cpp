@@ -7,8 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/mapper.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
 
@@ -24,8 +23,7 @@ dfg::Translation
 translateWorkload(const std::string &name, double scale = 128.0)
 {
     const auto &w = ml::Workload::byName(name);
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(w.dslSource(scale));
 }
 
 accel::AcceleratorPlan
@@ -135,14 +133,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Mapper, ModelParametersPlacedBesideConsumers)
 {
     // g[i] = w[i] * x[i]: each w element must land on its x's PE.
-    auto prog = dsl::Parser::parse(R"(
+    auto tr = compile::translateSource(R"(
         model_input x[32];
         model w[32];
         gradient g[32];
         iterator i[0:32];
         g[i] = w[i] * x[i];
     )");
-    auto tr = dfg::Translator::translate(prog);
     auto plan = planFor(tr, 1, 2);
     Mapping m = Mapper::map(tr.dfg, plan, MappingStrategy::DataFirst);
 

@@ -6,8 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/memory_schedule.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "planner/planner.h"
 
 namespace cosmic::compiler {
@@ -16,7 +15,7 @@ namespace {
 dfg::Translation
 smallTranslation()
 {
-    auto prog = dsl::Parser::parse(R"(
+    return compile::translateSource(R"(
         model_input x[37];
         model_output y;
         model w[37];
@@ -25,7 +24,6 @@ smallTranslation()
         e = sum[i](w[i] * x[i]) - y;
         g[i] = e * x[i];
     )");
-    return dfg::Translator::translate(prog);
 }
 
 TEST(MemorySchedule, RecordEntriesCoverTheRecord)

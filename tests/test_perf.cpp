@@ -6,11 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "accel/perf.h"
-#include "compiler/kernel.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 namespace cosmic::accel {
 namespace {
@@ -26,12 +23,13 @@ Built
 build(const std::string &name, double scale, const PlatformSpec &platform,
       int threads, int rows)
 {
-    Built b{dfg::Translator::translate(dsl::Parser::parse(
-                ml::Workload::byName(name).dslSource(scale))),
-            {}, {}};
-    b.plan = planner::Planner::makePlan(b.tr, platform, threads, rows);
-    b.kernel = compiler::KernelCompiler::compile(b.tr, b.plan);
-    return b;
+    compiler::CompileOptions options;
+    options.forceThreads = threads;
+    options.forceRowsPerThread = rows;
+    compile::Pipeline pipeline(
+        ml::Workload::byName(name).dslSource(scale), platform, options);
+    return Built{pipeline.optimized(), pipeline.planned().plan,
+                 pipeline.mapped()};
 }
 
 TEST(PerfEstimator, LinearModelsAreMemoryBound)

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Compile-pipeline tests: the DFG optimization passes (constant
+ * folding, CSE, dead-node elimination), the content-hashed build
+ * cache, and the pipeline's stage artifacts.
+ *
+ * The load-bearing guarantee: every pass leaves trained trajectories
+ * bit-exact against the unoptimized graph — in the quantized (Q16.16)
+ * datapath as well as plain doubles — for all Table 1 workloads, on
+ * the interpreter, the scalar tape, and the lane-batched tape.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "accel/fixed_point.h"
+#include "common/rng.h"
+#include "compiler/pipeline.h"
+#include "dfg/interp.h"
+#include "dfg/passes.h"
+#include "dfg/tape.h"
+#include "ml/dataset.h"
+#include "ml/workloads.h"
+
+namespace cosmic::compile {
+namespace {
+
+compiler::CompileOptions
+passesOff()
+{
+    return compiler::CompileOptions{}.withDfgPasses(false);
+}
+
+// ---------------------------------------------------------------- passes
+
+TEST(DfgPasses, CseMergesDuplicateSubtrees)
+{
+    // The inner w[0]*x[0] is value-numbered away by the builder, but
+    // the (mul + 1) and sigmoid(...) pairs survive translation as
+    // duplicates — CSE must merge both.
+    auto tr = translateSource(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        g[i] = sigmoid(w[i] * x[i] + 1) + sigmoid(w[i] * x[i] + 1);
+    )",
+                              passesOff());
+    auto before = tr.dfg.size();
+    auto outcome = dfg::eliminateCommonSubexpressions(tr);
+    EXPECT_TRUE(outcome.changed());
+    EXPECT_EQ(outcome.nodesBefore, before);
+    EXPECT_EQ(outcome.nodesAfter, before - 2);
+}
+
+TEST(DfgPasses, DeadNodeEliminationRemovesUnreachableNodes)
+{
+    // `u` is never consumed by a gradient: the mul (and the constant 3
+    // it holds) must go, while the live chain stays intact.
+    auto tr = translateSource(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        u = x[0] * 3;
+        g[i] = w[i] * x[i];
+    )",
+                              passesOff());
+    auto live = translateSource(R"(
+        model_input x[2];
+        model w[2];
+        gradient g[2];
+        iterator i[0:2];
+        g[i] = w[i] * x[i];
+    )",
+                                passesOff());
+    auto outcome = dfg::eliminateDeadNodes(tr);
+    EXPECT_TRUE(outcome.changed());
+    EXPECT_EQ(tr.dfg.size(), live.dfg.size());
+    EXPECT_EQ(tr.dfg.operationCount(), live.dfg.operationCount());
+}
+
+TEST(DfgPasses, ConstantFoldingFoldsExactProducts)
+{
+    // 2*3 = 6 is exact in Q16.16: the mul folds to a constant and the
+    // now-dead operand constants are swept by DNE.
+    auto tr = translateSource(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        g[i] = w[i] * (2 * 3);
+    )",
+                              passesOff());
+    auto fold = dfg::foldConstants(tr);
+    EXPECT_TRUE(fold.changed());
+    dfg::eliminateDeadNodes(tr);
+    // Remaining operation: the single live mul by the folded 6.
+    EXPECT_EQ(tr.dfg.operationCount(), 1);
+}
+
+TEST(DfgPasses, ConstantFoldingRespectsQuantizedSemantics)
+{
+    // 0.7*0.7 is NOT exact in Q16.16: Q(0.49) differs from
+    // Q(Q(0.7)*Q(0.7)), so the quantizer-safety guard must refuse the
+    // fold — the quantized datapath evaluates the mul at runtime.
+    double qa = accel::quantizeToFixed(0.7);
+    double folded = accel::quantizeToFixed(0.7 * 0.7);
+    double staged = accel::quantizeToFixed(qa * qa);
+    ASSERT_NE(folded, staged)
+        << "test premise: 0.7*0.7 must round differently when staged";
+
+    auto tr = translateSource(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        g[i] = w[i] * (0.7 * 0.7);
+    )",
+                              passesOff());
+    auto ops_before = tr.dfg.operationCount();
+    auto fold = dfg::foldConstants(tr);
+    EXPECT_EQ(tr.dfg.operationCount(), ops_before)
+        << "quantizer-unsafe fold must be rejected";
+    (void)fold;
+}
+
+TEST(DfgPasses, PipelineReportRecordsPassDeltas)
+{
+    PipelineReport report;
+    auto tr = translateSource(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        g[i] = sigmoid(w[i] * x[i] + 1) + sigmoid(w[i] * x[i] + 1) +
+               w[i] * (2 * 3);
+    )",
+                              {}, &report);
+    EXPECT_EQ(report.dfgPassCount(), 3);
+    ASSERT_NE(report.pass("cse"), nullptr);
+    EXPECT_LT(report.pass("cse")->nodesAfter,
+              report.pass("cse")->nodesBefore);
+    ASSERT_NE(report.pass("parse"), nullptr);
+    EXPECT_FALSE(report.table().empty());
+    (void)tr;
+}
+
+// ----------------------------------------------------------- build cache
+
+TEST(BuildCacheTest, IdenticalInputsHit)
+{
+    auto &cache = BuildCache::instance();
+    auto src = ml::Workload::byName("tumor").dslSource(64.0);
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+
+    cache.clear();
+    auto base = cache.stats();
+    auto a = buildCached(src, platform);
+    auto b = buildCached(src, platform);
+    EXPECT_EQ(a.get(), b.get()) << "identical inputs share the artifact";
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.misses - base.misses, 1);
+    EXPECT_GE(stats.hits - base.hits, 1);
+}
+
+TEST(BuildCacheTest, DifferingOptionMisses)
+{
+    auto &cache = BuildCache::instance();
+    auto src = ml::Workload::byName("tumor").dslSource(64.0);
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+
+    cache.clear();
+    auto a = buildCached(src, platform);
+    compiler::CompileOptions other;
+    other.strategy = compiler::MappingStrategy::OperationFirst;
+    auto b = buildCached(src, platform, other);
+    EXPECT_NE(a.get(), b.get()) << "options are part of the cache key";
+
+    auto base = cache.stats();
+    auto c = buildCached(src, platform, other);
+    EXPECT_EQ(b.get(), c.get());
+    EXPECT_EQ(cache.stats().hits - base.hits, 1);
+}
+
+TEST(BuildCacheTest, FrontendKeyIgnoresBackendKnobs)
+{
+    auto &cache = BuildCache::instance();
+    auto src = ml::Workload::byName("stock").dslSource(64.0);
+    cache.clear();
+    compiler::CompileOptions a, b;
+    b.strategy = compiler::MappingStrategy::OperationFirst;
+    b.forceThreads = 2;
+    b.forceRowsPerThread = 2;
+    auto fa = translateCached(src, a);
+    auto fb = translateCached(src, b);
+    EXPECT_EQ(fa.get(), fb.get())
+        << "backend knobs must not fragment the frontend cache";
+    compiler::CompileOptions off = passesOff();
+    auto fc = translateCached(src, off);
+    EXPECT_NE(fa.get(), fc.get()) << "pass flags are frontend key";
+}
+
+TEST(BuildCacheTest, ConcurrentBuildsConverge)
+{
+    auto &cache = BuildCache::instance();
+    auto src = ml::Workload::byName("cancer1").dslSource(64.0);
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+    cache.clear();
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const BuildArtifact>> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(
+            [&, t] { got[t] = buildCached(src, platform); });
+    for (auto &th : threads)
+        th.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[0].get(), got[t].get())
+            << "all racers must adopt one immutable artifact";
+}
+
+TEST(BuildCacheTest, FingerprintSeparatesInputs)
+{
+    auto platform = accel::PlatformSpec::ultrascalePlus();
+    auto a = buildFingerprint("model w[1];", platform, {});
+    auto b = buildFingerprint("model w[2];", platform, {});
+    EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------ stage artifacts
+
+TEST(PipelineStages, LazyStagesRunOnce)
+{
+    auto src = ml::Workload::byName("tumor").dslSource(64.0);
+    Pipeline pipeline(src, accel::PlatformSpec::ultrascalePlus());
+    const auto &plan = pipeline.planned();
+    EXPECT_GE(plan.plan.threads, 1);
+    // Asking again must not re-run (and re-time) earlier stages.
+    auto passes = pipeline.report().passes.size();
+    pipeline.planned();
+    pipeline.optimized();
+    EXPECT_EQ(pipeline.report().passes.size(), passes);
+    EXPECT_NE(pipeline.report().contentHash, 0u);
+
+    // translationAt exposes the stage boundaries: the raw graph is at
+    // least as large as the optimized one.
+    const auto &raw = pipeline.translationAt(Stage::Translate);
+    const auto &opt = pipeline.translationAt(Stage::Optimize);
+    EXPECT_GE(raw.dfg.size(), opt.dfg.size());
+}
+
+TEST(PipelineStages, StageNamesRoundTrip)
+{
+    for (auto stage : {Stage::Parse, Stage::Translate, Stage::Optimize,
+                       Stage::Plan, Stage::Map, Stage::Tape}) {
+        Stage parsed;
+        ASSERT_TRUE(stageFromName(stageName(stage), parsed));
+        EXPECT_EQ(parsed, stage);
+    }
+    Stage out;
+    EXPECT_FALSE(stageFromName("nonsense", out));
+}
+
+// ------------------------------------------------- bit-exact trajectories
+
+/** Trains a few SGD epochs through the interpreter; returns the model. */
+std::vector<double>
+interpTrajectory(const dfg::Translation &tr, const ml::Workload &w,
+                 double scale, double (*quantizer)(double))
+{
+    dfg::Interpreter interp(tr, quantizer);
+    Rng rng(123);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 24, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+    std::vector<double> grad;
+    for (int epoch = 0; epoch < 2; ++epoch)
+        for (int64_t r = 0; r < ds.count; ++r) {
+            interp.run(ds.record(r), model, grad);
+            for (size_t p = 0; p < model.size(); ++p)
+                model[p] -= 0.05 * grad[p];
+        }
+    return model;
+}
+
+/** Scalar-tape SGD sweep trajectory (laneWidth 1). */
+std::vector<double>
+tapeSweepTrajectory(const dfg::Translation &tr, const ml::Workload &w,
+                    double scale, double (*quantizer)(double))
+{
+    dfg::Tape tape(tr, quantizer);
+    dfg::TapeExecutor exec(tape);
+    exec.setLaneWidth(1);
+    Rng rng(123);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 24, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+    for (int epoch = 0; epoch < 2; ++epoch)
+        exec.sgdSweep(ds.data, ds.count, model, 0.05);
+    return model;
+}
+
+/** Lane-batched minibatch-gradient trajectory (laneWidth 8). */
+std::vector<double>
+tapeBatchTrajectory(const dfg::Translation &tr, const ml::Workload &w,
+                    double scale, double (*quantizer)(double))
+{
+    dfg::Tape tape(tr, quantizer);
+    dfg::TapeExecutor exec(tape);
+    exec.setLaneWidth(8);
+    Rng rng(123);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 24, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+    std::vector<double> grad(tr.gradientWords, 0.0);
+    for (int step = 0; step < 2; ++step) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        exec.runBatch(ds.data, ds.count, model, grad);
+        for (size_t p = 0; p < model.size(); ++p)
+            model[p] -= 0.01 * grad[p];
+    }
+    return model;
+}
+
+class PassesAreBitExact : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PassesAreBitExact, OnAllExecutionModes)
+{
+    const auto &w = ml::Workload::byName(GetParam());
+    const double scale = 64.0;
+    auto plain = translateSource(w.dslSource(scale), passesOff());
+    auto optimized = translateSource(w.dslSource(scale));
+    ASSERT_LE(optimized.dfg.size(), plain.dfg.size());
+
+    for (double (*quantizer)(double) :
+         {static_cast<double (*)(double)>(nullptr),
+          &accel::quantizeToFixed}) {
+        SCOPED_TRACE(quantizer ? "Q16.16" : "double");
+        {
+            auto a = interpTrajectory(plain, w, scale, quantizer);
+            auto b = interpTrajectory(optimized, w, scale, quantizer);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                ASSERT_EQ(a[i], b[i]) << "interp model word " << i;
+        }
+        {
+            auto a = tapeSweepTrajectory(plain, w, scale, quantizer);
+            auto b = tapeSweepTrajectory(optimized, w, scale, quantizer);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                ASSERT_EQ(a[i], b[i]) << "tape-sweep model word " << i;
+        }
+        {
+            auto a = tapeBatchTrajectory(plain, w, scale, quantizer);
+            auto b = tapeBatchTrajectory(optimized, w, scale, quantizer);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                ASSERT_EQ(a[i], b[i]) << "tape-batch model word " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PassesAreBitExact,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &w : ml::Workload::suite())
+            names.push_back(w.name);
+        return names;
+    }()),
+    [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace cosmic::compile

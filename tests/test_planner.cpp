@@ -5,9 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "compiler/pipeline.h"
 #include "dfg/analysis.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
 
@@ -18,8 +17,7 @@ dfg::Translation
 translateWorkload(const std::string &name, double scale)
 {
     const auto &w = ml::Workload::byName(name);
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(w.dslSource(scale));
 }
 
 TEST(Planner, MaxThreadsBoundedByStorage)
@@ -45,7 +43,7 @@ TEST(Planner, MaxThreadsBoundedByRows)
 
 TEST(Planner, MaxThreadsBoundedByMinibatch)
 {
-    auto prog = dsl::Parser::parse(R"(
+    auto tr = compile::translateSource(R"(
         model_input x[4];
         model w[4];
         gradient g[4];
@@ -53,7 +51,6 @@ TEST(Planner, MaxThreadsBoundedByMinibatch)
         g[i] = w[i] * x[i];
         minibatch 3;
     )");
-    auto tr = dfg::Translator::translate(prog);
     EXPECT_EQ(Planner::maxThreads(
                   tr, accel::PlatformSpec::ultrascalePlus()),
               3);

@@ -6,8 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/predictor.h"
 #include "system/cluster_runtime.h"
 
@@ -59,8 +59,7 @@ TEST(Predictor, TrainingImprovesAccuracyOnHeldOutData)
     auto train = full.partition(0, 500);
     auto test = full.partition(500, 100);
 
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(w.dslSource(scale));
     dfg::Interpreter interp(tr);
     auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
 
@@ -89,8 +88,7 @@ TEST(Predictor, RegressionRmseDrops)
     auto train = full.partition(0, 256);
     auto test = full.partition(256, 44);
 
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    auto tr = dfg::Translator::translate(prog);
+    auto tr = compile::translateSource(w.dslSource(scale));
     dfg::Interpreter interp(tr);
     auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
 

@@ -10,10 +10,8 @@
 #include "accel/lut.h"
 #include "common/error.h"
 #include "accel/replay.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 namespace cosmic::accel {
 namespace {
@@ -24,11 +22,14 @@ compileWorkload(const std::string &name, double scale, int threads,
                 AcceleratorPlan &plan_out)
 {
     const auto &w = ml::Workload::byName(name);
-    tr_out = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(scale)));
-    plan_out = planner::Planner::makePlan(
-        tr_out, PlatformSpec::ultrascalePlus(), threads, rows);
-    return compiler::KernelCompiler::compile(tr_out, plan_out);
+    compiler::CompileOptions options;
+    options.forceThreads = threads;
+    options.forceRowsPerThread = rows;
+    compile::Pipeline pipeline(w.dslSource(scale),
+                               PlatformSpec::ultrascalePlus(), options);
+    tr_out = pipeline.optimized();
+    plan_out = pipeline.planned().plan;
+    return pipeline.mapped();
 }
 
 class ReplayValidity : public ::testing::TestWithParam<std::string>

@@ -9,9 +9,9 @@
 #include <map>
 
 #include "compiler/kernel.h"
+#include "compiler/pipeline.h"
 #include "dfg/analysis.h"
 #include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
 
@@ -26,8 +26,7 @@ dfg::Translation
 translateWorkload(const std::string &name, double scale = 128.0)
 {
     const auto &w = ml::Workload::byName(name);
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(w.dslSource(scale));
 }
 
 CompiledKernel
@@ -150,7 +149,7 @@ TEST(Scheduler, ChainScheduleIsExact)
 {
     // A pure dependence chain on one PE: bypass lets each op issue the
     // cycle after its predecessor; makespan equals the chain length.
-    auto prog = dsl::Parser::parse(R"(
+    auto tr = compile::translateSource(R"(
         model_input x[1];
         model w[1];
         gradient g[1];
@@ -160,7 +159,6 @@ TEST(Scheduler, ChainScheduleIsExact)
         c[i] = b[i] + 2;
         g[i] = c[i] + 3;
     )");
-    auto tr = dfg::Translator::translate(prog);
     CompiledKernel k = compileAt(tr, 1);
     // 4 linear ops + 1 gradient-accumulation slot.
     EXPECT_EQ(k.schedule.makespan, 5);

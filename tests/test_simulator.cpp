@@ -9,8 +9,8 @@
 
 #include "accel/simulator.h"
 #include "common/rng.h"
+#include "compiler/pipeline.h"
 #include "dfg/interp.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
@@ -27,8 +27,7 @@ TEST_P(SimulatorMatchesInterpreter, GradientBitExact)
     auto [name, threads, rows] = GetParam();
     const auto &w = ml::Workload::byName(name);
     const double scale = 64.0;
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(scale)));
+    auto tr = compile::translateSource(w.dslSource(scale));
     auto plan = planner::Planner::makePlan(
         tr, PlatformSpec::ultrascalePlus(), threads, rows);
     auto kernel = compiler::KernelCompiler::compile(tr, plan);
@@ -72,8 +71,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CycleSimulator, CyclesConsistentWithSchedule)
 {
     const auto &w = ml::Workload::byName("face");
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(64.0)));
+    auto tr = compile::translateSource(w.dslSource(64.0));
     auto plan = planner::Planner::makePlan(
         tr, PlatformSpec::ultrascalePlus(), 2, 4);
     auto kernel = compiler::KernelCompiler::compile(tr, plan);
@@ -93,8 +91,7 @@ TEST(CycleSimulator, CyclesConsistentWithSchedule)
 TEST(CycleSimulator, DetectsImpossibleSchedule)
 {
     const auto &w = ml::Workload::byName("tumor");
-    auto tr = dfg::Translator::translate(
-        dsl::Parser::parse(w.dslSource(64.0)));
+    auto tr = compile::translateSource(w.dslSource(64.0));
     auto plan = planner::Planner::makePlan(
         tr, PlatformSpec::ultrascalePlus(), 1, 4);
     auto kernel = compiler::KernelCompiler::compile(tr, plan);

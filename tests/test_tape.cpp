@@ -17,8 +17,8 @@
 #include "common/rng.h"
 #include "dfg/interp.h"
 #include "dfg/tape.h"
+#include "compiler/pipeline.h"
 #include "dfg/translator.h"
-#include "dsl/parser.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
@@ -30,8 +30,7 @@ namespace {
 dfg::Translation
 translateWorkload(const ml::Workload &w, double scale)
 {
-    auto prog = dsl::Parser::parse(w.dslSource(scale));
-    return dfg::Translator::translate(prog);
+    return compile::translateSource(w.dslSource(scale));
 }
 
 /** Bit-exact equivalence vs the Interpreter on every suite benchmark,
@@ -240,14 +239,13 @@ TEST(Tape, AbsentOperandsReadPinnedZero)
 {
     // Neg has only operand a; b and c resolve to the zero slot. A
     // graph whose result flows through unary ops must still match.
-    auto prog = dsl::Parser::parse(R"(
+    auto tr = compile::translateSource(R"(
         model_input x[2];
         model w[2];
         gradient g[2];
         iterator i[0:2];
         g[i] = 0 - sigmoid(0 - (w[i] * x[i]));
     )");
-    auto tr = dfg::Translator::translate(prog);
     dfg::Interpreter interp(tr);
     dfg::Tape tape(tr);
     dfg::TapeExecutor exec(tape);

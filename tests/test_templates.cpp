@@ -8,12 +8,9 @@
 
 #include <functional>
 
-#include "compiler/kernel.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/templates.h"
 #include "ml/workloads.h"
-#include "planner/planner.h"
 
 namespace cosmic::ml::templates {
 namespace {
@@ -52,15 +49,15 @@ TEST(Templates, AllCompileThroughTheFullStack)
     auto platform = accel::PlatformSpec::ultrascalePlus();
     for (const auto &t : allTemplates()) {
         SCOPED_TRACE(t.name);
-        auto prog = dsl::Parser::parse(t.make());
-        EXPECT_EQ(prog.minibatch(), 256);
-        auto tr = dfg::Translator::translate(prog);
+        compile::Pipeline pipeline(t.make(), platform);
+        EXPECT_EQ(pipeline.parsed().program.minibatch(), 256);
+        const auto &tr = pipeline.optimized();
         EXPECT_EQ(tr.modelWords, t.expectedModelWords);
         EXPECT_EQ(tr.recordWords, t.expectedRecordWords);
         EXPECT_EQ(tr.gradientWords, tr.modelWords)
             << "templates must declare gradients in model order";
 
-        auto result = planner::Planner::plan(tr, platform);
+        const auto &result = pipeline.planned();
         EXPECT_GE(result.plan.threads, 1);
         EXPECT_GT(result.kernel.computeCyclesPerRecord, 0);
     }
@@ -68,8 +65,8 @@ TEST(Templates, AllCompileThroughTheFullStack)
 
 TEST(Templates, MinibatchParameterRespected)
 {
-    auto prog = dsl::Parser::parse(svm(32, 7777));
-    EXPECT_EQ(prog.minibatch(), 7777);
+    compile::Pipeline pipeline(svm(32, 7777));
+    EXPECT_EQ(pipeline.parsed().program.minibatch(), 7777);
 }
 
 TEST(Templates, SuiteUsesTheSameGenerators)

@@ -6,8 +6,8 @@
 
 #include "common/error.h"
 #include "dfg/analysis.h"
+#include "compiler/pipeline.h"
 #include "dfg/translator.h"
-#include "dsl/parser.h"
 
 namespace cosmic::dfg {
 namespace {
@@ -15,8 +15,9 @@ namespace {
 Translation
 translate(const char *src)
 {
-    auto prog = dsl::Parser::parse(src);
-    return Translator::translate(prog);
+    // These tests pin the Translator's raw output: DFG passes off.
+    return compile::translateSource(
+        src, compiler::CompileOptions{}.withDfgPasses(false));
 }
 
 TEST(Translator, LinearRegressionShape)

@@ -10,8 +10,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
-#include "dfg/translator.h"
-#include "dsl/parser.h"
+#include "compiler/pipeline.h"
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
@@ -65,8 +64,7 @@ TEST(Workloads, DslParsesAtAllScales)
 {
     for (const auto &w : Workload::suite()) {
         for (double scale : {64.0, 8.0}) {
-            auto prog = dsl::Parser::parse(w.dslSource(scale));
-            auto tr = dfg::Translator::translate(prog);
+            auto tr = compile::translateSource(w.dslSource(scale));
             EXPECT_EQ(tr.recordWords,
                       DatasetGenerator::recordWords(w, scale))
                 << w.name;
