@@ -9,13 +9,60 @@
  * face, cancer2).
  */
 #include <iostream>
+#include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "bench_support.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "system/cluster_runtime.h"
 
 using namespace cosmic;
+
+namespace {
+
+/** One measured scale-out run (real ClusterRuntime, not the
+ *  analytical estimator) on the selected fabric. */
+struct NetSeriesPoint
+{
+    int nodes;
+    const char *backend;
+    double iterSec;
+    double bytesPerIter;
+    double serializeSec;
+    double deserializeSec;
+    uint64_t wakeups;
+};
+
+NetSeriesPoint
+measureBackend(int nodes, net::TransportKind kind)
+{
+    sys::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.transport.kind = kind;
+    sys::ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
+                                cfg);
+    auto report = runtime.train(1);
+    NetSeriesPoint p;
+    p.nodes = nodes;
+    p.backend =
+        kind == net::TransportKind::Tcp ? "tcp-loopback" : "inprocess";
+    const double iters =
+        std::max<size_t>(1, report.iterationSeconds.size());
+    p.iterSec = std::accumulate(report.iterationSeconds.begin(),
+                                report.iterationSeconds.end(), 0.0) /
+                iters;
+    p.bytesPerIter = double(report.net.bytesSent) / iters;
+    p.serializeSec = report.net.serializeSec;
+    p.deserializeSec = report.net.deserializeSec;
+    p.wakeups = report.net.wakeups;
+    return p;
+}
+
+} // namespace
 
 int
 main()
@@ -65,5 +112,44 @@ main()
 
     std::cout << "\nPaper reference: CoSMIC 1.8x / 2.7x; Spark 1.3x / "
               << "1.8x at 8 / 16 nodes.\n";
+
+    // Measured series: the real runtime over the in-process fabric vs
+    // TCP loopback (every message crosses the wire protocol and the
+    // epoll loop). The last line is the machine-readable BENCH_net
+    // summary CI keeps as an artifact.
+    TablePrinter net_table(
+        "TCP-loopback series (measured, stock @ scale 64)");
+    net_table.setHeader({"Nodes", "Backend", "iter (ms)", "wire B/iter",
+                         "serialize (ms)", "epoll wakeups"});
+    std::vector<NetSeriesPoint> series;
+    for (int nodes : {4, 8}) {
+        series.push_back(
+            measureBackend(nodes, net::TransportKind::InProcess));
+        series.push_back(
+            measureBackend(nodes, net::TransportKind::Tcp));
+    }
+    for (const auto &p : series)
+        net_table.addRow({std::to_string(p.nodes), p.backend,
+                          TablePrinter::num(p.iterSec * 1e3, 3),
+                          TablePrinter::num(p.bytesPerIter, 0),
+                          TablePrinter::num(p.serializeSec * 1e3, 3),
+                          std::to_string(p.wakeups)});
+    net_table.print(std::cout);
+
+    std::ostringstream json;
+    json << "{\"bench\":\"net\",\"workload\":\"stock\",\"series\":[";
+    bool first = true;
+    for (const auto &p : series) {
+        json << (first ? "" : ",") << "{\"nodes\":" << p.nodes
+             << ",\"backend\":\"" << p.backend
+             << "\",\"iter_sec\":" << p.iterSec
+             << ",\"bytes_per_iter\":" << p.bytesPerIter
+             << ",\"serialize_sec\":" << p.serializeSec
+             << ",\"deserialize_sec\":" << p.deserializeSec
+             << ",\"wakeups\":" << p.wakeups << "}";
+        first = false;
+    }
+    json << "]}";
+    std::cout << json.str() << "\n";
     return 0;
 }

@@ -1,0 +1,140 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace cosmic::net {
+
+HostPort
+parseHostPort(const std::string &spec)
+{
+    const size_t colon = spec.rfind(':');
+    COSMIC_ASSERT(colon != std::string::npos,
+                  "endpoint '" << spec << "' is not host:port");
+    HostPort hp;
+    hp.host = spec.substr(0, colon);
+    if (hp.host.empty())
+        hp.host = "127.0.0.1";
+    const std::string port_str = spec.substr(colon + 1);
+    COSMIC_ASSERT(!port_str.empty(),
+                  "endpoint '" << spec << "' has an empty port");
+    long port = 0;
+    for (char c : port_str) {
+        COSMIC_ASSERT(c >= '0' && c <= '9',
+                      "endpoint '" << spec << "' has a non-numeric port");
+        port = port * 10 + (c - '0');
+        COSMIC_ASSERT(port <= 65535,
+                      "endpoint '" << spec << "' port out of range");
+    }
+    hp.port = static_cast<uint16_t>(port);
+    return hp;
+}
+
+namespace {
+
+sockaddr_in
+resolve(const HostPort &hp)
+{
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(hp.port);
+    COSMIC_ASSERT(::inet_pton(AF_INET, hp.host.c_str(),
+                              &addr.sin_addr) == 1,
+                  "cannot parse IPv4 address '" << hp.host
+                  << "' (hostnames are not resolved; use an IP)");
+    return addr;
+}
+
+} // namespace
+
+int
+listenTcp(const HostPort &hp, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    COSMIC_ASSERT(fd >= 0,
+                  "socket() failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = resolve(hp);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        COSMIC_FATAL("bind(" << hp.host << ":" << hp.port
+                     << ") failed: " << std::strerror(err));
+    }
+    if (::listen(fd, backlog) != 0) {
+        const int err = errno;
+        ::close(fd);
+        COSMIC_FATAL("listen failed: " << std::strerror(err));
+    }
+    return fd;
+}
+
+uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    COSMIC_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                                &len) == 0,
+                  "getsockname failed: " << std::strerror(errno));
+    return ntohs(addr.sin_port);
+}
+
+int
+connectTcpNonBlocking(const HostPort &hp)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    COSMIC_ASSERT(fd >= 0,
+                  "socket() failed: " << std::strerror(errno));
+    setNonBlocking(fd);
+    setNoDelay(fd);
+    sockaddr_in addr = resolve(hp);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                             sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+        // Immediate refusal still yields a valid fd; the caller's
+        // finishConnect sees the error and schedules a retry.
+        return fd;
+    }
+    return fd;
+}
+
+bool
+finishConnect(int fd)
+{
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+        return false;
+    return err == 0;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    COSMIC_ASSERT(flags >= 0 &&
+                      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                  "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+void
+setNoDelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace cosmic::net

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the transport layer.
+ *
+ * Everything here is a small wrapper over the BSD socket calls the
+ * TCP backend needs: bind-and-listen (with port 0 for ephemeral
+ * loopback rendezvous in tests and `cosmicd --launch`), non-blocking
+ * connect, and the option plumbing (SO_REUSEADDR, TCP_NODELAY —
+ * partial updates are latency-sensitive, so Nagle is always off).
+ * No RAII types: the transport owns fd lifecycles explicitly because
+ * fds cross threads and, for cosmicd, fork boundaries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosmic::net {
+
+/** A parsed "host:port" endpoint. */
+struct HostPort
+{
+    std::string host;
+    uint16_t port = 0;
+};
+
+/** Parses "host:port" (host may be empty → 127.0.0.1). Throws
+ *  CosmicError on a malformed string or out-of-range port. */
+HostPort parseHostPort(const std::string &spec);
+
+/** Binds a listening TCP socket on @p hp (port 0 → ephemeral) with
+ *  SO_REUSEADDR, backlog high enough for a full-mesh burst. Returns
+ *  the listener fd. Throws CosmicError on failure. */
+int listenTcp(const HostPort &hp, int backlog = 64);
+
+/** The port a bound socket actually listens on (resolves port 0). */
+uint16_t localPort(int fd);
+
+/** Starts a non-blocking connect to @p hp. Returns the socket fd;
+ *  completion is signalled by write readiness (check with
+ *  finishConnect). Throws CosmicError when the socket cannot even be
+ *  created; a refused connection is reported by finishConnect. */
+int connectTcpNonBlocking(const HostPort &hp);
+
+/** After write readiness on a connecting socket: true when the
+ *  connection established, false when it failed (caller closes and
+ *  retries). */
+bool finishConnect(int fd);
+
+/** Sets O_NONBLOCK. */
+void setNonBlocking(int fd);
+
+/** Disables Nagle (TCP_NODELAY). No-op on non-TCP fds. */
+void setNoDelay(int fd);
+
+} // namespace cosmic::net

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The CoSMIC wire protocol: length-prefixed, versioned frames.
+ *
+ * Every byte that crosses a TCP connection between two nodes is part
+ * of a frame. A frame is a fixed 32-byte header followed by the
+ * payload words:
+ *
+ *   offset  size  field
+ *   ------  ----  ------------------------------------------------
+ *        0     4  magic (0xC051C17A, little-endian)
+ *        4     4  length — bytes after this field (24 + payload)
+ *        8     1  protocol version (kWireVersion)
+ *        9     1  frame kind (Hello | Partial)
+ *       10     1  payload kind (F64 | Q16)
+ *       11     1  reserved (must be 0)
+ *       12     4  from — sending node id (int32)
+ *       16     8  seq — iteration sequence number (uint64)
+ *       24     4  contributors — k-of-n weight (int32)
+ *       28     4  words — payload word count (uint32)
+ *       32     …  payload (words x 8 bytes F64, words x 4 bytes Q16)
+ *
+ * The length prefix lets a receiver skip to the next frame boundary
+ * without understanding the body; the magic/version/kind/width checks
+ * reject corrupt or truncated streams instead of mis-parsing them.
+ *
+ * Payload kinds: F64 ships IEEE-754 doubles verbatim (bit-exact);
+ * Q16 ships Q16.16 fixed-point words — the PE datapath's number
+ * format — quantizing each value through accel::Fixed on encode.
+ * Quantization is idempotent, so a value that is already a Q16.16
+ * point (e.g. a master model quantized once at the source) round-trips
+ * bit-exactly through any number of hops.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "system/buffer_pool.h"
+#include "system/channel.h"
+
+namespace cosmic::net {
+
+/** How payload words are encoded on the wire. */
+enum class PayloadKind : uint8_t
+{
+    /** IEEE-754 doubles, 8 bytes per word (lossless). */
+    F64 = 0,
+    /** Q16.16 fixed-point, 4 bytes per word (the PE number format). */
+    Q16 = 1,
+};
+
+/** What a frame carries. */
+enum class FrameKind : uint8_t
+{
+    /** Connection handshake: from = node id, seq = topology epoch. */
+    Hello = 0,
+    /** A Message (partial update or model broadcast). */
+    Partial = 1,
+};
+
+constexpr uint32_t kWireMagic = 0xC051C17A;
+constexpr uint8_t kWireVersion = 1;
+/** Fixed frame header size (magic through words). */
+constexpr size_t kFrameHeaderBytes = 32;
+/** Corruption guard: no sane frame carries more words than this. */
+constexpr uint32_t kMaxFrameWords = 1u << 26;
+
+/** A decoded frame header. */
+struct WireHeader
+{
+    uint32_t length = 0;
+    uint8_t version = 0;
+    FrameKind frame = FrameKind::Hello;
+    PayloadKind payload = PayloadKind::F64;
+    int32_t from = -1;
+    uint64_t seq = 0;
+    int32_t contributors = 0;
+    uint32_t words = 0;
+};
+
+/** Outcome of inspecting a receive buffer for the next frame. */
+enum class FrameStatus
+{
+    /** Not enough bytes buffered yet to complete a frame. */
+    NeedMore,
+    /** A complete, well-formed frame starts at the buffer head. */
+    Ready,
+    /** The stream is corrupt (bad magic/version/kind/width); the
+     *  connection cannot be resynchronized and must be dropped. */
+    Corrupt,
+};
+
+/** Bytes one payload word occupies on the wire. */
+constexpr size_t
+wordBytes(PayloadKind kind)
+{
+    return kind == PayloadKind::F64 ? 8 : 4;
+}
+
+/**
+ * Appends the encoded frame for @p msg to @p out.
+ * Q16 payloads are quantized through accel::Fixed word by word.
+ * @return Bytes appended.
+ */
+size_t encodeMessage(const sys::Message &msg, PayloadKind payload,
+                     std::vector<uint8_t> &out);
+
+/** Appends a handshake frame: node id + topology epoch. */
+size_t encodeHello(int node, uint32_t epoch, std::vector<uint8_t> &out);
+
+/**
+ * Inspects @p size buffered bytes for a frame at the head. On Ready,
+ * @p hdr holds the parsed header and @p frame_bytes the total frame
+ * size (header + payload) to consume.
+ */
+FrameStatus peekFrame(const uint8_t *data, size_t size,
+                      WireHeader &hdr, size_t &frame_bytes);
+
+/**
+ * Decodes a Ready Partial frame (starting at @p data, as validated by
+ * peekFrame) into @p out. The payload vector is acquired from @p pool
+ * when given, so the zero-copy aggregation path downstream recycles it.
+ */
+void decodeMessage(const WireHeader &hdr, const uint8_t *data,
+                   sys::Message &out, sys::BufferPool *pool);
+
+/**
+ * Applies the Q16 wire quantization in place — what a payload looks
+ * like after one encode/decode hop. The in-process transport uses this
+ * to stay bit-identical with the TCP backend in Q16 mode.
+ */
+void quantizePayload(std::vector<double> &payload);
+
+} // namespace cosmic::net

@@ -1,6 +1,7 @@
 #include "system/aggregation.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.h"
 
@@ -43,10 +44,20 @@ AggregationEngine::begin(int64_t words, uint64_t seq)
 bool
 AggregationEngine::onMessage(Message msg)
 {
-    COSMIC_ASSERT(msg.payload.size() == aggBuffer_.size(),
-                  "partial update width " << msg.payload.size()
-                  << " does not match aggregation buffer "
-                  << aggBuffer_.size());
+    // Payload sizing guard: a wire message whose word count disagrees
+    // with the round width is malformed (or mis-routed). Silently
+    // resizing would zero-pad or truncate someone's gradient into the
+    // sum — reject it, log it, count it.
+    if (msg.payload.size() != aggBuffer_.size()) {
+        std::fprintf(stderr,
+                     "[cosmic-agg] dropping malformed partial from "
+                     "node %d: %zu words, round width %zu\n",
+                     msg.from, msg.payload.size(), aggBuffer_.size());
+        std::lock_guard<std::mutex> lock(roundMutex_);
+        ++malformedDropped_;
+        pool_->release(std::move(msg.payload));
+        return false;
+    }
     // Sequence-number reconciliation: wrong-round messages (a
     // straggler's late partial) and same-round duplicate senders (the
     // wire's duplicated delivery) are recycled, counted, and never
@@ -66,6 +77,13 @@ AggregationEngine::onMessage(Message msg)
         }
         seenSenders_.push_back(msg.from);
         contributors_ += msg.contributors;
+        if (config_.deterministic) {
+            // Park the payload; finish() folds in sender-id order so
+            // the sum is independent of arrival order and scheduling.
+            roundPayloads_.emplace_back(msg.from,
+                                        std::move(msg.payload));
+            return true;
+        }
     }
     {
         // Claim this round's words before dispatch so finish() (called
@@ -147,6 +165,13 @@ AggregationEngine::staleDropped() const
     return staleDropped_;
 }
 
+uint64_t
+AggregationEngine::malformedDropped() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return malformedDropped_;
+}
+
 void
 AggregationEngine::accumulateOneChunk()
 {
@@ -185,6 +210,29 @@ AggregationEngine::accumulateOneChunk()
 std::vector<double>
 AggregationEngine::finish()
 {
+    if (config_.deterministic) {
+        // Fold parked payloads in sender-id order: the sum becomes a
+        // pure function of the accepted set. onMessage of this round
+        // has returned before finish() is called, so roundPayloads_
+        // is quiescent; the lock just pairs with onMessage's writes.
+        std::vector<std::pair<int, std::vector<double>>> parked;
+        {
+            std::lock_guard<std::mutex> lock(roundMutex_);
+            parked = std::move(roundPayloads_);
+            roundPayloads_.clear();
+        }
+        std::sort(parked.begin(), parked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (auto &entry : parked) {
+            const std::vector<double> &payload = entry.second;
+            for (size_t i = 0; i < payload.size(); ++i)
+                aggBuffer_[i] += payload[i];
+            pool_->release(std::move(entry.second));
+        }
+        return std::move(aggBuffer_);
+    }
     std::unique_lock<std::mutex> lock(doneMutex_);
     doneCv_.wait(lock, [&] { return wordsRemaining_ <= 0; });
     lock.unlock();

@@ -56,6 +56,17 @@ struct AggregationConfig
     /** Words per chunk the networking threads produce. */
     size_t chunkWords = 1024;
     /**
+     * Deterministic fold order: park accepted payloads and fold them
+     * at finish() sorted by sender id, instead of streaming chunks
+     * through the ring in arrival order. FP addition is not
+     * associative, so the streaming path's sum depends on thread
+     * scheduling (runs agree only to ~1e-9); this mode makes the sum
+     * a pure function of the accepted set — the property the
+     * cross-backend bit-exactness tests and `cosmicd --verify` need.
+     * Costs the compute/communication overlap; default off.
+     */
+    bool deterministic = false;
+    /**
      * Recycler for consumed payloads and round buffers. Shared with
      * the runtime so buffers circulate sender -> engine -> sender;
      * the engine creates a private pool when left null.
@@ -84,9 +95,11 @@ class AggregationEngine
      * consumed (zero-copy).
      *
      * @return true when the message was accepted for this round;
-     *         false when it was rejected (stale sequence number or a
-     *         same-round duplicate sender) — the payload is recycled
-     *         and the rejection counted.
+     *         false when it was rejected (stale sequence number, a
+     *         same-round duplicate sender, or a payload whose word
+     *         count disagrees with the round width — a malformed wire
+     *         message is dropped and logged, never silently resized) —
+     *         the payload is recycled and the rejection counted.
      */
     bool onMessage(Message msg);
 
@@ -109,6 +122,8 @@ class AggregationEngine
     uint64_t duplicatesDropped() const;
     /** Wrong-round messages rejected (cumulative). */
     uint64_t staleDropped() const;
+    /** Wrong-width payloads rejected (cumulative). */
+    uint64_t malformedDropped() const;
 
     /** Ring high-water mark (observability). */
     size_t ringHighWater() const { return ring_.highWater(); }
@@ -160,6 +175,10 @@ class AggregationEngine
     int contributors_ = 0;
     uint64_t duplicatesDropped_ = 0;
     uint64_t staleDropped_ = 0;
+    uint64_t malformedDropped_ = 0;
+    /** Deterministic mode: accepted (sender, payload) pairs parked
+     *  until finish() folds them in sender-id order. */
+    std::vector<std::pair<int, std::vector<double>>> roundPayloads_;
 
     std::mutex doneMutex_;
     std::condition_variable doneCv_;

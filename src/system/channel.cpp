@@ -1,39 +1,20 @@
 #include "system/channel.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
-
-#include "system/fault.h"
 
 namespace cosmic::sys {
 
 void
 Channel::send(Message msg)
 {
-    bool duplicate = false;
-    if (injector_) {
-        FaultInjector::SendAction action =
-            injector_->onSend(msg.from, owner_, msg.seq);
-        if (action.delayMs > 0.0)
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(
-                    action.delayMs));
-        if (action.drop)
-            return; // the wire ate it
-        duplicate = action.duplicate;
-    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_)
             return; // sends after close are dropped (no receiver left)
-        if (duplicate)
-            queue_.push_back(msg); // deliberate copy: the dup fault
         queue_.push_back(std::move(msg));
     }
-    if (duplicate)
-        available_.notify_all();
-    else
-        available_.notify_one();
+    available_.notify_one();
 }
 
 bool
@@ -51,17 +32,35 @@ Channel::receive(Message &out)
 RecvStatus
 Channel::receiveFor(Message &out, double timeout_ms)
 {
+    // One absolute deadline, fixed before the first wait: a spurious
+    // wakeup or a notify that loses the race to another consumer
+    // re-enters wait_until with the *same* deadline, so the window can
+    // only shrink — never restart (the wait_for variant this replaces
+    // restarted a relative window on every predicate re-check path).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(0.0, timeout_ms)));
     std::unique_lock<std::mutex> lock(mutex_);
-    bool ready = available_.wait_for(
-        lock, std::chrono::duration<double, std::milli>(timeout_ms),
-        [&] { return !queue_.empty() || closed_; });
-    if (!ready)
-        return RecvStatus::Timeout;
-    if (queue_.empty())
-        return RecvStatus::Closed;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    return RecvStatus::Ok;
+    for (;;) {
+        if (!queue_.empty()) {
+            out = std::move(queue_.front());
+            queue_.pop_front();
+            return RecvStatus::Ok;
+        }
+        if (closed_)
+            return RecvStatus::Closed;
+        if (available_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+            if (!queue_.empty()) {
+                out = std::move(queue_.front());
+                queue_.pop_front();
+                return RecvStatus::Ok;
+            }
+            return closed_ ? RecvStatus::Closed : RecvStatus::Timeout;
+        }
+    }
 }
 
 bool

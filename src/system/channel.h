@@ -22,9 +22,10 @@
  *    block (the original receive() would park forever on a channel
  *    that was never closed — receiveFor() is the bounded alternative).
  *
- * Fault injection: an installed FaultInjector is consulted on every
- * send with (from, owner, seq) and may drop, delay, or duplicate the
- * message on the wire. The hook is a single null check when disabled.
+ * Fault injection happens one layer up, at the transport seam
+ * (net::Transport::faultCopies), so drop/delay/duplicate chaos applies
+ * identically to the in-process and TCP backends. The Channel itself
+ * is a plain queue.
  */
 #pragma once
 
@@ -35,8 +36,6 @@
 #include <vector>
 
 namespace cosmic::sys {
-
-class FaultInjector;
 
 /** One network message: a partial update (or broadcast model). */
 struct Message
@@ -67,8 +66,7 @@ class Channel
 {
   public:
     /** Enqueues a message; never blocks (the switch buffers). Dropped
-     *  when the channel is closed, or when an installed fault hook
-     *  decides the wire eats it. */
+     *  when the channel is closed. */
     void send(Message msg);
 
     /**
@@ -81,6 +79,13 @@ class Channel
      * Timed receive: blocks at most @p timeout_ms for a message.
      * Returns immediately (Closed) on a closed-and-drained channel —
      * a timeout can only mean the channel is still open.
+     *
+     * The wait is pinned to one absolute deadline computed on entry:
+     * spurious wakeups and stray notifies re-enter the wait for the
+     * *remaining* time only, so the window can never restart or
+     * stretch (regression-tested with a sub-quantum timeout in
+     * test_system_primitives.cpp). A non-positive timeout degrades to
+     * tryReceive-with-status.
      */
     RecvStatus receiveFor(Message &out, double timeout_ms);
 
@@ -94,26 +99,11 @@ class Channel
      *  sends are dropped (see the close/drain contract above). */
     void close();
 
-    /**
-     * Installs the fault-injection hook: this channel is node
-     * @p owner's inbox and every send() consults @p injector.
-     * Pass nullptr to disable (the default; zero-cost).
-     */
-    void
-    setFaultHook(FaultInjector *injector, int owner)
-    {
-        injector_ = injector;
-        owner_ = owner;
-    }
-
   private:
     mutable std::mutex mutex_;
     std::condition_variable available_;
     std::deque<Message> queue_;
     bool closed_ = false;
-    /** Fault hook (not owned); set once before traffic starts. */
-    FaultInjector *injector_ = nullptr;
-    int owner_ = -1;
 };
 
 } // namespace cosmic::sys

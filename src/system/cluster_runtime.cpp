@@ -58,8 +58,11 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
             full.partition(i * config_.recordsPerNode,
                            config_.recordsPerNode),
             node_config));
-        inboxes_.push_back(std::make_unique<Channel>());
     }
+    // The fabric: in-process channels by default, TCP when selected —
+    // the protocol above this seam is identical either way.
+    transports_ = net::makeTransports(config_.transport, config_.nodes,
+                                      pool_.get());
 
     engines_.resize(config_.nodes);
     for (const auto &n : topology_.nodes) {
@@ -87,10 +90,14 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
         injector_ =
             std::make_unique<FaultInjector>(config_.faultPlan);
         for (int i = 0; i < config_.nodes; ++i) {
-            inboxes_[i]->setFaultHook(injector_.get(), i);
+            // The drop/delay/duplicate seam is the transport, so the
+            // same chaos plan behaves identically on either backend.
+            transports_[i]->setFaultInjector(injector_.get());
             nodes_[i]->setFaultInjector(injector_.get(), i);
         }
     }
+    for (int i = 0; i < config_.nodes; ++i)
+        nodeRuntimes_.push_back(makeNodeRuntime(i));
     recoveryScratch_.resize(config_.nodes);
     suspectScratch_.resize(config_.nodes);
     missStreak_.resize(config_.nodes, 0);
@@ -105,244 +112,30 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
 
 ClusterRuntime::~ClusterRuntime()
 {
-    for (auto &inbox : inboxes_)
-        inbox->close();
+    // Stop the workers before tearing down the fabric they block on.
+    nodeWorkers_.reset();
+    for (auto &transport : transports_)
+        transport->shutdown();
 }
 
-RecvStatus
-ClusterRuntime::receiveProtocol(int node, Message &out,
-                                double budget_scale)
+std::unique_ptr<NodeRuntime>
+ClusterRuntime::makeNodeRuntime(int id)
 {
-    if (!faultsActive_)
-        return inboxes_[node]->receive(out) ? RecvStatus::Ok
-                                            : RecvStatus::Closed;
-    const FaultToleranceConfig &ft = config_.faultTolerance;
-    double window = ft.receiveTimeoutMs * budget_scale;
-    for (int attempt = 0;; ++attempt) {
-        RecvStatus status = inboxes_[node]->receiveFor(out, window);
-        if (status != RecvStatus::Timeout)
-            return status;
-        ++recoveryScratch_[node].receiveTimeouts;
-        if (attempt >= ft.maxRetries)
-            return RecvStatus::Timeout;
-        window *= ft.backoffFactor;
-    }
-}
-
-void
-ClusterRuntime::collectPartials(const NodeAssignment &assign,
-                                const std::vector<int> &expected,
-                                uint64_t seq, double budget_scale)
-{
-    AggregationEngine &engine = *engines_[assign.id];
-    RecoveryStats &rc = recoveryScratch_[assign.id];
-    std::vector<int> got;
-    while (got.size() < expected.size()) {
-        Message msg;
-        RecvStatus r = receiveProtocol(assign.id, msg, budget_scale);
-        COSMIC_ASSERT(r != RecvStatus::Closed,
-                      "inbox closed mid-iteration at node "
-                          << assign.id);
-        if (r == RecvStatus::Timeout)
-            break; // give up on whoever is still missing
-        const int from = msg.from;
-        if (engine.onMessage(std::move(msg))) {
-            got.push_back(from);
-        } else {
-            // Duplicate or stale — counted by the engine. Impossible
-            // on the no-fault path, where it would be a stack bug.
-            COSMIC_ASSERT(faultsActive_,
-                          "unexpected partial rejected at node "
-                              << assign.id << " from " << from);
-        }
-    }
-    for (int sender : expected) {
-        if (std::find(got.begin(), got.end(), sender) == got.end()) {
-            ++rc.partialsMissed;
-            suspectScratch_[assign.id].push_back(sender);
-        }
-    }
-}
-
-bool
-ClusterRuntime::awaitBroadcast(const NodeAssignment &assign,
-                               uint64_t seq, Message &bcast)
-{
-    RecoveryStats &rc = recoveryScratch_[assign.id];
-    for (;;) {
-        // 3x window: a broadcast waiter sits behind the Sigma and
-        // master timeout levels, so it must outwait both.
-        RecvStatus r = receiveProtocol(assign.id, bcast, 3.0);
-        COSMIC_ASSERT(r != RecvStatus::Closed,
-                      "inbox closed mid-iteration at node "
-                          << assign.id);
-        if (r == RecvStatus::Timeout) {
-            ++rc.broadcastsMissed;
-            if (assign.parent >= 0)
-                suspectScratch_[assign.id].push_back(assign.parent);
-            return false;
-        }
-        if (bcast.seq != seq) {
-            // A delayed broadcast from an earlier round the receiver
-            // had already given up on.
-            COSMIC_ASSERT(faultsActive_,
-                          "broadcast seq " << bcast.seq
-                          << " != " << seq << " on node " << assign.id);
-            ++rc.staleDropped;
-            pool_->release(std::move(bcast.payload));
-            continue;
-        }
-        return true;
-    }
-}
-
-void
-ClusterRuntime::runNodeRole(const NodeAssignment &assign,
-                            const std::vector<double> &model,
-                            uint64_t seq,
-                            std::vector<double> &new_model)
-{
-    const int64_t words = translation_.modelWords;
-    const int master = topology_.masterId();
-
-    if (config_.maxStragglerDelayMs > 0.0) {
-        // Deterministic injected skew (failure-injection mode).
-        Rng jitter(config_.seed ^
-                   (static_cast<uint64_t>(assign.id) << 32) ^ seq);
-        auto delay = std::chrono::microseconds(static_cast<int64_t>(
-            jitter.uniform(0.0, config_.maxStragglerDelayMs) * 1000.0));
-        std::this_thread::sleep_for(delay);
-    }
-    TrainingNode &node = *nodes_[assign.id];
-    auto compute_start = std::chrono::steady_clock::now();
-    // Pooled partial-update buffer: filled here, shipped as a
-    // message payload (deltas/sigmas) and eventually recycled
-    // by whoever consumes it — no steady-state allocation.
-    std::vector<double> update = pool_->acquire(words);
-    if (config_.mode == TrainingMode::ModelAveraging)
-        node.computeLocalUpdate(model, config_.minibatchPerNode,
-                                update);
-    else
-        node.computeGradientSum(model, config_.minibatchPerNode,
-                                update);
-    auto compute_end = std::chrono::steady_clock::now();
-    computeSec_[assign.id] =
-        std::chrono::duration<double>(compute_end - compute_start)
-            .count();
-
-    switch (assign.role) {
-      case NodeRole::Delta: {
-        // Ship theta_i to the group's Sigma, then wait for the
-        // broadcast of the new global model. The received payload
-        // goes back to the pool. If the Sigma died, the broadcast
-        // never comes — the bounded wait records the miss and the
-        // Director will repair the group once the streak is long
-        // enough.
-        inboxes_[assign.parent]->send(
-            Message{assign.id, seq, std::move(update)});
-        Message bcast;
-        if (awaitBroadcast(assign, seq, bcast))
-            pool_->release(std::move(bcast.payload));
-        break;
-      }
-      case NodeRole::GroupSigma: {
-        // First level of the hierarchy: aggregate whichever group
-        // partials arrive in time (k-of-n).
-        auto members = topology_.groupMembers(assign.group);
-        AggregationEngine &engine = *engines_[assign.id];
-        engine.begin(words, seq);
-        collectPartials(assign, members, seq, 1.0);
-        std::vector<double> sum = engine.finish();
-        for (int64_t i = 0; i < words; ++i)
-            sum[i] += update[i];
-        // Contributor weight rides up the hierarchy so the master
-        // can rescale Eq. 3 over the survivors.
-        Message up{assign.id, seq, {},
-                   engine.contributors() + 1};
-        up.payload = std::move(sum);
-        pool_->release(std::move(update));
-        inboxes_[master]->send(std::move(up));
-
-        // Wait for the master's broadcast, forward pooled copies to
-        // members and recycle the received payload.
-        Message bcast;
-        if (awaitBroadcast(assign, seq, bcast)) {
-            for (int member : members) {
-                std::vector<double> copy = pool_->acquire(words);
-                std::copy(bcast.payload.begin(), bcast.payload.end(),
-                          copy.begin());
-                inboxes_[member]->send(
-                    Message{assign.id, seq, std::move(copy)});
-            }
-            pool_->release(std::move(bcast.payload));
-        }
-        break;
-      }
-      case NodeRole::MasterSigma: {
-        // The master folds its own group members and the other group
-        // Sigmas into a single order-independent round. 2x window:
-        // a group Sigma only reports after its own timeout budget.
-        auto members = topology_.groupMembers(assign.group);
-        auto sigmas = topology_.nonMasterSigmas();
-        std::vector<int> expected = members;
-        expected.insert(expected.end(), sigmas.begin(), sigmas.end());
-        AggregationEngine &engine = *engines_[assign.id];
-        engine.begin(words, seq);
-        collectPartials(assign, expected, seq, 2.0);
-        std::vector<double> sum = engine.finish();
-        for (int64_t i = 0; i < words; ++i)
-            sum[i] += update[i];
-        // k-of-n rescaling: the survivors' total weight. With every
-        // node healthy this is exactly n and the math is bit-for-bit
-        // the no-fault path.
-        const int contributors = engine.contributors() + 1;
-        pool_->release(std::move(update));
-        if (config_.mode == TrainingMode::ModelAveraging) {
-            // Eq. 3b: the average of the surviving local updates.
-            for (auto &v : sum)
-                v /= contributors;
-            new_model = std::move(sum);
-        } else {
-            // Batched GD: one step on the aggregated gradient,
-            // normalized per the program's aggregation operator
-            // (average over the surviving global batch, or raw sum).
-            double divisor =
-                translation_.aggregator == dsl::Aggregator::Average
-                    ? static_cast<double>(contributors) *
-                          config_.minibatchPerNode
-                    : 1.0;
-            new_model = pool_->acquire(words);
-            for (int64_t i = 0; i < words; ++i)
-                new_model[i] =
-                    model[i] -
-                    config_.learningRate * sum[i] / divisor;
-            pool_->release(std::move(sum));
-        }
-
-        // Broadcast pooled copies down the hierarchy.
-        for (int sigma : sigmas) {
-            std::vector<double> copy = pool_->acquire(words);
-            std::copy(new_model.begin(), new_model.end(),
-                      copy.begin());
-            inboxes_[sigma]->send(
-                Message{assign.id, seq, std::move(copy)});
-        }
-        for (int member : members) {
-            std::vector<double> copy = pool_->acquire(words);
-            std::copy(new_model.begin(), new_model.end(),
-                      copy.begin());
-            inboxes_[member]->send(
-                Message{assign.id, seq, std::move(copy)});
-        }
-        break;
-      }
-    }
-    // Everything after the gradient compute is aggregation and
-    // communication wait — the Fig. 13 breakdown's other half.
-    aggregationSec_[assign.id] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      compute_end)
-            .count();
+    NodeRuntimeConfig nc;
+    nc.mode = config_.mode;
+    nc.learningRate = config_.learningRate;
+    nc.minibatchPerNode = config_.minibatchPerNode;
+    nc.maxStragglerDelayMs = config_.maxStragglerDelayMs;
+    nc.seed = config_.seed;
+    nc.faultTolerance = config_.faultTolerance;
+    nc.faultsActive = faultsActive_;
+    // In-process: every role shares the master's new_model by
+    // reference, so nobody needs to adopt the broadcast copy.
+    nc.adoptBroadcast = false;
+    nc.payload = config_.transport.payload;
+    return std::make_unique<NodeRuntime>(
+        translation_, nc, *nodes_[id], *transports_[id],
+        engines_[id].get(), *pool_);
 }
 
 void
@@ -380,11 +173,14 @@ ClusterRuntime::applyRepairs()
     recovery_.nodesEvicted += repair.removed;
     recovery_.sigmaPromotions += repair.promotions;
     ++recovery_.topologyRepairs;
-    // A promoted Delta needs a Sigma's aggregation engine.
+    // A promoted Delta needs a Sigma's aggregation engine (and its
+    // protocol executor rebound to it).
     for (const auto &n : topology_.nodes)
-        if (n.role != NodeRole::Delta && !engines_[n.id])
+        if (n.role != NodeRole::Delta && !engines_[n.id]) {
             engines_[n.id] =
                 std::make_unique<AggregationEngine>(config_.aggregation);
+            nodeRuntimes_[n.id] = makeNodeRuntime(n.id);
+        }
 }
 
 std::vector<double>
@@ -410,7 +206,15 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
         if (faultsActive_ && injector_->crashed(assign.id, seq))
             continue;
         nodeWorkers_->submit([this, assign, &model, seq, &new_model] {
-            runNodeRole(assign, model, seq, new_model);
+            NodeRuntime::Result res =
+                nodeRuntimes_[assign.id]->runRole(
+                    assign, topology_, model, seq, new_model);
+            computeSec_[assign.id] = res.computeSec;
+            aggregationSec_[assign.id] = res.aggregationSec;
+            if (faultsActive_) {
+                recoveryScratch_[assign.id] = res.recovery;
+                suspectScratch_[assign.id] = std::move(res.suspects);
+            }
         });
     }
     nodeWorkers_->waitIdle();
@@ -445,6 +249,7 @@ ClusterRuntime::recovery() const
             continue;
         merged.duplicatesDropped += engine->duplicatesDropped();
         merged.staleDropped += engine->staleDropped();
+        merged.malformedDropped += engine->malformedDropped();
     }
     if (injector_) {
         merged.messagesDropped = injector_->messagesDropped();
@@ -453,6 +258,15 @@ ClusterRuntime::recovery() const
         merged.stragglerStalls = injector_->stragglerStalls();
     }
     return merged;
+}
+
+net::NetStats
+ClusterRuntime::netStats() const
+{
+    net::NetStats total;
+    for (const auto &transport : transports_)
+        total += transport->stats();
+    return total;
 }
 
 TrainingReport
@@ -504,6 +318,7 @@ ClusterRuntime::train(int epochs)
     // Post-repair state: the surviving role map and what recovery did.
     report.topology = topology_;
     report.recovery = recovery();
+    report.net = netStats();
     return report;
 }
 

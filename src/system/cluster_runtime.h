@@ -32,28 +32,20 @@
 #include "ml/dataset.h"
 #include "ml/reference.h"
 #include "ml/workloads.h"
+#include "net/transport.h"
 #include "system/aggregation.h"
 #include "system/channel.h"
 #include "system/director.h"
 #include "system/fault.h"
+#include "system/node_runtime.h"
 #include "system/thread_pool.h"
 #include "system/training_node.h"
 
 namespace cosmic::sys {
 
-/** Which parallel-SGD variant the cluster runs (paper Sec. 2.2). */
-enum class TrainingMode
-{
-    /** Parallelized SGD [Zinkevich et al.]: each node runs local SGD
-     *  and the Sigma hierarchy averages the models (Eq. 3). */
-    ModelAveraging,
-    /** Batched gradient descent [Dekel et al.]: nodes accumulate raw
-     *  gradients at the frozen model; the master applies one step on
-     *  the aggregate. */
-    BatchedGradient,
-};
-
-/** Scale-out training configuration. */
+/** Scale-out training configuration. TrainingMode (ModelAveraging vs
+ *  BatchedGradient) lives in node_runtime.h with the per-node
+ *  protocol. */
 struct ClusterConfig
 {
     TrainingMode mode = TrainingMode::ModelAveraging;
@@ -73,6 +65,16 @@ struct ClusterConfig
     int64_t recordsPerNode = 256;
     uint64_t seed = 0x5eed;
     AggregationConfig aggregation;
+
+    /**
+     * Which fabric carries the messages: the in-process channels
+     * (default; bit-exact with the pre-transport runtime) or the TCP
+     * backend with the real wire protocol. transport.payload selects
+     * the wire encoding (F64 or Q16); runs are bit-identical across
+     * backends for either encoding when aggregation.deterministic is
+     * set.
+     */
+    net::TransportConfig transport;
 
     /** Compile-pipeline options for the workload's DFG (the runtime
      *  builds through compile::translateCached; passes default on). */
@@ -136,6 +138,10 @@ struct TrainingReport
      *  a chaos test reconciles these against its FaultPlan. All zero
      *  when no fault fired. */
     RecoveryStats recovery;
+
+    /** Wire counters summed over every node's transport endpoint
+     *  (all zero on the in-process fabric). */
+    net::NetStats net;
 };
 
 /** Orchestrates distributed training of one workload. */
@@ -174,36 +180,13 @@ class ClusterRuntime
      *  injector merged); all zero when no fault fired. */
     RecoveryStats recovery() const;
 
+    /** Wire counters summed over every node's transport endpoint. */
+    net::NetStats netStats() const;
+
   private:
-    /** Runs one node's role for one iteration (on its pool worker). */
-    void runNodeRole(const NodeAssignment &assign,
-                     const std::vector<double> &model, uint64_t seq,
-                     std::vector<double> &new_model);
-
-    /**
-     * One protocol receive on @p node's inbox. On the bit-exact
-     * no-fault path this is the original blocking receive; on the
-     * tolerant path it is receiveFor with retry/backoff, where
-     * @p budget_scale widens the window for receivers that sit behind
-     * other timeout levels (master 2x, broadcast waiters 3x).
-     */
-    RecvStatus receiveProtocol(int node, Message &out,
-                               double budget_scale);
-
-    /**
-     * Receives partial updates into @p node's engine until every
-     * sender in @p expected contributed or the retry budget is
-     * exhausted; missing senders are counted and suspected.
-     */
-    void collectPartials(const NodeAssignment &assign,
-                         const std::vector<int> &expected, uint64_t seq,
-                         double budget_scale);
-
-    /** Waits for the round-@p seq model broadcast, reconciling stale
-     *  deliveries. False when it never arrived (counted; parent
-     *  suspected). */
-    bool awaitBroadcast(const NodeAssignment &assign, uint64_t seq,
-                        Message &bcast);
+    /** Builds node @p id's protocol executor from the cluster config
+     *  (rebuilt after a repair hands the node a new engine). */
+    std::unique_ptr<NodeRuntime> makeNodeRuntime(int id);
 
     /** Folds the iteration's suspect reports into miss streaks and
      *  evicts nodes past the threshold via Director repair. */
@@ -222,9 +205,12 @@ class ClusterRuntime
     std::shared_ptr<BufferPool> pool_;
 
     std::vector<std::unique_ptr<TrainingNode>> nodes_;
-    std::vector<std::unique_ptr<Channel>> inboxes_;
+    /** One fabric endpoint per node (in-process channels or TCP). */
+    std::vector<std::unique_ptr<net::Transport>> transports_;
     /** One aggregation engine per Sigma node (indexed by node id). */
     std::vector<std::unique_ptr<AggregationEngine>> engines_;
+    /** The per-node protocol executors (one per node, every role). */
+    std::vector<std::unique_ptr<NodeRuntime>> nodeRuntimes_;
     /** Long-lived per-node workers: one pool thread drives each node's
      *  role for the whole run — runIteration only submits tasks and
      *  waits at the iteration barrier, it never spawns threads. */

@@ -118,6 +118,7 @@ RecoveryStats::operator+=(const RecoveryStats &o)
     broadcastsMissed += o.broadcastsMissed;
     duplicatesDropped += o.duplicatesDropped;
     staleDropped += o.staleDropped;
+    malformedDropped += o.malformedDropped;
     messagesDropped += o.messagesDropped;
     messagesDelayed += o.messagesDelayed;
     messagesDuplicated += o.messagesDuplicated;

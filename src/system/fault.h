@@ -164,6 +164,9 @@ struct RecoveryStats
     uint64_t duplicatesDropped = 0;
     /** Prior-round messages discarded by sequence reconciliation. */
     uint64_t staleDropped = 0;
+    /** Payloads rejected because their word count disagreed with the
+     *  model width (a malformed or mis-routed wire message). */
+    uint64_t malformedDropped = 0;
     /** Injected link faults that fired, by kind. */
     uint64_t messagesDropped = 0;
     uint64_t messagesDelayed = 0;

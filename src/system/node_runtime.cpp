@@ -1,0 +1,270 @@
+#include "system/node_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cosmic::sys {
+
+NodeRuntime::NodeRuntime(const dfg::Translation &translation,
+                         const NodeRuntimeConfig &config,
+                         TrainingNode &node, net::Transport &transport,
+                         AggregationEngine *engine, BufferPool &pool)
+    : translation_(translation), config_(config), node_(node),
+      transport_(transport), engine_(engine), pool_(pool)
+{
+}
+
+RecvStatus
+NodeRuntime::receiveProtocol(Message &out, double budget_scale,
+                             Result &res)
+{
+    if (!config_.faultsActive)
+        return transport_.inbox().receive(out) ? RecvStatus::Ok
+                                               : RecvStatus::Closed;
+    const FaultToleranceConfig &ft = config_.faultTolerance;
+    double window = ft.receiveTimeoutMs * budget_scale;
+    for (int attempt = 0;; ++attempt) {
+        RecvStatus status = transport_.inbox().receiveFor(out, window);
+        if (status != RecvStatus::Timeout)
+            return status;
+        ++res.recovery.receiveTimeouts;
+        if (attempt >= ft.maxRetries)
+            return RecvStatus::Timeout;
+        window *= ft.backoffFactor;
+    }
+}
+
+void
+NodeRuntime::collectPartials(const NodeAssignment &assign,
+                             const std::vector<int> &expected,
+                             double budget_scale, Result &res)
+{
+    AggregationEngine &engine = *engine_;
+    std::vector<int> got;
+    while (got.size() < expected.size()) {
+        Message msg;
+        RecvStatus r = receiveProtocol(msg, budget_scale, res);
+        COSMIC_ASSERT(r != RecvStatus::Closed,
+                      "inbox closed mid-iteration at node "
+                          << assign.id);
+        if (r == RecvStatus::Timeout)
+            break; // give up on whoever is still missing
+        const int from = msg.from;
+        if (engine.onMessage(std::move(msg))) {
+            got.push_back(from);
+        } else {
+            // Duplicate, stale, or malformed — counted by the engine.
+            // Impossible on the no-fault path, where it would be a
+            // stack bug.
+            COSMIC_ASSERT(config_.faultsActive,
+                          "unexpected partial rejected at node "
+                              << assign.id << " from " << from);
+        }
+    }
+    for (int sender : expected) {
+        if (std::find(got.begin(), got.end(), sender) == got.end()) {
+            ++res.recovery.partialsMissed;
+            res.suspects.push_back(sender);
+        }
+    }
+}
+
+bool
+NodeRuntime::awaitBroadcast(const NodeAssignment &assign, uint64_t seq,
+                            Message &bcast, Result &res)
+{
+    for (;;) {
+        // 3x window: a broadcast waiter sits behind the Sigma and
+        // master timeout levels, so it must outwait both.
+        RecvStatus r = receiveProtocol(bcast, 3.0, res);
+        COSMIC_ASSERT(r != RecvStatus::Closed,
+                      "inbox closed mid-iteration at node "
+                          << assign.id);
+        if (r == RecvStatus::Timeout) {
+            ++res.recovery.broadcastsMissed;
+            if (assign.parent >= 0)
+                res.suspects.push_back(assign.parent);
+            return false;
+        }
+        if (bcast.seq != seq) {
+            // A delayed broadcast from an earlier round the receiver
+            // had already given up on.
+            COSMIC_ASSERT(config_.faultsActive,
+                          "broadcast seq " << bcast.seq << " != " << seq
+                          << " on node " << assign.id);
+            ++res.recovery.staleDropped;
+            pool_.release(std::move(bcast.payload));
+            continue;
+        }
+        return true;
+    }
+}
+
+NodeRuntime::Result
+NodeRuntime::runRole(const NodeAssignment &assign,
+                     const ClusterTopology &topo,
+                     const std::vector<double> &model, uint64_t seq,
+                     std::vector<double> &new_model)
+{
+    Result res;
+    const int64_t words = translation_.modelWords;
+    const int master = topo.masterId();
+
+    if (config_.maxStragglerDelayMs > 0.0) {
+        // Deterministic injected skew (failure-injection mode).
+        Rng jitter(config_.seed ^
+                   (static_cast<uint64_t>(assign.id) << 32) ^ seq);
+        auto delay = std::chrono::microseconds(static_cast<int64_t>(
+            jitter.uniform(0.0, config_.maxStragglerDelayMs) *
+            1000.0));
+        std::this_thread::sleep_for(delay);
+    }
+    auto compute_start = std::chrono::steady_clock::now();
+    // Pooled partial-update buffer: filled here, shipped as a
+    // message payload (deltas/sigmas) and eventually recycled
+    // by whoever consumes it — no steady-state allocation.
+    std::vector<double> update = pool_.acquire(words);
+    if (config_.mode == TrainingMode::ModelAveraging)
+        node_.computeLocalUpdate(model, config_.minibatchPerNode,
+                                 update);
+    else
+        node_.computeGradientSum(model, config_.minibatchPerNode,
+                                 update);
+    auto compute_end = std::chrono::steady_clock::now();
+    res.computeSec =
+        std::chrono::duration<double>(compute_end - compute_start)
+            .count();
+
+    switch (assign.role) {
+      case NodeRole::Delta: {
+        // Ship theta_i to the group's Sigma, then wait for the
+        // broadcast of the new global model. The received payload
+        // goes back to the pool (or becomes the adopted model). If
+        // the Sigma died, the broadcast never comes — the bounded
+        // wait records the miss and the Director will repair the
+        // group once the streak is long enough.
+        transport_.send(assign.parent,
+                        Message{assign.id, seq, std::move(update)});
+        Message bcast;
+        if (awaitBroadcast(assign, seq, bcast, res)) {
+            if (config_.adoptBroadcast)
+                new_model = std::move(bcast.payload);
+            else
+                pool_.release(std::move(bcast.payload));
+        }
+        break;
+      }
+      case NodeRole::GroupSigma: {
+        // First level of the hierarchy: aggregate whichever group
+        // partials arrive in time (k-of-n).
+        auto members = topo.groupMembers(assign.group);
+        AggregationEngine &engine = *engine_;
+        engine.begin(words, seq);
+        collectPartials(assign, members, 1.0, res);
+        std::vector<double> sum = engine.finish();
+        for (int64_t i = 0; i < words; ++i)
+            sum[i] += update[i];
+        // Contributor weight rides up the hierarchy so the master
+        // can rescale Eq. 3 over the survivors.
+        Message up{assign.id, seq, {}, engine.contributors() + 1};
+        up.payload = std::move(sum);
+        pool_.release(std::move(update));
+        transport_.send(master, std::move(up));
+
+        // Wait for the master's broadcast, forward pooled copies to
+        // members and recycle (or adopt) the received payload.
+        Message bcast;
+        if (awaitBroadcast(assign, seq, bcast, res)) {
+            for (int member : members) {
+                std::vector<double> copy = pool_.acquire(words);
+                std::copy(bcast.payload.begin(), bcast.payload.end(),
+                          copy.begin());
+                transport_.send(
+                    member, Message{assign.id, seq, std::move(copy)});
+            }
+            if (config_.adoptBroadcast)
+                new_model = std::move(bcast.payload);
+            else
+                pool_.release(std::move(bcast.payload));
+        }
+        break;
+      }
+      case NodeRole::MasterSigma: {
+        // The master folds its own group members and the other group
+        // Sigmas into a single order-independent round. 2x window:
+        // a group Sigma only reports after its own timeout budget.
+        auto members = topo.groupMembers(assign.group);
+        auto sigmas = topo.nonMasterSigmas();
+        std::vector<int> expected = members;
+        expected.insert(expected.end(), sigmas.begin(), sigmas.end());
+        AggregationEngine &engine = *engine_;
+        engine.begin(words, seq);
+        collectPartials(assign, expected, 2.0, res);
+        std::vector<double> sum = engine.finish();
+        for (int64_t i = 0; i < words; ++i)
+            sum[i] += update[i];
+        // k-of-n rescaling: the survivors' total weight. With every
+        // node healthy this is exactly n and the math is bit-for-bit
+        // the no-fault path.
+        const int contributors = engine.contributors() + 1;
+        pool_.release(std::move(update));
+        if (config_.mode == TrainingMode::ModelAveraging) {
+            // Eq. 3b: the average of the surviving local updates.
+            for (auto &v : sum)
+                v /= contributors;
+            new_model = std::move(sum);
+        } else {
+            // Batched GD: one step on the aggregated gradient,
+            // normalized per the program's aggregation operator
+            // (average over the surviving global batch, or raw sum).
+            double divisor =
+                translation_.aggregator == dsl::Aggregator::Average
+                    ? static_cast<double>(contributors) *
+                          config_.minibatchPerNode
+                    : 1.0;
+            new_model = pool_.acquire(words);
+            for (int64_t i = 0; i < words; ++i)
+                new_model[i] =
+                    model[i] -
+                    config_.learningRate * sum[i] / divisor;
+            pool_.release(std::move(sum));
+        }
+        // Q16 mode: quantize the model *at the source*. Every hop of
+        // the broadcast re-quantizes idempotently, so the model the
+        // master keeps is bit-identical to what every receiver gets —
+        // on either transport backend.
+        if (config_.payload == net::PayloadKind::Q16)
+            net::quantizePayload(new_model);
+
+        // Broadcast pooled copies down the hierarchy.
+        for (int sigma : sigmas) {
+            std::vector<double> copy = pool_.acquire(words);
+            std::copy(new_model.begin(), new_model.end(),
+                      copy.begin());
+            transport_.send(sigma,
+                            Message{assign.id, seq, std::move(copy)});
+        }
+        for (int member : members) {
+            std::vector<double> copy = pool_.acquire(words);
+            std::copy(new_model.begin(), new_model.end(),
+                      copy.begin());
+            transport_.send(member,
+                            Message{assign.id, seq, std::move(copy)});
+        }
+        break;
+      }
+    }
+    // Everything after the gradient compute is aggregation and
+    // communication wait — the Fig. 13 breakdown's other half.
+    res.aggregationSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             compute_end)
+                             .count();
+    return res;
+}
+
+} // namespace cosmic::sys

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * One node's role protocol, factored out of the cluster orchestrator.
+ *
+ * NodeRuntime is the per-node half of the scale-out system software:
+ * given a role assignment and a topology, runRole() executes exactly
+ * one node's side of one synchronous iteration — compute the partial
+ * update, ship/aggregate it through the Sigma hierarchy over a
+ * Transport, and receive the master's model broadcast. It is the same
+ * code whether the node lives on a ClusterRuntime worker thread
+ * (in-process fabric, N roles per process) or inside a `cosmicd`
+ * process (TCP fabric, one role per OS process) — which is what makes
+ * the two deployments bit-identical.
+ *
+ * The failure-tolerant protocol (timed receives with retry/backoff,
+ * k-of-n aggregation, suspect reports) lives here too; with faults
+ * inactive every receive is the original blocking call and the math
+ * is the bit-exact no-fault path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/translator.h"
+#include "net/transport.h"
+#include "system/aggregation.h"
+#include "system/buffer_pool.h"
+#include "system/channel.h"
+#include "system/director.h"
+#include "system/fault.h"
+#include "system/training_node.h"
+
+namespace cosmic::sys {
+
+/** Which parallel-SGD variant the cluster runs (paper Sec. 2.2). */
+enum class TrainingMode
+{
+    /** Parallelized SGD [Zinkevich et al.]: each node runs local SGD
+     *  and the Sigma hierarchy averages the models (Eq. 3). */
+    ModelAveraging,
+    /** Batched gradient descent [Dekel et al.]: nodes accumulate raw
+     *  gradients at the frozen model; the master applies one step on
+     *  the aggregate. */
+    BatchedGradient,
+};
+
+/** Per-node protocol configuration (a slice of ClusterConfig). */
+struct NodeRuntimeConfig
+{
+    TrainingMode mode = TrainingMode::ModelAveraging;
+    double learningRate = 0.05;
+    int64_t minibatchPerNode = 64;
+    /** Deterministic pre-compute skew injection (0 = off). */
+    double maxStragglerDelayMs = 0.0;
+    uint64_t seed = 0x5eed;
+    /** Timeout/retry policy; consulted only when faultsActive. */
+    FaultToleranceConfig faultTolerance;
+    /** Timed tolerant receives instead of blocking ones. */
+    bool faultsActive = false;
+    /**
+     * Non-master roles copy the received broadcast into new_model
+     * instead of discarding it. The in-process runtime leaves this
+     * off (the master's model is shared by reference); a cosmicd
+     * process needs the broadcast to carry its next iteration.
+     */
+    bool adoptBroadcast = false;
+    /** Wire payload encoding. In Q16 mode the master quantizes the
+     *  new model *before* broadcasting, so the model it keeps is
+     *  bit-identical to the (idempotently re-quantized) copies every
+     *  other node receives. */
+    net::PayloadKind payload = net::PayloadKind::F64;
+};
+
+/** Executes one node's Sigma/Delta role over a Transport. */
+class NodeRuntime
+{
+  public:
+    /** What one iteration of the role reported. */
+    struct Result
+    {
+        /** Partial-update compute time. */
+        double computeSec = 0.0;
+        /** Post-compute aggregation/communication wait. */
+        double aggregationSec = 0.0;
+        /** This node's recovery counters for the iteration. */
+        RecoveryStats recovery;
+        /** Peers this node suspects (missed partials/broadcasts). */
+        std::vector<int> suspects;
+    };
+
+    /**
+     * @param engine The node's aggregation engine; required for Sigma
+     *        roles, may be null for a pure Delta.
+     */
+    NodeRuntime(const dfg::Translation &translation,
+                const NodeRuntimeConfig &config, TrainingNode &node,
+                net::Transport &transport, AggregationEngine *engine,
+                BufferPool &pool);
+
+    /**
+     * Runs assignment @p assign's side of iteration @p seq starting
+     * from @p model. The master writes the new global model into
+     * @p new_model; other roles write it only with adoptBroadcast
+     * (leaving it untouched when the broadcast never arrived).
+     */
+    Result runRole(const NodeAssignment &assign,
+                   const ClusterTopology &topo,
+                   const std::vector<double> &model, uint64_t seq,
+                   std::vector<double> &new_model);
+
+  private:
+    RecvStatus receiveProtocol(Message &out, double budget_scale,
+                               Result &res);
+    void collectPartials(const NodeAssignment &assign,
+                         const std::vector<int> &expected,
+                         double budget_scale, Result &res);
+    bool awaitBroadcast(const NodeAssignment &assign, uint64_t seq,
+                        Message &bcast, Result &res);
+
+    const dfg::Translation &translation_;
+    NodeRuntimeConfig config_;
+    TrainingNode &node_;
+    net::Transport &transport_;
+    AggregationEngine *engine_;
+    BufferPool &pool_;
+};
+
+} // namespace cosmic::sys

@@ -262,10 +262,30 @@ TEST(AggregationEngine, SteadyStateRoundsDoNotAllocate)
 
 TEST(AggregationEngine, RejectsWrongWidth)
 {
+    // A payload whose word count disagrees with the round width is a
+    // malformed wire message: rejected and counted, never silently
+    // resized into the sum — and the round still completes correctly.
     AggregationEngine engine(AggregationConfig{});
     engine.begin(4, 0);
-    EXPECT_THROW(engine.onMessage(Message{0, 0, {1.0}}),
-                 cosmic::CosmicError);
+    EXPECT_FALSE(engine.onMessage(Message{0, 0, {1.0}}));
+    EXPECT_FALSE(
+        engine.onMessage(Message{1, 0, {1.0, 2.0, 3.0, 4.0, 5.0}}));
+    EXPECT_EQ(engine.malformedDropped(), 2u);
+    EXPECT_EQ(engine.accepted(), 0);
+
+    EXPECT_TRUE(engine.onMessage(Message{2, 0, {1.0, 2.0, 3.0, 4.0}}));
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+    // A malformed sender is not marked seen: a well-formed retry from
+    // the same node must still be accepted next round.
+    engine.begin(4, 1);
+    EXPECT_FALSE(engine.onMessage(Message{0, 1, {1.0, 2.0}}));
+    EXPECT_TRUE(engine.onMessage(Message{0, 1, {1.0, 1.0, 1.0, 1.0}}));
+    EXPECT_EQ(engine.malformedDropped(), 3u);
+    // finish() is the round's synchronization point — every begin()
+    // that accepted a message must be finished before teardown.
+    sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
 }
 
 TEST(SystemDirector, SingleGroupTopology)

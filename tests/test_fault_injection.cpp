@@ -40,6 +40,13 @@ chaosCluster(int nodes, int groups)
     cfg.faultTolerance.receiveTimeoutMs = 250.0;
     cfg.faultTolerance.maxRetries = 2;
     cfg.faultTolerance.evictAfterMisses = 2;
+    // COSMIC_TRANSPORT=tcp reruns the whole chaos suite over the TCP
+    // backend (ephemeral loopback ports). The fault seam is the
+    // transport, so every plan must behave identically either way —
+    // the CI chaos loop sweeps both.
+    if (const char *t = std::getenv("COSMIC_TRANSPORT"))
+        if (std::string(t) == "tcp")
+            cfg.transport.kind = net::TransportKind::Tcp;
     return cfg;
 }
 

@@ -159,6 +159,75 @@ TEST(Channel, ReceiveForWokenByClose)
     closer.join();
 }
 
+TEST(Channel, ReceiveForSubQuantumTimeoutReturnsPromptly)
+{
+    // Regression: receiveFor used to rearm its full relative window on
+    // every wakeup, so a timeout shorter than a scheduling quantum
+    // could extend indefinitely. The deadline is absolute now — a
+    // sub-millisecond (or non-positive) timeout must come back at
+    // once, and a pending message must still win at zero timeout.
+    Channel ch;
+    Message msg;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(ch.receiveFor(msg, 0.05), RecvStatus::Timeout);
+    EXPECT_EQ(ch.receiveFor(msg, 0.0), RecvStatus::Timeout);
+    EXPECT_EQ(ch.receiveFor(msg, -5.0), RecvStatus::Timeout);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed_ms, 1000.0);
+
+    ch.send(Message{3, 9, {1.0}});
+    EXPECT_EQ(ch.receiveFor(msg, 0.0), RecvStatus::Ok);
+    EXPECT_EQ(msg.from, 3);
+    ch.close();
+    EXPECT_EQ(ch.receiveFor(msg, 0.0), RecvStatus::Closed);
+}
+
+TEST(Channel, ReceiveForDeadlineIsAbsoluteUnderChurn)
+{
+    // Messages arriving for *other* consumers wake the timed waiter;
+    // those wakeups must not push its deadline out. A greedy thread
+    // drains everything the sender produces, so the timed receiver
+    // mostly sees spurious wakeups — it must still return close to
+    // its 100 ms window, not 100 ms after the last wakeup.
+    Channel ch;
+    std::atomic<bool> stop{false};
+    std::thread greedy([&] {
+        Message m;
+        while (!stop.load(std::memory_order_relaxed))
+            if (!ch.tryReceive(m))
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+    });
+    std::thread sender([&] {
+        for (int i = 0; i < 100; ++i) {
+            if (stop.load(std::memory_order_relaxed))
+                break;
+            ch.send(Message{0, static_cast<uint64_t>(i), {}});
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(3));
+        }
+    });
+    Message msg;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RecvStatus status = ch.receiveFor(msg, 100.0);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    stop.store(true);
+    sender.join();
+    greedy.join();
+    // The receiver may legitimately win a message off the churn (Ok)
+    // or time out — but either way it must be done well before the
+    // ~300 ms of churn ends plus another full window.
+    EXPECT_TRUE(status == RecvStatus::Ok ||
+                status == RecvStatus::Timeout);
+    EXPECT_LT(elapsed_ms, 250.0);
+}
+
 TEST(CircularBuffer, BoundedAndOrdered)
 {
     CircularBuffer ring(4);
