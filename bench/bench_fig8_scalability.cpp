@@ -62,6 +62,49 @@ measureBackend(int nodes, net::TransportKind kind)
     return p;
 }
 
+/** One measured pipelining run: barrier vs overlap, sync vs async. */
+struct OverlapSeriesPoint
+{
+    int nodes;
+    const char *backend;
+    const char *mode; // "barrier" | "overlap-sync" | "overlap-async"
+    double itersPerSec;
+    double speedupVsBarrier; // filled once the barrier point is known
+};
+
+OverlapSeriesPoint
+measureOverlap(int nodes, net::TransportKind kind, bool overlap,
+               int max_staleness)
+{
+    sys::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.groups = nodes >= 8 ? nodes / 4 : 0;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.transport.kind = kind;
+    cfg.overlapIterations = overlap;
+    cfg.maxStaleness = max_staleness;
+    if (max_staleness > 0)
+        cfg.aggregation.deterministic = false;
+    sys::ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
+                                cfg);
+    auto report = runtime.train(4);
+    OverlapSeriesPoint p;
+    p.nodes = nodes;
+    p.backend =
+        kind == net::TransportKind::Tcp ? "tcp-loopback" : "inprocess";
+    p.mode = !overlap && max_staleness == 0 ? "barrier"
+             : max_staleness == 0          ? "overlap-sync"
+                                           : "overlap-async";
+    const double total =
+        std::accumulate(report.iterationSeconds.begin(),
+                        report.iterationSeconds.end(), 0.0);
+    p.itersPerSec =
+        total > 0.0 ? double(report.iterations) / total : 0.0;
+    p.speedupVsBarrier = 1.0;
+    return p;
+}
+
 } // namespace
 
 int
@@ -151,5 +194,62 @@ main()
     }
     json << "]}";
     std::cout << json.str() << "\n";
+
+    // Pipelined-iteration series: barrier vs compute/aggregation
+    // overlap (sync, bit-exact) vs bounded-staleness async
+    // (maxStaleness = 2), on both fabrics. Overlap removes the
+    // per-iteration dispatch barrier, so iterations/sec should grow —
+    // most visibly on TCP at 16 nodes, where the aggregation wait is
+    // largest. The last line is the machine-readable BENCH_overlap
+    // summary CI keeps as an artifact.
+    TablePrinter overlap_table(
+        "Pipelined iterations (measured, stock @ scale 64): "
+        "iterations/sec vs the barrier protocol");
+    overlap_table.setHeader({"Nodes", "Backend", "Mode", "iters/sec",
+                             "vs barrier"});
+    std::vector<OverlapSeriesPoint> opoints;
+    for (net::TransportKind kind :
+         {net::TransportKind::InProcess, net::TransportKind::Tcp}) {
+        for (int nodes : {4, 8, 16}) {
+            OverlapSeriesPoint barrier =
+                measureOverlap(nodes, kind, false, 0);
+            OverlapSeriesPoint sync =
+                measureOverlap(nodes, kind, true, 0);
+            OverlapSeriesPoint async =
+                measureOverlap(nodes, kind, true, 2);
+            sync.speedupVsBarrier =
+                barrier.itersPerSec > 0.0
+                    ? sync.itersPerSec / barrier.itersPerSec
+                    : 0.0;
+            async.speedupVsBarrier =
+                barrier.itersPerSec > 0.0
+                    ? async.itersPerSec / barrier.itersPerSec
+                    : 0.0;
+            opoints.push_back(barrier);
+            opoints.push_back(sync);
+            opoints.push_back(async);
+        }
+    }
+    for (const auto &p : opoints)
+        overlap_table.addRow(
+            {std::to_string(p.nodes), p.backend, p.mode,
+             TablePrinter::num(p.itersPerSec, 1),
+             TablePrinter::num(p.speedupVsBarrier, 2) + "x"});
+    overlap_table.print(std::cout);
+
+    std::ostringstream ojson;
+    ojson << "{\"bench\":\"overlap\",\"workload\":\"stock\","
+          << "\"series\":[";
+    first = true;
+    for (const auto &p : opoints) {
+        ojson << (first ? "" : ",") << "{\"nodes\":" << p.nodes
+              << ",\"backend\":\"" << p.backend << "\",\"mode\":\""
+              << p.mode << "\",\"iters_per_sec\":" << p.itersPerSec
+              << ",\"speedup_vs_barrier\":" << p.speedupVsBarrier
+              << "}";
+        first = false;
+    }
+    ojson << "]}";
+    std::cout << ojson.str() << "\n";
     return 0;
 }

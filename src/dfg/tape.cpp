@@ -1,6 +1,8 @@
 #include "dfg/tape.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <limits>
 
@@ -28,16 +30,39 @@ validLaneWidth(int lanes)
 } // namespace
 
 int
+parseTapeLanesEnv(const char *env)
+{
+    if (env == nullptr || *env == '\0')
+        COSMIC_FATAL("COSMIC_TAPE_LANES is set but empty: expected a "
+                     "lane width of 1, 4, or "
+                     << kMaxTapeLanes);
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    // strtol quietly skips leading whitespace; treat it as garbage
+    // too, so the accepted grammar is exactly a bare integer.
+    if (std::isspace(static_cast<unsigned char>(*env)) ||
+        end == env || *end != '\0' || errno == ERANGE)
+        COSMIC_FATAL("COSMIC_TAPE_LANES='"
+                     << env
+                     << "' is not an integer: expected a lane width "
+                        "of 1, 4, or "
+                     << kMaxTapeLanes);
+    if (!validLaneWidth(static_cast<int>(v)))
+        COSMIC_FATAL("COSMIC_TAPE_LANES="
+                     << v
+                     << " is not a supported lane width: expected 1, "
+                        "4, or "
+                     << kMaxTapeLanes);
+    return static_cast<int>(v);
+}
+
+int
 defaultTapeLanes()
 {
     static const int lanes = [] {
         const char *env = std::getenv("COSMIC_TAPE_LANES");
-        if (env) {
-            int v = std::atoi(env);
-            if (validLaneWidth(v))
-                return v;
-        }
-        return kMaxTapeLanes;
+        return env ? parseTapeLanesEnv(env) : kMaxTapeLanes;
     }();
     return lanes;
 }

@@ -55,10 +55,20 @@ inline constexpr int kMaxTapeLanes = 8;
 
 /**
  * Default lane width for batched execution. Tunable per process via
- * the COSMIC_TAPE_LANES environment variable (1 = scalar, 4 or 8);
- * anything else falls back to kMaxTapeLanes.
+ * the COSMIC_TAPE_LANES environment variable (1 = scalar, 4 or 8).
+ * An unset variable means kMaxTapeLanes; a set-but-invalid one —
+ * garbage, trailing junk, or an unsupported width — is a
+ * configuration error and throws, rather than silently running at a
+ * width the user did not ask for.
  */
 int defaultTapeLanes();
+
+/**
+ * Strict parser behind the COSMIC_TAPE_LANES knob (exposed for
+ * tests): @p env must be a base-10 integer, the whole string, naming
+ * a supported lane width. Throws CosmicError otherwise.
+ */
+int parseTapeLanesEnv(const char *env);
 
 /** One tape instruction: scratch[dst] = op(scratch[a], [b], [c]). */
 struct TapeInstr

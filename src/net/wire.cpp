@@ -28,8 +28,9 @@ get(const uint8_t *data)
 }
 
 size_t
-encodeHeader(FrameKind frame, PayloadKind payload, int32_t from,
-             uint64_t seq, int32_t contributors, uint32_t words,
+encodeHeader(FrameKind frame, PayloadKind payload, sys::MsgKind kind,
+             int32_t from, uint64_t seq, int32_t contributors,
+             uint32_t words, uint32_t offset, uint64_t epoch,
              std::vector<uint8_t> &out)
 {
     const size_t start = out.size();
@@ -40,11 +41,14 @@ encodeHeader(FrameKind frame, PayloadKind payload, int32_t from,
     put<uint8_t>(out, kWireVersion);
     put<uint8_t>(out, static_cast<uint8_t>(frame));
     put<uint8_t>(out, static_cast<uint8_t>(payload));
-    put<uint8_t>(out, 0); // reserved
+    put<uint8_t>(out, static_cast<uint8_t>(kind));
     put<int32_t>(out, from);
     put<uint64_t>(out, seq);
     put<int32_t>(out, contributors);
     put<uint32_t>(out, words);
+    put<uint32_t>(out, offset);
+    put<uint64_t>(out, epoch);
+    put<uint32_t>(out, 0); // reserved
     return out.size() - start;
 }
 
@@ -59,8 +63,9 @@ encodeMessage(const sys::Message &msg, PayloadKind payload,
     COSMIC_ASSERT(words <= kMaxFrameWords,
                   "message payload of " << words
                   << " words exceeds the wire limit");
-    encodeHeader(FrameKind::Partial, payload, msg.from, msg.seq,
-                 msg.contributors, words, out);
+    encodeHeader(FrameKind::Partial, payload, msg.kind, msg.from,
+                 msg.seq, msg.contributors, words, msg.offset,
+                 msg.epoch, out);
     if (payload == PayloadKind::F64) {
         const size_t bytes = words * sizeof(double);
         const size_t off = out.size();
@@ -82,8 +87,9 @@ encodeMessage(const sys::Message &msg, PayloadKind payload,
 size_t
 encodeHello(int node, uint32_t epoch, std::vector<uint8_t> &out)
 {
-    return encodeHeader(FrameKind::Hello, PayloadKind::F64, node, epoch,
-                        0, 0, out);
+    return encodeHeader(FrameKind::Hello, PayloadKind::F64,
+                        sys::MsgKind::Update, node, epoch, 0, 0, 0, 0,
+                        out);
 }
 
 FrameStatus
@@ -105,19 +111,24 @@ peekFrame(const uint8_t *data, size_t size, WireHeader &hdr,
     hdr.version = get<uint8_t>(data + 8);
     const uint8_t frame_raw = get<uint8_t>(data + 9);
     const uint8_t payload_raw = get<uint8_t>(data + 10);
-    const uint8_t reserved = get<uint8_t>(data + 11);
+    const uint8_t kind_raw = get<uint8_t>(data + 11);
     hdr.from = get<int32_t>(data + 12);
     hdr.seq = get<uint64_t>(data + 16);
     hdr.contributors = get<int32_t>(data + 24);
     hdr.words = get<uint32_t>(data + 28);
+    hdr.offset = get<uint32_t>(data + 32);
+    hdr.epoch = get<uint64_t>(data + 36);
+    const uint32_t reserved = get<uint32_t>(data + 44);
 
     if (hdr.version != kWireVersion || reserved != 0)
         return FrameStatus::Corrupt;
     if (frame_raw > static_cast<uint8_t>(FrameKind::Partial) ||
-        payload_raw > static_cast<uint8_t>(PayloadKind::Q16))
+        payload_raw > static_cast<uint8_t>(PayloadKind::Q16) ||
+        kind_raw > static_cast<uint8_t>(sys::MsgKind::Model))
         return FrameStatus::Corrupt;
     hdr.frame = static_cast<FrameKind>(frame_raw);
     hdr.payload = static_cast<PayloadKind>(payload_raw);
+    hdr.kind = static_cast<sys::MsgKind>(kind_raw);
     if (hdr.words > kMaxFrameWords)
         return FrameStatus::Corrupt;
     // The sizing guard: the declared word count must agree with the
@@ -142,6 +153,9 @@ decodeMessage(const WireHeader &hdr, const uint8_t *data,
     out.from = hdr.from;
     out.seq = hdr.seq;
     out.contributors = hdr.contributors;
+    out.kind = hdr.kind;
+    out.offset = hdr.offset;
+    out.epoch = hdr.epoch;
     out.payload = pool ? pool->acquire(hdr.words)
                        : std::vector<double>(hdr.words);
     const uint8_t *body = data + kFrameHeaderBytes;

@@ -3,22 +3,31 @@
  * The CoSMIC wire protocol: length-prefixed, versioned frames.
  *
  * Every byte that crosses a TCP connection between two nodes is part
- * of a frame. A frame is a fixed 32-byte header followed by the
- * payload words:
+ * of a frame. A version-2 frame is a fixed 48-byte header followed by
+ * the payload words:
  *
  *   offset  size  field
  *   ------  ----  ------------------------------------------------
  *        0     4  magic (0xC051C17A, little-endian)
- *        4     4  length — bytes after this field (24 + payload)
+ *        4     4  length — bytes after this field (40 + payload)
  *        8     1  protocol version (kWireVersion)
  *        9     1  frame kind (Hello | Partial)
  *       10     1  payload kind (F64 | Q16)
- *       11     1  reserved (must be 0)
+ *       11     1  message kind (Update | Model)
  *       12     4  from — sending node id (int32)
  *       16     8  seq — iteration sequence number (uint64)
  *       24     4  contributors — k-of-n weight (int32)
  *       28     4  words — payload word count (uint32)
- *       32     …  payload (words x 8 bytes F64, words x 4 bytes Q16)
+ *       32     4  chunk offset — first word within the round vector
+ *       36     8  epoch — model epoch (bounded-staleness SGD)
+ *       44     4  reserved (must be 0)
+ *       48     …  payload (words x 8 bytes F64, words x 4 bytes Q16)
+ *
+ * Version history: v1 had a 32-byte header ending at `words`, with no
+ * message kind, chunk offset or epoch. v2 (the pipelined/async
+ * protocol) is not wire-compatible with v1 — a v1 frame fails the
+ * version check and the connection is dropped, never mis-parsed
+ * (decode-compat is regression-tested in test_net_wire.cpp).
  *
  * The length prefix lets a receiver skip to the next frame boundary
  * without understanding the body; the magic/version/kind/width checks
@@ -61,9 +70,9 @@ enum class FrameKind : uint8_t
 };
 
 constexpr uint32_t kWireMagic = 0xC051C17A;
-constexpr uint8_t kWireVersion = 1;
-/** Fixed frame header size (magic through words). */
-constexpr size_t kFrameHeaderBytes = 32;
+constexpr uint8_t kWireVersion = 2;
+/** Fixed frame header size (magic through the reserved word). */
+constexpr size_t kFrameHeaderBytes = 48;
 /** Corruption guard: no sane frame carries more words than this. */
 constexpr uint32_t kMaxFrameWords = 1u << 26;
 
@@ -74,10 +83,13 @@ struct WireHeader
     uint8_t version = 0;
     FrameKind frame = FrameKind::Hello;
     PayloadKind payload = PayloadKind::F64;
+    sys::MsgKind kind = sys::MsgKind::Update;
     int32_t from = -1;
     uint64_t seq = 0;
     int32_t contributors = 0;
     uint32_t words = 0;
+    uint32_t offset = 0;
+    uint64_t epoch = 0;
 };
 
 /** Outcome of inspecting a receive buffer for the next frame. */

@@ -23,7 +23,8 @@ AggregationEngine::~AggregationEngine()
 }
 
 void
-AggregationEngine::begin(int64_t words, uint64_t seq)
+AggregationEngine::begin(int64_t words, uint64_t seq,
+                         uint64_t min_epoch)
 {
     COSMIC_ASSERT(words > 0, "bad aggregation round");
     aggBuffer_ = pool_->acquire(words);
@@ -34,8 +35,10 @@ AggregationEngine::begin(int64_t words, uint64_t seq)
     {
         std::lock_guard<std::mutex> lock(roundMutex_);
         roundSeq_ = seq;
-        seenSenders_.clear();
+        minEpoch_ = min_epoch;
+        senders_.clear();
         contributors_ = 0;
+        minEpochRound_ = ~uint64_t{0};
     }
     std::lock_guard<std::mutex> lock(doneMutex_);
     wordsRemaining_ = 0; // grows as messages are accepted
@@ -44,24 +47,30 @@ AggregationEngine::begin(int64_t words, uint64_t seq)
 bool
 AggregationEngine::onMessage(Message msg)
 {
-    // Payload sizing guard: a wire message whose word count disagrees
-    // with the round width is malformed (or mis-routed). Silently
-    // resizing would zero-pad or truncate someone's gradient into the
-    // sum — reject it, log it, count it.
-    if (msg.payload.size() != aggBuffer_.size()) {
+    const size_t width = aggBuffer_.size();
+    const size_t span = msg.payload.size();
+    // Payload sizing guard: a message whose (offset, span) does not
+    // fit inside the round vector is malformed (or mis-routed).
+    // Silently resizing would zero-pad or truncate someone's gradient
+    // into the sum — reject it, log it, count it.
+    if (span == 0 || static_cast<size_t>(msg.offset) + span > width) {
         std::fprintf(stderr,
                      "[cosmic-agg] dropping malformed partial from "
-                     "node %d: %zu words, round width %zu\n",
-                     msg.from, msg.payload.size(), aggBuffer_.size());
+                     "node %d: offset %u + %zu words, round width "
+                     "%zu\n",
+                     msg.from, msg.offset, span, width);
         std::lock_guard<std::mutex> lock(roundMutex_);
         ++malformedDropped_;
         pool_->release(std::move(msg.payload));
         return false;
     }
-    // Sequence-number reconciliation: wrong-round messages (a
-    // straggler's late partial) and same-round duplicate senders (the
-    // wire's duplicated delivery) are recycled, counted, and never
-    // touch the sum — aggregation is idempotent.
+    // Sequence/epoch/duplicate reconciliation: wrong-round messages (a
+    // straggler's late partial), partials older than the staleness
+    // bound, and same-round duplicate or overlapping spans (the wire's
+    // duplicated delivery) are recycled, counted, and never touch the
+    // sum — aggregation is idempotent.
+    std::vector<double> full;
+    const int senderId = msg.from;
     {
         std::lock_guard<std::mutex> lock(roundMutex_);
         if (msg.seq != roundSeq_) {
@@ -69,27 +78,90 @@ AggregationEngine::onMessage(Message msg)
             pool_->release(std::move(msg.payload));
             return false;
         }
-        if (std::find(seenSenders_.begin(), seenSenders_.end(),
-                      msg.from) != seenSenders_.end()) {
+        if (msg.epoch < minEpoch_) {
+            ++tooStaleDropped_;
+            pool_->release(std::move(msg.payload));
+            return false;
+        }
+        SenderState *st = nullptr;
+        for (auto &s : senders_)
+            if (s.sender == msg.from) {
+                st = &s;
+                break;
+            }
+        if (st && st->complete) {
             ++duplicatesDropped_;
             pool_->release(std::move(msg.payload));
             return false;
         }
-        seenSenders_.push_back(msg.from);
-        contributors_ += msg.contributors;
+        if (st) {
+            for (const auto &sp : st->spans)
+                if (msg.offset < sp.first + sp.second &&
+                    sp.first < msg.offset + span) {
+                    ++duplicatesDropped_;
+                    pool_->release(std::move(msg.payload));
+                    return false;
+                }
+        } else {
+            senders_.emplace_back();
+            st = &senders_.back();
+            st->sender = msg.from;
+            st->epoch = msg.epoch;
+            st->contributors = msg.contributors;
+        }
+        st->epoch = std::min(st->epoch, msg.epoch);
+        st->spans.emplace_back(msg.offset,
+                               static_cast<uint32_t>(span));
+        st->wordsStaged += static_cast<int64_t>(span);
+
+        if (msg.offset == 0 && span == width &&
+            st->spans.size() == 1) {
+            // Whole-vector fast path: no staging copy — the payload
+            // itself is the completed vector (the original zero-copy
+            // route, untouched by streaming mode).
+            full = std::move(msg.payload);
+        } else {
+            // Chunk: stage into the sender's reassembly buffer. Spans
+            // never overlap, and completion requires them to tile the
+            // full width, so no zero-fill is needed.
+            if (st->staging.empty())
+                st->staging = pool_->acquire(width);
+            std::copy(msg.payload.begin(), msg.payload.end(),
+                      st->staging.begin() + msg.offset);
+            pool_->release(std::move(msg.payload));
+            if (st->wordsStaged < static_cast<int64_t>(width))
+                return true; // accepted, sender not yet complete
+            full = std::move(st->staging);
+        }
+        // The sender completed: only now does it count.
+        st->complete = true;
+        contributors_ += st->contributors;
+        minEpochRound_ = std::min(minEpochRound_, st->epoch);
+        if (st->epoch < roundSeq_) {
+            ++staleAccepted_;
+            maxEpochLag_ =
+                std::max(maxEpochLag_, roundSeq_ - st->epoch);
+        }
         if (config_.deterministic) {
             // Park the payload; finish() folds in sender-id order so
             // the sum is independent of arrival order and scheduling.
-            roundPayloads_.emplace_back(msg.from,
-                                        std::move(msg.payload));
+            roundPayloads_.emplace_back(msg.from, std::move(full));
             return true;
         }
     }
+    dispatchComplete(senderId, std::move(full));
+    return true;
+}
+
+void
+AggregationEngine::dispatchComplete(int sender,
+                                    std::vector<double> payload)
+{
     {
         // Claim this round's words before dispatch so finish() (called
         // after the last onMessage returns) sees the full total.
         std::lock_guard<std::mutex> lock(doneMutex_);
-        wordsRemaining_ += static_cast<int64_t>(msg.payload.size());
+        wordsRemaining_ += static_cast<int64_t>(payload.size());
     }
     // Move the payload into a pooled slot — the networking threads
     // will hand out references into it, never copies. Deque growth is
@@ -108,8 +180,8 @@ AggregationEngine::onMessage(Message msg)
         slot = &slots_[freeSlots_.back()];
         freeSlots_.pop_back();
     }
-    slot->data = std::move(msg.payload);
-    slot->sender = msg.from;
+    slot->data = std::move(payload);
+    slot->sender = sender;
     const size_t words = slot->data.size();
     const int64_t chunks = static_cast<int64_t>(
         (words + config_.chunkWords - 1) / config_.chunkWords);
@@ -134,14 +206,26 @@ AggregationEngine::onMessage(Message msg)
             aggPool_.submit([this] { accumulateOneChunk(); });
         }
     });
-    return true;
 }
 
 int
 AggregationEngine::accepted() const
 {
     std::lock_guard<std::mutex> lock(roundMutex_);
-    return static_cast<int>(seenSenders_.size());
+    int complete = 0;
+    for (const auto &s : senders_)
+        complete += s.complete ? 1 : 0;
+    return complete;
+}
+
+bool
+AggregationEngine::senderComplete(int from) const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    for (const auto &s : senders_)
+        if (s.sender == from)
+            return s.complete;
+    return false;
 }
 
 int
@@ -149,6 +233,13 @@ AggregationEngine::contributors() const
 {
     std::lock_guard<std::mutex> lock(roundMutex_);
     return contributors_;
+}
+
+uint64_t
+AggregationEngine::minEpochAccepted() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return minEpochRound_;
 }
 
 uint64_t
@@ -170,6 +261,34 @@ AggregationEngine::malformedDropped() const
 {
     std::lock_guard<std::mutex> lock(roundMutex_);
     return malformedDropped_;
+}
+
+uint64_t
+AggregationEngine::tooStaleDropped() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return tooStaleDropped_;
+}
+
+uint64_t
+AggregationEngine::staleAccepted() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return staleAccepted_;
+}
+
+uint64_t
+AggregationEngine::maxEpochLag() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return maxEpochLag_;
+}
+
+uint64_t
+AggregationEngine::incompleteDropped() const
+{
+    std::lock_guard<std::mutex> lock(roundMutex_);
+    return incompleteDropped_;
 }
 
 void
@@ -210,6 +329,20 @@ AggregationEngine::accumulateOneChunk()
 std::vector<double>
 AggregationEngine::finish()
 {
+    {
+        // Discard senders whose chunks never completed (a dropped
+        // chunk under faults): their staging buffers are recycled and
+        // they were never counted, so a torn partial cannot leak into
+        // the sum. Whole-vector senders are always complete here.
+        std::lock_guard<std::mutex> lock(roundMutex_);
+        for (auto &s : senders_) {
+            if (s.complete)
+                continue;
+            ++incompleteDropped_;
+            if (!s.staging.empty())
+                pool_->release(std::move(s.staging));
+        }
+    }
     if (config_.deterministic) {
         // Fold parked payloads in sender-id order: the sum becomes a
         // pure function of the accepted set. onMessage of this round

@@ -28,6 +28,24 @@
  * *accepted* word has landed, so a failure-tolerant caller can stop
  * feeding it after a timeout and aggregate whatever k of n partials
  * arrived.
+ *
+ * Bounded-staleness gating: begin() additionally arms a minimum
+ * acceptable model epoch. A partial computed from a model older than
+ * `round seq - maxStaleness` is rejected (tooStaleDropped) and its
+ * weight is absorbed by the same k-of-n contributor rescaling that
+ * covers missing partials. The barrier protocol stamps epoch = seq on
+ * every message, so with maxStaleness = 0 the gate is exact freshness
+ * and nothing changes on the synchronous path.
+ *
+ * Chunked streaming: a sender may split its round vector into several
+ * (offset, span) chunk messages. Chunks are staged per sender into a
+ * pooled round-width buffer (duplicate and overlapping spans are
+ * rejected) and the sender only *counts* — contributors, epoch, fold —
+ * once its spans tile the full width. A sender whose chunks never
+ * complete (a dropped chunk under faults) is discarded wholesale at
+ * finish(), so a torn partial can never corrupt the sum. Whole-vector
+ * messages (offset 0, span == width) bypass staging and take the
+ * original zero-copy path.
  */
 #pragma once
 
@@ -85,23 +103,33 @@ class AggregationEngine
      * Arms the engine for one round of @p words-word vectors carrying
      * sequence number @p seq. Any number of distinct senders may then
      * arrive via onMessage — the round total is whatever was accepted
-     * by the time finish() is called.
+     * by the time finish() is called. Partials whose model epoch is
+     * below @p min_epoch are rejected (the bounded-staleness gate;
+     * the default accepts any epoch, which is the pre-async
+     * behavior).
      */
-    void begin(int64_t words, uint64_t seq);
+    void begin(int64_t words, uint64_t seq, uint64_t min_epoch = 0);
 
     /**
-     * Dispatches one received partial update into the pipeline. The
-     * payload is moved into a pooled slot; the caller's vector is
-     * consumed (zero-copy).
+     * Dispatches one received partial update — a whole round vector or
+     * one (offset, span) chunk of it — into the pipeline. The payload
+     * is moved into a pooled slot (whole vectors) or staged into the
+     * sender's reassembly buffer (chunks); the caller's vector is
+     * consumed either way.
      *
      * @return true when the message was accepted for this round;
-     *         false when it was rejected (stale sequence number, a
-     *         same-round duplicate sender, or a payload whose word
-     *         count disagrees with the round width — a malformed wire
-     *         message is dropped and logged, never silently resized) —
-     *         the payload is recycled and the rejection counted.
+     *         false when it was rejected (stale sequence number, an
+     *         epoch below the staleness bound, a same-round duplicate
+     *         or overlapping span from a sender, or a payload that
+     *         does not fit the round width — a malformed wire message
+     *         is dropped and logged, never silently resized) — the
+     *         payload is recycled and the rejection counted.
      */
     bool onMessage(Message msg);
+
+    /** True once @p from's spans tile the full round width (a
+     *  whole-vector message completes immediately). */
+    bool senderComplete(int from) const;
 
     /**
      * Blocks until every accepted word has been aggregated and *moves*
@@ -112,11 +140,16 @@ class AggregationEngine
      */
     std::vector<double> finish();
 
-    /** Messages accepted this round so far. */
+    /** Senders fully accepted (complete) this round so far. */
     int accepted() const;
-    /** Total contributor weight (sum of Message::contributors)
-     *  accepted this round — the k in k-of-n rescaling. */
+    /** Total contributor weight (sum of Message::contributors over
+     *  complete senders) accepted this round — the k in k-of-n
+     *  rescaling. A sender still missing chunks contributes nothing. */
     int contributors() const;
+    /** Smallest model epoch among this round's complete senders;
+     *  UINT64_MAX when none completed. A Sigma propagates
+     *  min(own epoch, this) up the tree. */
+    uint64_t minEpochAccepted() const;
 
     /** Same-round duplicate messages rejected (cumulative). */
     uint64_t duplicatesDropped() const;
@@ -124,6 +157,15 @@ class AggregationEngine
     uint64_t staleDropped() const;
     /** Wrong-width payloads rejected (cumulative). */
     uint64_t malformedDropped() const;
+    /** Partials rejected by the staleness bound (cumulative). */
+    uint64_t tooStaleDropped() const;
+    /** Complete senders accepted with a lagging epoch (cumulative). */
+    uint64_t staleAccepted() const;
+    /** Largest (round seq - epoch) lag among accepted senders
+     *  (cumulative max). */
+    uint64_t maxEpochLag() const;
+    /** Chunked senders discarded incomplete at finish (cumulative). */
+    uint64_t incompleteDropped() const;
 
     /** Ring high-water mark (observability). */
     size_t ringHighWater() const { return ring_.highWater(); }
@@ -144,7 +186,26 @@ class AggregationEngine
         int32_t id = -1;
     };
 
+    /** Per-sender reassembly state for one round. */
+    struct SenderState
+    {
+        int sender = -1;
+        /** Smallest epoch over the sender's chunks. */
+        uint64_t epoch = 0;
+        /** k-of-n weight, taken from the first chunk. */
+        int contributors = 0;
+        int64_t wordsStaged = 0;
+        bool complete = false;
+        /** Accepted (offset, span) pairs — overlap rejection. */
+        std::vector<std::pair<uint32_t, uint32_t>> spans;
+        /** Reassembly buffer; unused by whole-vector senders. */
+        std::vector<double> staging;
+    };
+
     void accumulateOneChunk();
+    /** Moves a completed sender's full vector into the fold pipeline
+     *  (parked in deterministic mode, slot + ring otherwise). */
+    void dispatchComplete(int sender, std::vector<double> payload);
 
     AggregationConfig config_;
     std::shared_ptr<BufferPool> pool_;
@@ -166,16 +227,22 @@ class AggregationEngine
     std::vector<std::mutex> stripes_;
     size_t stripeWords_ = 1;
 
-    /** Round state: the armed sequence number, senders folded in so
-     *  far, and their total contributor weight. Guarded by
-     *  roundMutex_ (onMessage may race in tests). */
+    /** Round state: the armed sequence number, the staleness gate,
+     *  per-sender reassembly, and the total contributor weight.
+     *  Guarded by roundMutex_ (onMessage may race in tests). */
     mutable std::mutex roundMutex_;
     uint64_t roundSeq_ = 0;
-    std::vector<int> seenSenders_;
+    uint64_t minEpoch_ = 0;
+    std::vector<SenderState> senders_;
     int contributors_ = 0;
+    uint64_t minEpochRound_ = ~uint64_t{0};
     uint64_t duplicatesDropped_ = 0;
     uint64_t staleDropped_ = 0;
     uint64_t malformedDropped_ = 0;
+    uint64_t tooStaleDropped_ = 0;
+    uint64_t staleAccepted_ = 0;
+    uint64_t maxEpochLag_ = 0;
+    uint64_t incompleteDropped_ = 0;
     /** Deterministic mode: accepted (sender, payload) pairs parked
      *  until finish() folds them in sender-id order. */
     std::vector<std::pair<int, std::vector<double>>> roundPayloads_;

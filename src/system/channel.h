@@ -37,6 +37,17 @@
 
 namespace cosmic::sys {
 
+/** What a message's payload means to the receiver. The barrier
+ *  protocol could tell the two apart by phase; the pipelined protocol
+ *  interleaves them on one inbox, so the kind must ride the wire. */
+enum class MsgKind : uint8_t
+{
+    /** A partial update flowing *up* the Sigma tree. */
+    Update = 0,
+    /** A model broadcast flowing *down* the Sigma tree. */
+    Model = 1,
+};
+
 /** One network message: a partial update (or broadcast model). */
 struct Message
 {
@@ -48,6 +59,25 @@ struct Message
     std::vector<double> payload;
     /** Delta nodes folded into this partial update (k-of-n weight). */
     int contributors = 1;
+    /** Update vs Model (see MsgKind). */
+    MsgKind kind = MsgKind::Update;
+    /**
+     * Model-epoch bookkeeping for bounded-staleness SGD. On an Update:
+     * the epoch of the model the partial was computed from (the
+     * aggregator accepts it when `round seq - epoch <= maxStaleness`).
+     * On a Model: the epoch the broadcast model *is* — the model
+     * produced by round k carries epoch k+1, the initial model is
+     * epoch 0. The barrier protocol stamps epoch = seq everywhere,
+     * which trivially satisfies any staleness bound.
+     */
+    uint64_t epoch = 0;
+    /**
+     * First word of this payload within the round's full vector.
+     * Whole-vector messages (the default) use offset 0 with
+     * payload.size() == round width; streaming senders split one
+     * logical update into several (offset, span) chunk messages.
+     */
+    uint32_t offset = 0;
 };
 
 /** Outcome of a timed receive. */

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 
 #include "common/error.h"
@@ -96,6 +99,12 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
             nodes_[i]->setFaultInjector(injector_.get(), i);
         }
     }
+    // Pipelined (barrier-free) iterations: explicit opt-in, or implied
+    // by a staleness budget. Crash-fault plans keep the barrier — the
+    // eviction/repair machinery needs the iteration boundary.
+    pipelineActive_ =
+        (config_.overlapIterations || config_.maxStaleness > 0) &&
+        config_.faultPlan.crashes().empty();
     for (int i = 0; i < config_.nodes; ++i)
         nodeRuntimes_.push_back(makeNodeRuntime(i));
     recoveryScratch_.resize(config_.nodes);
@@ -133,6 +142,8 @@ ClusterRuntime::makeNodeRuntime(int id)
     // reference, so nobody needs to adopt the broadcast copy.
     nc.adoptBroadcast = false;
     nc.payload = config_.transport.payload;
+    nc.maxStaleness = config_.maxStaleness;
+    nc.streamChunkWords = config_.streamChunkWords;
     return std::make_unique<NodeRuntime>(
         translation_, nc, *nodes_[id], *transports_[id],
         engines_[id].get(), *pool_);
@@ -228,11 +239,15 @@ ClusterRuntime::runIteration(const std::vector<double> &model,
 
     if (stats) {
         *stats = IterationStats{};
-        for (double s : computeSec_)
+        for (double s : computeSec_) {
             stats->maxComputeSec = std::max(stats->maxComputeSec, s);
-        for (double s : aggregationSec_)
+            stats->sumComputeSec += s;
+        }
+        for (double s : aggregationSec_) {
             stats->maxAggregationSec =
                 std::max(stats->maxAggregationSec, s);
+            stats->sumAggregationSec += s;
+        }
         for (const auto &node : nodes_)
             stats->records += node->recordsProcessed();
         stats->records -= records_before;
@@ -272,6 +287,8 @@ ClusterRuntime::netStats() const
 TrainingReport
 ClusterRuntime::train(int epochs)
 {
+    if (pipelineActive_)
+        return trainPipelined(epochs);
     TrainingReport report;
 
     Rng rng(config_.seed + 1);
@@ -309,6 +326,9 @@ ClusterRuntime::train(int epochs)
                 iter_sec > 0.0 ? stats.records / iter_sec : 0.0);
             report.aggregationWaitSeconds.push_back(
                 stats.maxAggregationSec);
+            report.computeSecondsTotal.push_back(stats.sumComputeSec);
+            report.aggregationSecondsTotal.push_back(
+                stats.sumAggregationSec);
         }
         report.epochLoss.push_back(reference_.meanLoss(
             holdout_.data, holdout_.count, model));
@@ -316,6 +336,181 @@ ClusterRuntime::train(int epochs)
     report.iterations = static_cast<int>(seq);
     report.finalModel = std::move(model);
     // Post-repair state: the surviving role map and what recovery did.
+    report.topology = topology_;
+    report.recovery = recovery();
+    report.net = netStats();
+    return report;
+}
+
+namespace {
+
+/** Collects the pipelined run's per-round per-node stats and streams
+ *  the master's models to the train loop. onRound writes a distinct
+ *  (round, node) cell per call — no two callers share one — so the
+ *  matrices need no lock; the model queue is the only shared state. */
+class PipelineCollector : public NodeRuntime::PipelineSink
+{
+  public:
+    PipelineCollector(uint64_t rounds, int nodes)
+        : rounds_(rounds), nodes_(nodes),
+          compute_(rounds * nodes, 0.0), agg_(rounds * nodes, 0.0),
+          records_(rounds * nodes, 0)
+    {
+    }
+
+    void
+    onRound(int node, uint64_t seq, double compute_sec,
+            double aggregation_sec, int64_t records) override
+    {
+        const size_t cell = seq * nodes_ + node;
+        compute_[cell] = compute_sec;
+        agg_[cell] = aggregation_sec;
+        records_[cell] = records;
+    }
+
+    void
+    onModel(uint64_t seq, std::vector<double> model) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        models_.emplace_back(seq, std::move(model));
+        cv_.notify_all();
+    }
+
+    /** Blocks for the next model in the master's stream. */
+    std::pair<uint64_t, std::vector<double>>
+    nextModel()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return !models_.empty(); });
+        auto entry = std::move(models_.front());
+        models_.pop_front();
+        return entry;
+    }
+
+    double
+    compute(uint64_t seq, int node) const
+    {
+        return compute_[seq * nodes_ + node];
+    }
+    double
+    agg(uint64_t seq, int node) const
+    {
+        return agg_[seq * nodes_ + node];
+    }
+    int64_t
+    records(uint64_t seq, int node) const
+    {
+        return records_[seq * nodes_ + node];
+    }
+
+  private:
+    uint64_t rounds_;
+    size_t nodes_;
+    std::vector<double> compute_;
+    std::vector<double> agg_;
+    std::vector<int64_t> records_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::pair<uint64_t, std::vector<double>>> models_;
+};
+
+} // namespace
+
+TrainingReport
+ClusterRuntime::trainPipelined(int epochs)
+{
+    TrainingReport report;
+
+    Rng rng(config_.seed + 1);
+    std::vector<double> model0 =
+        ml::DatasetGenerator::initialModel(workload_, scale_, rng);
+    COSMIC_ASSERT(static_cast<int64_t>(model0.size()) ==
+                      translation_.modelWords,
+                  "initial model does not match the translation layout");
+    report.epochLoss.push_back(
+        reference_.meanLoss(holdout_.data, holdout_.count, model0));
+
+    const int64_t iters_per_epoch =
+        (config_.recordsPerNode + config_.minibatchPerNode - 1) /
+        config_.minibatchPerNode;
+    const uint64_t rounds =
+        static_cast<uint64_t>(epochs) *
+        static_cast<uint64_t>(iters_per_epoch);
+    PipelineCollector collector(rounds, config_.nodes);
+
+    // Launch every node's free-running loop; the workers block on each
+    // other's channels, and the pool holds one thread per node.
+    std::vector<NodeRuntime::PipelineResult> results(config_.nodes);
+    for (const auto &assign : topology_.nodes) {
+        nodeWorkers_->submit(
+            [this, assign, &model0, rounds, &collector, &results] {
+                results[assign.id] =
+                    nodeRuntimes_[assign.id]->runPipelined(
+                        assign, topology_, model0, rounds, collector);
+            });
+    }
+
+    // Consume the master's model stream. Everything on this thread —
+    // including the held-out epoch-loss evaluation — overlaps the
+    // cluster's next rounds; under the barrier protocol the whole
+    // cluster idled through it.
+    std::vector<double> model = model0;
+    auto last_arrival = std::chrono::steady_clock::now();
+    for (uint64_t k = 0; k < rounds; ++k) {
+        auto entry = collector.nextModel();
+        COSMIC_ASSERT(entry.first == k,
+                      "master models out of order: got "
+                          << entry.first << " expected " << k);
+        auto now = std::chrono::steady_clock::now();
+        report.iterationSeconds.push_back(
+            std::chrono::duration<double>(now - last_arrival).count());
+        last_arrival = now;
+        pool_->release(std::move(model));
+        model = std::move(entry.second);
+        if ((k + 1) % static_cast<uint64_t>(iters_per_epoch) == 0)
+            report.epochLoss.push_back(reference_.meanLoss(
+                holdout_.data, holdout_.count, model));
+    }
+    nodeWorkers_->waitIdle();
+
+    // Fold the stat matrices into the per-iteration report series.
+    for (uint64_t seq = 0; seq < rounds; ++seq) {
+        double max_c = 0.0, max_a = 0.0, sum_c = 0.0, sum_a = 0.0;
+        int64_t records = 0;
+        for (int n = 0; n < config_.nodes; ++n) {
+            const double c = collector.compute(seq, n);
+            const double a = collector.agg(seq, n);
+            max_c = std::max(max_c, c);
+            max_a = std::max(max_a, a);
+            sum_c += c;
+            sum_a += a;
+            records += collector.records(seq, n);
+        }
+        report.maxNodeComputeSeconds.push_back(max_c);
+        report.aggregationWaitSeconds.push_back(max_a);
+        report.computeSecondsTotal.push_back(sum_c);
+        report.aggregationSecondsTotal.push_back(sum_a);
+        const double iter_sec = report.iterationSeconds[seq];
+        report.recordsPerSecond.push_back(
+            iter_sec > 0.0 ? records / iter_sec : 0.0);
+    }
+    for (const auto &r : results) {
+        recovery_ += r.recovery;
+        report.staleness += r.staleness;
+    }
+    for (const auto &engine : engines_) {
+        if (!engine)
+            continue;
+        report.staleness.stalePartialsAccepted +=
+            engine->staleAccepted();
+        report.staleness.tooStaleDropped += engine->tooStaleDropped();
+        report.staleness.maxEpochLag = std::max(
+            report.staleness.maxEpochLag, engine->maxEpochLag());
+    }
+
+    report.iterations = static_cast<int>(rounds);
+    report.finalModel = std::move(model);
     report.topology = topology_;
     report.recovery = recovery();
     report.net = netStats();

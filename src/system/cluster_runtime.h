@@ -99,6 +99,31 @@ struct ClusterConfig
     FaultPlan faultPlan;
     /** Timeout/retry/eviction policy of the tolerant protocol. */
     FaultToleranceConfig faultTolerance;
+
+    /**
+     * Pipelined iterations: drop the per-iteration cluster barrier
+     * and let every node free-run, gated only by model freshness
+     * (NodeRuntime::runPipelined). With maxStaleness = 0 each node
+     * still waits for the previous round's broadcast before
+     * computing, so the trajectory is bit-identical to the barrier
+     * protocol — but epoch-loss evaluation and slow receivers no
+     * longer stall the cluster. Implied by maxStaleness > 0.
+     * Crash-fault plans fall back to the barrier protocol (eviction
+     * and topology repair need the iteration boundary).
+     */
+    bool overlapIterations = false;
+    /**
+     * Bounded-staleness async SGD: a node may compute round k from a
+     * model up to this many epochs old, and Sigma nodes reject
+     * partials lagging further than this. 0 = synchronous (exact
+     * freshness). Setting this > 0 activates pipelined iterations.
+     */
+    int maxStaleness = 0;
+    /** Streaming aggregation: split partial updates into chunks of
+     *  this many words so partial sums flow up the Sigma tree while
+     *  the rest of the vector is in flight. 0 = whole-vector
+     *  messages (the original zero-copy path). */
+    int64_t streamChunkWords = 0;
 };
 
 /** Per-iteration performance counters (observability). */
@@ -109,6 +134,10 @@ struct IterationStats
     /** Slowest node's post-compute time: waiting on partial updates,
      *  aggregating, and waiting for the model broadcast. */
     double maxAggregationSec = 0.0;
+    /** Cluster-summed gradient-compute seconds. */
+    double sumComputeSec = 0.0;
+    /** Cluster-summed aggregation/communication-wait seconds. */
+    double sumAggregationSec = 0.0;
     /** Training records processed cluster-wide this iteration. */
     int64_t records = 0;
 };
@@ -133,6 +162,18 @@ struct TrainingReport
     /** Slowest node's aggregation/communication wait per iteration —
      *  iteration time not spent computing gradients. */
     std::vector<double> aggregationWaitSeconds;
+    /** Cluster-summed compute seconds per iteration (the Fig. 13
+     *  breakdown's compute half: across all nodes, how much time went
+     *  into gradient sweeps this iteration). */
+    std::vector<double> computeSecondsTotal;
+    /** Cluster-summed aggregation/communication wait per iteration —
+     *  the breakdown's other half. In pipelined mode this includes
+     *  each node's freshness-gate wait. */
+    std::vector<double> aggregationSecondsTotal;
+
+    /** Pipelined-mode staleness counters (all zero under the barrier
+     *  protocol and in strict sync overlap with no faults). */
+    StalenessStats staleness;
 
     /** Recovery/injection counters accumulated over the whole run —
      *  a chaos test reconciles these against its FaultPlan. All zero
@@ -188,6 +229,12 @@ class ClusterRuntime
      *  (rebuilt after a repair hands the node a new engine). */
     std::unique_ptr<NodeRuntime> makeNodeRuntime(int id);
 
+    /** The barrier-free training loop (overlapIterations /
+     *  maxStaleness): launches every node's free-running pipelined
+     *  role and consumes the master's model stream, overlapping
+     *  epoch-loss evaluation with the cluster's next rounds. */
+    TrainingReport trainPipelined(int epochs);
+
     /** Folds the iteration's suspect reports into miss streaks and
      *  evicts nodes past the threshold via Director repair. */
     void applyRepairs();
@@ -223,6 +270,8 @@ class ClusterRuntime
     /** True when the failure-tolerant protocol is active (a fault
      *  plan is installed or the policy is force-enabled). */
     bool faultsActive_ = false;
+    /** True when train() runs the pipelined (barrier-free) loop. */
+    bool pipelineActive_ = false;
     /** Executes the fault plan; null when inactive. */
     std::unique_ptr<FaultInjector> injector_;
     /** Per-node recovery counters for the current iteration (each

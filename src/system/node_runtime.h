@@ -70,6 +70,42 @@ struct NodeRuntimeConfig
      *  bit-identical to the (idempotently re-quantized) copies every
      *  other node receives. */
     net::PayloadKind payload = net::PayloadKind::F64;
+    /**
+     * Bounded-staleness window for the pipelined protocol: a node may
+     * compute round k from a model up to this many epochs old, and a
+     * Sigma accepts partials lagging by at most this much. 0 keeps
+     * strict freshness (the synchronous pipeline — bit-exact with the
+     * barrier protocol).
+     */
+    int maxStaleness = 0;
+    /**
+     * Streaming aggregation: split each partial update into
+     * (offset, span) chunks of this many words so partial sums flow
+     * up the Sigma tree while the rest of the vector is still in
+     * flight. 0 (or >= the model width) sends one whole-vector
+     * message per round — the original zero-copy path.
+     */
+    int64_t streamChunkWords = 0;
+};
+
+/** Pipelined-mode staleness counters (TrainingReport slice). */
+struct StalenessStats
+{
+    /** Rounds a node computed from a model older than the round. */
+    uint64_t staleComputes = 0;
+    /** Rounds that blocked waiting for a fresh-enough model. */
+    uint64_t freshnessWaits = 0;
+    /** Rounds skipped because no fresh-enough model arrived in the
+     *  timeout budget (fault mode only). */
+    uint64_t roundsSkipped = 0;
+    /** Engine: complete partials accepted with a lagging epoch. */
+    uint64_t stalePartialsAccepted = 0;
+    /** Engine: partials rejected by the staleness bound. */
+    uint64_t tooStaleDropped = 0;
+    /** Largest (round - model epoch) lag observed anywhere. */
+    uint64_t maxEpochLag = 0;
+
+    StalenessStats &operator+=(const StalenessStats &o);
 };
 
 /** Executes one node's Sigma/Delta role over a Transport. */
@@ -109,14 +145,59 @@ class NodeRuntime
                    const std::vector<double> &model, uint64_t seq,
                    std::vector<double> &new_model);
 
+    /** Where the pipelined loop reports per-round results. Methods
+     *  are called from the node's worker thread; distinct nodes
+     *  report concurrently. */
+    class PipelineSink
+    {
+      public:
+        virtual ~PipelineSink() = default;
+        /** One node finished (or skipped) round @p seq. */
+        virtual void onRound(int node, uint64_t seq,
+                             double compute_sec,
+                             double aggregation_sec,
+                             int64_t records) = 0;
+        /** The master produced round @p seq's new global model. */
+        virtual void onModel(uint64_t seq,
+                             std::vector<double> model) = 0;
+    };
+
+    /** What a whole pipelined run reported (totals over rounds). */
+    struct PipelineResult
+    {
+        RecoveryStats recovery;
+        StalenessStats staleness;
+    };
+
+    /**
+     * The pipelined protocol: runs this node's role for @p rounds
+     * free-running rounds starting from @p model0 (epoch 0), with no
+     * cluster-wide barrier between iterations. Each node starts round
+     * k as soon as *it* holds a model no staler than maxStaleness
+     * epochs; with maxStaleness = 0 that is exactly the round-(k-1)
+     * broadcast and the trajectory is bit-identical to the barrier
+     * protocol, while a fast node's compute still overlaps the rest
+     * of the cluster's reduction tail.
+     */
+    PipelineResult runPipelined(const NodeAssignment &assign,
+                                const ClusterTopology &topo,
+                                const std::vector<double> &model0,
+                                uint64_t rounds, PipelineSink &sink);
+
   private:
     RecvStatus receiveProtocol(Message &out, double budget_scale,
-                               Result &res);
+                               RecoveryStats &recovery);
     void collectPartials(const NodeAssignment &assign,
                          const std::vector<int> &expected,
                          double budget_scale, Result &res);
     bool awaitBroadcast(const NodeAssignment &assign, uint64_t seq,
                         Message &bcast, Result &res);
+    /** Ships one partial update (whole, or split into streaming
+     *  chunks when streamChunkWords is set); consumes @p update. */
+    void sendUpdate(int to, int from_id, uint64_t seq, uint64_t epoch,
+                    int contributors, std::vector<double> update);
+    /** The staleness gate begin() is armed with for round @p seq. */
+    uint64_t minEpochFor(uint64_t seq) const;
 
     const dfg::Translation &translation_;
     NodeRuntimeConfig config_;

@@ -262,30 +262,141 @@ TEST(AggregationEngine, SteadyStateRoundsDoNotAllocate)
 
 TEST(AggregationEngine, RejectsWrongWidth)
 {
-    // A payload whose word count disagrees with the round width is a
-    // malformed wire message: rejected and counted, never silently
-    // resized into the sum — and the round still completes correctly.
+    // A payload whose (offset, span) cannot fit inside the round
+    // vector is a malformed wire message: rejected and counted, never
+    // silently resized into the sum — and the round still completes
+    // correctly. (A *short* payload inside the width is not malformed
+    // any more — it is a streaming chunk; see below.)
     AggregationEngine engine(AggregationConfig{});
     engine.begin(4, 0);
-    EXPECT_FALSE(engine.onMessage(Message{0, 0, {1.0}}));
+    EXPECT_FALSE(engine.onMessage(Message{0, 0, {}}));
     EXPECT_FALSE(
         engine.onMessage(Message{1, 0, {1.0, 2.0, 3.0, 4.0, 5.0}}));
-    EXPECT_EQ(engine.malformedDropped(), 2u);
+    Message hang{2, 0, {1.0, 2.0}};
+    hang.offset = 3; // 3 + 2 words overhangs the 4-word round
+    EXPECT_FALSE(engine.onMessage(std::move(hang)));
+    EXPECT_EQ(engine.malformedDropped(), 3u);
     EXPECT_EQ(engine.accepted(), 0);
 
-    EXPECT_TRUE(engine.onMessage(Message{2, 0, {1.0, 2.0, 3.0, 4.0}}));
+    EXPECT_TRUE(engine.onMessage(Message{3, 0, {1.0, 2.0, 3.0, 4.0}}));
     auto sum = engine.finish();
     EXPECT_EQ(sum, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
-    // A malformed sender is not marked seen: a well-formed retry from
-    // the same node must still be accepted next round.
+    // An in-width short payload stages as an incomplete chunk; the
+    // sender never counts and is discarded wholesale at finish().
     engine.begin(4, 1);
-    EXPECT_FALSE(engine.onMessage(Message{0, 1, {1.0, 2.0}}));
-    EXPECT_TRUE(engine.onMessage(Message{0, 1, {1.0, 1.0, 1.0, 1.0}}));
-    EXPECT_EQ(engine.malformedDropped(), 3u);
-    // finish() is the round's synchronization point — every begin()
-    // that accepted a message must be finished before teardown.
+    EXPECT_TRUE(engine.onMessage(Message{0, 1, {1.0, 2.0}}));
+    EXPECT_FALSE(engine.senderComplete(0));
+    EXPECT_TRUE(engine.onMessage(Message{1, 1, {5.0, 5.0, 5.0, 5.0}}));
+    sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{5.0, 5.0, 5.0, 5.0}));
+    EXPECT_EQ(engine.incompleteDropped(), 1u);
+    // Neither a malformed nor an incomplete sender is marked seen: a
+    // well-formed retry from the same node must still be accepted
+    // next round.
+    engine.begin(4, 2);
+    EXPECT_TRUE(engine.onMessage(Message{0, 2, {1.0, 1.0, 1.0, 1.0}}));
     sum = engine.finish();
     EXPECT_EQ(sum, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+    EXPECT_EQ(engine.accepted(), 1);
+}
+
+TEST(AggregationEngine, ChunkedSpansReassembleExactly)
+{
+    // Streaming mode: a sender's (offset, span) chunks — delivered out
+    // of order — must reassemble into exactly the whole-vector sum,
+    // and the sender only counts once its spans tile the round width.
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(8, 0);
+
+    auto chunk = [](int from, uint32_t off,
+                    std::vector<double> values) {
+        Message m{from, 0, std::move(values)};
+        m.offset = off;
+        return m;
+    };
+    EXPECT_TRUE(engine.onMessage(chunk(3, 5, {6.0, 7.0, 8.0})));
+    EXPECT_FALSE(engine.senderComplete(3));
+    EXPECT_EQ(engine.contributors(), 0);
+    EXPECT_TRUE(engine.onMessage(chunk(3, 0, {1.0, 2.0})));
+    EXPECT_FALSE(engine.senderComplete(3));
+    EXPECT_TRUE(engine.onMessage(chunk(3, 2, {3.0, 4.0, 5.0})));
+    EXPECT_TRUE(engine.senderComplete(3));
+    EXPECT_EQ(engine.accepted(), 1);
+    EXPECT_EQ(engine.contributors(), 1);
+
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(engine.incompleteDropped(), 0u);
+}
+
+TEST(AggregationEngine, OverlappingSpansRejected)
+{
+    // A duplicated chunk (the wire's duplicated delivery) or any
+    // overlapping span must not double-count words.
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(6, 0);
+    Message a{1, 0, {1.0, 1.0, 1.0, 1.0}};
+    EXPECT_TRUE(engine.onMessage(std::move(a)));
+    Message dup{1, 0, {9.0, 9.0, 9.0}};
+    dup.offset = 2; // overlaps [0,4)
+    EXPECT_FALSE(engine.onMessage(std::move(dup)));
+    EXPECT_EQ(engine.duplicatesDropped(), 1u);
+    Message tail{1, 0, {2.0, 2.0}};
+    tail.offset = 4;
+    EXPECT_TRUE(engine.onMessage(std::move(tail)));
+    EXPECT_TRUE(engine.senderComplete(1));
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1, 1, 1, 1, 2, 2}));
+}
+
+TEST(AggregationEngine, StalenessGateRejectsOldEpochs)
+{
+    // Round 5 with a staleness floor of 3: partials computed from a
+    // model older than epoch 3 are rejected; lagging-but-in-bound
+    // partials are accepted and counted.
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(4, 5, 3);
+
+    Message too_old{0, 5, {1.0, 1.0, 1.0, 1.0}};
+    too_old.epoch = 2;
+    EXPECT_FALSE(engine.onMessage(std::move(too_old)));
+    EXPECT_EQ(engine.tooStaleDropped(), 1u);
+    EXPECT_EQ(engine.accepted(), 0);
+
+    Message lagging{1, 5, {1.0, 1.0, 1.0, 1.0}};
+    lagging.epoch = 3;
+    EXPECT_TRUE(engine.onMessage(std::move(lagging)));
+    Message fresh{2, 5, {2.0, 2.0, 2.0, 2.0}};
+    fresh.epoch = 5;
+    EXPECT_TRUE(engine.onMessage(std::move(fresh)));
+
+    EXPECT_EQ(engine.staleAccepted(), 1u);
+    EXPECT_EQ(engine.maxEpochLag(), 2u);
+    EXPECT_EQ(engine.minEpochAccepted(), 3u);
+    EXPECT_EQ(engine.contributors(), 2);
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{3, 3, 3, 3}));
+}
+
+TEST(AggregationEngine, ChunkEpochIsMinOverChunks)
+{
+    // A chunked sender's effective epoch is the oldest epoch any of
+    // its chunks carried — the conservative reading for the
+    // hierarchy's staleness propagation.
+    AggregationEngine engine(AggregationConfig{});
+    engine.begin(4, 7, 0);
+    Message head{0, 7, {1.0, 1.0}};
+    head.epoch = 7;
+    EXPECT_TRUE(engine.onMessage(std::move(head)));
+    Message tail{0, 7, {1.0, 1.0}};
+    tail.offset = 2;
+    tail.epoch = 6;
+    EXPECT_TRUE(engine.onMessage(std::move(tail)));
+    EXPECT_TRUE(engine.senderComplete(0));
+    EXPECT_EQ(engine.minEpochAccepted(), 6u);
+    EXPECT_EQ(engine.maxEpochLag(), 1u);
+    auto sum = engine.finish();
+    EXPECT_EQ(sum, (std::vector<double>{1, 1, 1, 1}));
 }
 
 TEST(SystemDirector, SingleGroupTopology)

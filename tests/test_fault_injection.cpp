@@ -553,5 +553,86 @@ TEST(FaultInjectionCluster, RandomizedChaosRunStaysSafe)
         EXPECT_EQ(r.nodesEvicted, 0u) << "seed " << seed;
 }
 
+/**
+ * The async leg of the chaos sweep: the same seeded plans, minus
+ * crashes (crash recovery needs the barrier's eviction machinery, and
+ * a crash plan deliberately falls back to it), run through the
+ * pipelined bounded-staleness protocol. The staleness bound must hold
+ * under arbitrary drop/delay/duplicate/straggler chaos.
+ */
+TEST(FaultInjectionCluster, RandomizedChaosAsyncPipelineStaysSafe)
+{
+    uint64_t seed = 42;
+    if (const char *env = std::getenv("COSMIC_FAULT_SEED"))
+        seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+
+    auto cfg = chaosCluster(8, 2);
+    tightWindows(cfg);
+    cfg.maxStaleness = 2;
+    // Re-build the randomized schedule without its crash component so
+    // the pipelined (not the barrier-fallback) protocol runs.
+    auto plan = FaultPlan::randomized(seed, cfg.nodes, 6);
+    for (const auto &f : plan.linkFaults()) {
+        switch (f.kind) {
+          case LinkFaultKind::Drop:
+            cfg.faultPlan.drop(f.from, f.to, f.iteration);
+            break;
+          case LinkFaultKind::Delay:
+            cfg.faultPlan.delay(f.from, f.to, f.iteration, f.delayMs);
+            break;
+          case LinkFaultKind::Duplicate:
+            cfg.faultPlan.duplicate(f.from, f.to, f.iteration);
+            break;
+        }
+    }
+    for (const auto &s : plan.stragglers())
+        cfg.faultPlan.straggle(s.node, s.firstIteration,
+                               s.lastIteration, s.delayMs);
+    if (cfg.faultPlan.empty()) // keep the tolerant protocol exercised
+        cfg.faultPlan.delay(1, 0, 1, 20.0);
+
+    ClusterRuntime runtime(ml::Workload::byName("tumor"), 64.0, cfg);
+    auto report = runtime.train(3); // 6 iterations
+
+    for (double loss : report.epochLoss)
+        ASSERT_TRUE(std::isfinite(loss)) << "seed " << seed;
+    for (double w : report.finalModel)
+        ASSERT_TRUE(std::isfinite(w)) << "seed " << seed;
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front())
+        << "seed " << seed;
+    // The master free-runs: every round must have produced a model.
+    EXPECT_EQ(report.iterations, 6) << "seed " << seed;
+    // The bound is the contract: no accepted partial may lag further,
+    // no matter what the wire did.
+    EXPECT_LE(report.staleness.maxEpochLag, 2u) << "seed " << seed;
+    // Pipelined mode never evicts — skipped rounds are absorbed by
+    // the k-of-n rescaling instead of topology repair.
+    EXPECT_EQ(report.topology.nodes.size(), 8u) << "seed " << seed;
+    EXPECT_EQ(report.recovery.nodesEvicted, 0u) << "seed " << seed;
+}
+
+TEST(FaultInjectionCluster, AsyncPipelineAbsorbsDroppedBroadcast)
+{
+    // Dropping one master -> GroupSigma model broadcast in async mode
+    // must not stall the cluster: the group keeps computing inside
+    // its staleness budget and re-synchronizes on the next round's
+    // broadcast (only the one delivery is eaten).
+    auto cfg = chaosCluster(8, 2);
+    cfg.maxStaleness = 2;
+    const int sigma = 4; // second group's Sigma under (8, 2)
+    cfg.faultPlan.drop(0, sigma, 1);
+
+    ClusterRuntime runtime(ml::Workload::byName("tumor"), 64.0, cfg);
+    auto report = runtime.train(3);
+
+    EXPECT_EQ(report.iterations, 6);
+    EXPECT_EQ(report.recovery.messagesDropped, 1u);
+    for (double loss : report.epochLoss)
+        ASSERT_TRUE(std::isfinite(loss));
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front());
+    EXPECT_LE(report.staleness.maxEpochLag, 2u);
+    EXPECT_EQ(report.recovery.nodesEvicted, 0u);
+}
+
 } // namespace
 } // namespace cosmic::sys

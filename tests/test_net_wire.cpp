@@ -24,6 +24,10 @@ randomMessage(Rng &rng, size_t max_words)
     msg.from = static_cast<int>(rng.uniform(0.0, 64.0));
     msg.seq = static_cast<uint64_t>(rng.uniform(0.0, 1e9));
     msg.contributors = static_cast<int>(rng.uniform(1.0, 1000.0));
+    msg.kind = rng.uniform(0.0, 1.0) < 0.5 ? sys::MsgKind::Update
+                                           : sys::MsgKind::Model;
+    msg.epoch = static_cast<uint64_t>(rng.uniform(0.0, 1e9));
+    msg.offset = static_cast<uint32_t>(rng.uniform(0.0, 1e6));
     const size_t words =
         static_cast<size_t>(rng.uniform(0.0, double(max_words + 1)));
     msg.payload.resize(words);
@@ -51,10 +55,13 @@ roundTrip(const sys::Message &msg, PayloadKind kind)
     EXPECT_EQ(frame_bytes, bytes.size());
     EXPECT_EQ(hdr.frame, FrameKind::Partial);
     EXPECT_EQ(hdr.payload, kind);
+    EXPECT_EQ(hdr.kind, msg.kind);
     EXPECT_EQ(hdr.from, msg.from);
     EXPECT_EQ(hdr.seq, msg.seq);
     EXPECT_EQ(hdr.contributors, msg.contributors);
     EXPECT_EQ(hdr.words, msg.payload.size());
+    EXPECT_EQ(hdr.offset, msg.offset);
+    EXPECT_EQ(hdr.epoch, msg.epoch);
 
     sys::Message out;
     decodeMessage(hdr, bytes.data(), out, nullptr);
@@ -72,6 +79,9 @@ TEST(NetWire, RoundTripF64IsBitExactAcrossSeeds)
         EXPECT_EQ(out.from, msg.from);
         EXPECT_EQ(out.seq, msg.seq);
         EXPECT_EQ(out.contributors, msg.contributors);
+        EXPECT_EQ(out.kind, msg.kind);
+        EXPECT_EQ(out.epoch, msg.epoch);
+        EXPECT_EQ(out.offset, msg.offset);
         ASSERT_EQ(out.payload.size(), msg.payload.size());
         for (size_t i = 0; i < msg.payload.size(); ++i)
             EXPECT_EQ(std::memcmp(&out.payload[i], &msg.payload[i],
@@ -139,11 +149,17 @@ TEST(NetWire, EmptyAndExtremeMessagesRoundTrip)
     extreme.from = std::numeric_limits<int32_t>::max();
     extreme.seq = std::numeric_limits<uint64_t>::max();
     extreme.contributors = std::numeric_limits<int32_t>::max();
+    extreme.kind = sys::MsgKind::Model;
+    extreme.epoch = std::numeric_limits<uint64_t>::max();
+    extreme.offset = std::numeric_limits<uint32_t>::max();
     extreme.payload = {0.0, -0.0, 1e-300, -1e300};
     out = roundTrip(extreme, PayloadKind::F64);
     EXPECT_EQ(out.from, extreme.from);
     EXPECT_EQ(out.seq, extreme.seq);
     EXPECT_EQ(out.contributors, extreme.contributors);
+    EXPECT_EQ(out.kind, extreme.kind);
+    EXPECT_EQ(out.epoch, extreme.epoch);
+    EXPECT_EQ(out.offset, extreme.offset);
     ASSERT_EQ(out.payload.size(), extreme.payload.size());
     for (size_t i = 0; i < out.payload.size(); ++i)
         EXPECT_EQ(std::memcmp(&out.payload[i], &extreme.payload[i],
@@ -220,10 +236,15 @@ TEST(NetWire, CorruptFramesAreRejected)
         b[10] = 0x7F;
         expectCorrupt(b, "bad payload kind");
     }
-    { // Nonzero reserved byte.
+    { // Unknown message kind.
         auto b = good;
-        b[11] = 1;
-        expectCorrupt(b, "reserved byte set");
+        b[11] = 0x7F;
+        expectCorrupt(b, "bad message kind");
+    }
+    { // Nonzero reserved word.
+        auto b = good;
+        b[44] = 1;
+        expectCorrupt(b, "reserved word set");
     }
     { // Sizing guard: the length field disagrees with the word count
       // (a short length would silently truncate the payload).
@@ -237,12 +258,50 @@ TEST(NetWire, CorruptFramesAreRejected)
     { // Absurd word count (corruption guard, > kMaxFrameWords).
         auto b = good;
         const uint32_t words = kMaxFrameWords + 1;
-        const uint32_t length =
-            24 + words * 8; // keep length consistent: still corrupt
+        const uint32_t length = static_cast<uint32_t>(
+            kFrameHeaderBytes - 8 +
+            words * 8ull); // keep length consistent: still corrupt
         std::memcpy(b.data() + 4, &length, 4);
         std::memcpy(b.data() + 28, &words, 4);
         expectCorrupt(b, "oversized word count");
     }
+}
+
+TEST(NetWire, V1FramesAreRejectedNotMisparsed)
+{
+    // Decode compatibility across the v1 -> v2 header change: a
+    // hand-crafted v1 frame (32-byte header, no message kind / chunk
+    // offset / epoch fields) must be flagged Corrupt — the peer is
+    // running an incompatible protocol and the connection drops —
+    // never parsed as a v2 frame with garbage field values.
+    std::vector<uint8_t> v1;
+    auto put32 = [&](uint32_t v) {
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+        v1.insert(v1.end(), p, p + 4);
+    };
+    auto put64 = [&](uint64_t v) {
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+        v1.insert(v1.end(), p, p + 8);
+    };
+    put32(kWireMagic);
+    put32(24 + 2 * 8);     // v1 length: 24 header-tail bytes + payload
+    v1.push_back(1);       // v1 protocol version
+    v1.push_back(1);       // frame kind: Partial
+    v1.push_back(0);       // payload kind: F64
+    v1.push_back(0);       // v1 reserved byte
+    put32(3);              // from
+    put64(7);              // seq
+    put32(1);              // contributors
+    put32(2);              // words
+    const double payload[2] = {1.5, -2.5};
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(payload);
+    v1.insert(v1.end(), p, p + sizeof(payload));
+    ASSERT_EQ(v1.size(), 48u); // 32-byte v1 header + 2 F64 words
+
+    WireHeader hdr;
+    size_t frame_bytes = 0;
+    EXPECT_EQ(peekFrame(v1.data(), v1.size(), hdr, frame_bytes),
+              FrameStatus::Corrupt);
 }
 
 TEST(NetWire, BackToBackFramesParseInSequence)

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Pipelined-iteration tests: the barrier-free training loop
+ * (ClusterConfig::overlapIterations) must be bit-identical to the
+ * barrier protocol in synchronous mode (maxStaleness = 0) on every
+ * workload, payload encoding, and transport backend; bounded-staleness
+ * async mode (maxStaleness > 0) must converge while never exceeding
+ * its staleness bound; and streaming chunked aggregation
+ * (streamChunkWords) must reassemble to exactly the whole-vector sum.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ml/workloads.h"
+#include "system/cluster_runtime.h"
+
+namespace cosmic::sys {
+namespace {
+
+ClusterConfig
+smallCluster(int nodes = 4, int groups = 0)
+{
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.groups = groups;
+    cfg.minibatchPerNode = 32;
+    cfg.recordsPerNode = 64;
+    cfg.aggregation.deterministic = true;
+    return cfg;
+}
+
+void
+expectBitEqual(const std::vector<double> &a,
+               const std::vector<double> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << what << " word " << i;
+}
+
+/** One cell of the sync-overlap bit-exactness matrix. */
+struct OverlapCase
+{
+    const char *workload;
+    net::PayloadKind payload;
+    net::TransportKind transport;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<OverlapCase> &info)
+{
+    std::string name = info.param.workload;
+    name += info.param.payload == net::PayloadKind::Q16 ? "_q16"
+                                                        : "_f64";
+    name += info.param.transport == net::TransportKind::Tcp
+                ? "_tcp"
+                : "_inproc";
+    return name;
+}
+
+class SyncOverlapBitExact
+    : public ::testing::TestWithParam<OverlapCase>
+{
+};
+
+TEST_P(SyncOverlapBitExact, MatchesBarrierTrajectory)
+{
+    const OverlapCase &p = GetParam();
+    ClusterConfig cfg = smallCluster();
+    cfg.transport.payload = p.payload;
+    cfg.transport.kind = p.transport;
+
+    ClusterRuntime barrier(ml::Workload::byName(p.workload), 64.0,
+                           cfg);
+    TrainingReport base = barrier.train(2);
+
+    cfg.overlapIterations = true;
+    ClusterRuntime overlap(ml::Workload::byName(p.workload), 64.0,
+                           cfg);
+    TrainingReport piped = overlap.train(2);
+
+    // Strict freshness (maxStaleness = 0) makes every node compute
+    // each round from bit-equal model snapshots, and the
+    // deterministic fold makes each round a pure function of its
+    // inputs — the whole trajectory must match the barrier protocol
+    // bit for bit.
+    EXPECT_EQ(piped.iterations, base.iterations);
+    expectBitEqual(piped.finalModel, base.finalModel, "final model");
+    ASSERT_EQ(piped.epochLoss.size(), base.epochLoss.size());
+    for (size_t i = 0; i < base.epochLoss.size(); ++i)
+        EXPECT_EQ(piped.epochLoss[i], base.epochLoss[i])
+            << "epoch " << i;
+
+    // No staleness machinery may fire in synchronous mode.
+    EXPECT_EQ(piped.staleness.staleComputes, 0u);
+    EXPECT_EQ(piped.staleness.roundsSkipped, 0u);
+    EXPECT_EQ(piped.staleness.stalePartialsAccepted, 0u);
+    EXPECT_EQ(piped.staleness.tooStaleDropped, 0u);
+    EXPECT_EQ(piped.staleness.maxEpochLag, 0u);
+}
+
+std::vector<OverlapCase>
+overlapMatrix()
+{
+    std::vector<OverlapCase> cases;
+    for (const auto &w : ml::Workload::suite())
+        for (net::PayloadKind payload :
+             {net::PayloadKind::F64, net::PayloadKind::Q16})
+            for (net::TransportKind transport :
+                 {net::TransportKind::InProcess,
+                  net::TransportKind::Tcp})
+                cases.push_back({w.name.c_str(), payload, transport});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SyncOverlapBitExact,
+                         ::testing::ValuesIn(overlapMatrix()),
+                         caseName);
+
+TEST(PipelinedCluster, SyncOverlapIsDeterministicAcrossRuns)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.overlapIterations = true;
+    ClusterRuntime r1(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport a = r1.train(2);
+    ClusterRuntime r2(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport b = r2.train(2);
+    expectBitEqual(a.finalModel, b.finalModel, "final model");
+}
+
+TEST(PipelinedCluster, ChunkedStreamingMatchesWholeVector)
+{
+    // Chunked partials (an odd, non-divisor span) must reassemble to
+    // exactly the whole-vector trajectory — barrier and pipelined.
+    ClusterConfig cfg = smallCluster();
+    ClusterRuntime whole(ml::Workload::byName("tumor"), 64.0, cfg);
+    TrainingReport base = whole.train(2);
+
+    cfg.streamChunkWords = 7;
+    ClusterRuntime chunked(ml::Workload::byName("tumor"), 64.0, cfg);
+    TrainingReport stream = chunked.train(2);
+    expectBitEqual(stream.finalModel, base.finalModel,
+                   "barrier chunked");
+
+    cfg.overlapIterations = true;
+    ClusterRuntime piped(ml::Workload::byName("tumor"), 64.0, cfg);
+    TrainingReport overlap = piped.train(2);
+    expectBitEqual(overlap.finalModel, base.finalModel,
+                   "pipelined chunked");
+}
+
+TEST(PipelinedCluster, ChunkedStreamingMatchesOverTcp)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.transport.kind = net::TransportKind::Tcp;
+    ClusterRuntime whole(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport base = whole.train(2);
+
+    cfg.streamChunkWords = 5;
+    cfg.overlapIterations = true;
+    ClusterRuntime chunked(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport stream = chunked.train(2);
+    expectBitEqual(stream.finalModel, base.finalModel, "tcp chunked");
+    EXPECT_GT(stream.net.framesSent, base.net.framesSent)
+        << "chunking must actually split frames";
+}
+
+TEST(PipelinedCluster, AsyncStaysWithinStalenessBound)
+{
+    // Bounded-staleness async SGD: training must still converge, and
+    // no accepted partial — anywhere in the hierarchy — may lag the
+    // round by more than the configured bound.
+    ClusterConfig cfg = smallCluster(8, 2);
+    cfg.maxStaleness = 2;
+    cfg.aggregation.deterministic = false; // async folds streamingly
+    ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport report = runtime.train(4);
+
+    EXPECT_EQ(report.iterations, 8);
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front())
+        << "async training must still learn";
+    EXPECT_LE(report.staleness.maxEpochLag, 2u);
+    // With no faults the staleness gate never rejects: each node's
+    // own freshness gate keeps it from computing beyond the bound.
+    EXPECT_EQ(report.staleness.tooStaleDropped, 0u);
+    EXPECT_EQ(report.staleness.roundsSkipped, 0u);
+}
+
+TEST(PipelinedCluster, AsyncBatchedGradientConverges)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.mode = TrainingMode::BatchedGradient;
+    cfg.learningRate = 0.4;
+    cfg.maxStaleness = 1;
+    cfg.aggregation.deterministic = false;
+    ClusterRuntime runtime(ml::Workload::byName("tumor"), 64.0, cfg);
+    TrainingReport report = runtime.train(4);
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front());
+    EXPECT_LE(report.staleness.maxEpochLag, 1u);
+}
+
+TEST(PipelinedCluster, AsyncOverTcpConverges)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.transport.kind = net::TransportKind::Tcp;
+    cfg.maxStaleness = 2;
+    cfg.aggregation.deterministic = false;
+    ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport report = runtime.train(4);
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front());
+    EXPECT_LE(report.staleness.maxEpochLag, 2u);
+    EXPECT_GT(report.net.framesSent, 0u);
+    EXPECT_EQ(report.net.corruptFramesDropped, 0u);
+}
+
+TEST(PipelinedCluster, ReportsComputeVsAggregationBreakdown)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.overlapIterations = true;
+    ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport report = runtime.train(2);
+    ASSERT_EQ(report.computeSecondsTotal.size(),
+              static_cast<size_t>(report.iterations));
+    ASSERT_EQ(report.aggregationSecondsTotal.size(),
+              static_cast<size_t>(report.iterations));
+    double compute = 0.0;
+    for (double s : report.computeSecondsTotal)
+        compute += s;
+    EXPECT_GT(compute, 0.0) << "someone must have computed gradients";
+    for (size_t i = 0; i < report.computeSecondsTotal.size(); ++i) {
+        EXPECT_GE(report.computeSecondsTotal[i], 0.0);
+        EXPECT_GE(report.aggregationSecondsTotal[i], 0.0);
+    }
+}
+
+TEST(PipelinedCluster, SingleNodeDegenerateCluster)
+{
+    ClusterConfig cfg = smallCluster(1, 1);
+    cfg.overlapIterations = true;
+    ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
+    TrainingReport report = runtime.train(2);
+    EXPECT_EQ(report.iterations, 4);
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front());
+}
+
+TEST(PipelinedCluster, SteadyStateRoundsDoNotGrowAllocations)
+{
+    // The pipelined loop must recycle every buffer it touches: more
+    // epochs may not mean proportionally more pool allocations. The
+    // ceiling is generous (in-flight peaks vary with timing), but a
+    // per-round leak would blow far past it.
+    ClusterConfig cfg = smallCluster();
+    cfg.overlapIterations = true;
+
+    ClusterRuntime short_run(ml::Workload::byName("stock"), 64.0,
+                             cfg);
+    short_run.train(1); // 2 rounds
+    const uint64_t warm = short_run.bufferPool().allocations();
+
+    ClusterRuntime long_run(ml::Workload::byName("stock"), 64.0, cfg);
+    long_run.train(8); // 16 rounds
+    const uint64_t sustained = long_run.bufferPool().allocations();
+    EXPECT_LE(sustained, warm * 2 + 16)
+        << "pipelined rounds must reuse pooled buffers";
+}
+
+} // namespace
+} // namespace cosmic::sys

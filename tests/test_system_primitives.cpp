@@ -308,6 +308,119 @@ TEST(CircularBuffer, ConcurrentStressNoLossNoDup)
     EXPECT_LE(ring.highWater(), ring.capacity());
 }
 
+TEST(CircularBuffer, WrapAroundPreservesFifoAcrossManyCycles)
+{
+    // A tiny ring forced through every head position: push two, pop
+    // one, so the occupancy oscillates and head_ wraps dozens of
+    // times. Order must stay strictly FIFO through every wrap.
+    CircularBuffer ring(3);
+    int64_t next_push = 0;
+    int64_t next_pop = 0;
+    Chunk c;
+    for (int step = 0; step < 50; ++step) {
+        ring.push(Chunk{0, next_push++});
+        if (ring.size() == ring.capacity() || step % 2 == 1) {
+            ASSERT_TRUE(ring.pop(c));
+            EXPECT_EQ(c.offset, next_pop++);
+        }
+    }
+    while (ring.size() > 0) {
+        ASSERT_TRUE(ring.pop(c));
+        EXPECT_EQ(c.offset, next_pop++);
+    }
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(CircularBuffer, FullEmptyTransitionsKeepSizeExact)
+{
+    // Repeatedly swing between completely full and completely empty;
+    // size() must be exact at every step and the high-water mark must
+    // settle at capacity, never past it.
+    CircularBuffer ring(4);
+    Chunk c;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        for (int i = 0; i < 4; ++i) {
+            ring.push(Chunk{0, i});
+            EXPECT_EQ(ring.size(), static_cast<size_t>(i + 1));
+        }
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(ring.pop(c));
+            EXPECT_EQ(ring.size(), static_cast<size_t>(3 - i));
+        }
+    }
+    EXPECT_EQ(ring.highWater(), 4u);
+}
+
+TEST(CircularBuffer, ConsumerBlocksOnEmptyUntilProduced)
+{
+    CircularBuffer ring(2);
+    std::atomic<bool> popped{false};
+    Chunk got;
+    std::thread consumer([&] {
+        ASSERT_TRUE(ring.pop(got));
+        popped = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(popped);
+
+    ring.push(Chunk{0, 42});
+    consumer.join();
+    EXPECT_TRUE(popped);
+    EXPECT_EQ(got.offset, 42);
+}
+
+TEST(CircularBuffer, CloseDrainsThenUnblocksEveryone)
+{
+    // Close with items still queued: consumers must drain what is
+    // there, then get false; a producer blocked on a full ring must
+    // wake instead of hanging forever.
+    CircularBuffer ring(2);
+    ring.push(Chunk{0, 0});
+    ring.push(Chunk{0, 1});
+
+    std::atomic<bool> producer_done{false};
+    std::thread producer([&] {
+        ring.push(Chunk{0, 2}); // blocks: ring full
+        producer_done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(producer_done);
+
+    ring.close();
+    producer.join(); // close() must wake the blocked producer
+    EXPECT_TRUE(producer_done);
+
+    Chunk c;
+    ASSERT_TRUE(ring.pop(c));
+    EXPECT_EQ(c.offset, 0);
+    ASSERT_TRUE(ring.pop(c));
+    EXPECT_EQ(c.offset, 1);
+    EXPECT_FALSE(ring.pop(c)) << "closed and drained rings pop false";
+    EXPECT_FALSE(ring.pop(c)) << "and keep doing so";
+}
+
+TEST(CircularBuffer, ConcurrentPairHammersWrapAndTransitions)
+{
+    // One producer, one consumer, capacity 2: nearly every operation
+    // is a full/empty transition and the head wraps constantly. FIFO
+    // order must survive, and both sides must finish (no lost
+    // wakeups).
+    CircularBuffer ring(2);
+    const int64_t total = 2000;
+    std::thread producer([&] {
+        for (int64_t i = 0; i < total; ++i)
+            ring.push(Chunk{0, i});
+    });
+    Chunk c;
+    for (int64_t i = 0; i < total; ++i) {
+        ASSERT_TRUE(ring.pop(c));
+        ASSERT_EQ(c.offset, i) << "FIFO broken at element " << i;
+    }
+    producer.join();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_LE(ring.highWater(), ring.capacity());
+}
+
 TEST(BufferPool, RecyclesCapacityAndCountsAllocations)
 {
     BufferPool pool;

@@ -447,5 +447,36 @@ TEST(Tape, TrainingReportCarriesPerfCounters)
     }
 }
 
+TEST(Tape, LaneEnvParserAcceptsSupportedWidths)
+{
+    EXPECT_EQ(dfg::parseTapeLanesEnv("1"), 1);
+    EXPECT_EQ(dfg::parseTapeLanesEnv("4"), 4);
+    EXPECT_EQ(dfg::parseTapeLanesEnv("8"), dfg::kMaxTapeLanes);
+}
+
+TEST(Tape, LaneEnvParserRejectsGarbageWithClearError)
+{
+    // A set-but-broken COSMIC_TAPE_LANES must fail loudly instead of
+    // silently running at a width the user did not ask for.
+    EXPECT_THROW(dfg::parseTapeLanesEnv(""), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("banana"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("4x"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv(" 4"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("0"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("2"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("16"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("-8"), CosmicError);
+    EXPECT_THROW(dfg::parseTapeLanesEnv("99999999999999999999"),
+                 CosmicError);
+    try {
+        dfg::parseTapeLanesEnv("3");
+        FAIL() << "lane width 3 must be rejected";
+    } catch (const CosmicError &e) {
+        EXPECT_NE(std::string(e.what()).find("COSMIC_TAPE_LANES"),
+                  std::string::npos)
+            << "error must name the knob: " << e.what();
+    }
+}
+
 } // namespace
 } // namespace cosmic
