@@ -7,9 +7,13 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "common/rng.h"
 #include "compiler/pipeline.h"
 #include "dfg/interp.h"
+#include "dfg/tape.h"
+#include "jit/kernel_cache.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 #include "planner/planner.h"
@@ -187,6 +191,51 @@ BM_AggregationRound(benchmark::State &state)
 }
 BENCHMARK(BM_AggregationRound)->Arg(4096)->Arg(65536);
 
+void
+BM_JitAcquireWarm(benchmark::State &state)
+{
+    // Warm-path cost of the native-kernel cache: re-emit the C source,
+    // hash it, and hit the in-memory kernel map. The first call pays
+    // the one-off cold compile (or a disk dlopen if a previous run left
+    // the .so behind); every timed iteration after that is a lookup.
+    if (!jit::KernelCache::toolchainAvailable()) {
+        state.SkipWithError("no jit toolchain");
+        return;
+    }
+    auto tr = compile::translateSource(faceWorkload().dslSource(8));
+    dfg::Tape tape(tr);
+    jit::KernelCache::instance().acquire(tape, 8);
+    for (auto _ : state) {
+        auto kernel = jit::KernelCache::instance().acquire(tape, 8);
+        benchmark::DoNotOptimize(kernel.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JitAcquireWarm);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // One consolidated line per cache so CI logs show how much of the
+    // run above was served from the build stack's caches.
+    const auto stats = compile::BuildCache::instance().stats();
+    std::printf("build-cache: hits=%lld misses=%lld entries=%lld\n",
+                static_cast<long long>(stats.hits),
+                static_cast<long long>(stats.misses),
+                static_cast<long long>(stats.entries));
+    std::printf("jit-cache: hits=%lld disk_hits=%lld misses=%lld "
+                "compile_ms=%.1f fallbacks=%lld\n",
+                static_cast<long long>(stats.jitHits),
+                static_cast<long long>(stats.jitDiskHits),
+                static_cast<long long>(stats.jitMisses), stats.jitCompileMs,
+                static_cast<long long>(stats.jitFallbacks));
+    return 0;
+}

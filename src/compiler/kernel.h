@@ -15,6 +15,7 @@
 #include "compiler/mapper.h"
 #include "compiler/memory_schedule.h"
 #include "compiler/scheduler.h"
+#include "dfg/tape.h"
 #include "dfg/translator.h"
 
 namespace cosmic::compiler {
@@ -50,6 +51,15 @@ struct CompileOptions
      */
     int forceThreads = 0;
     int forceRowsPerThread = 0;
+
+    /**
+     * Compute kernel the training hot path runs (dfg/tape.h): the
+     * interpreter tape, or native code JIT-compiled per (DFG, lane
+     * width, quantizer) with graceful fallback to the interpreter.
+     * Auto follows COSMIC_TAPE_JIT (a *set* variable overrides even an
+     * explicit choice here); results are bit-exact either way.
+     */
+    dfg::TapeBackend tapeBackend = dfg::TapeBackend::Auto;
 
     /** Convenience: same options with all DFG passes toggled. */
     CompileOptions

@@ -8,6 +8,7 @@
 #include "accel/fixed_point.h"
 #include "common/error.h"
 #include "dsl/parser.h"
+#include "jit/kernel_cache.h"
 
 namespace cosmic::compile {
 
@@ -68,6 +69,7 @@ fullOptionsKey(const compiler::CompileOptions &o)
     appendInt(key, o.pruneSmallRows);
     appendInt(key, o.forceThreads);
     appendInt(key, o.forceRowsPerThread);
+    appendInt(key, static_cast<int64_t>(o.tapeBackend));
     return key;
 }
 
@@ -319,7 +321,7 @@ Pipeline::tape()
     if (!tape_) {
         const auto &tr = optimized();
         auto start = std::chrono::steady_clock::now();
-        tape_.emplace(tr, accel::quantizeToFixed);
+        tape_.emplace(tr, accel::quantizeToFixed, options_.tapeBackend);
         PassStats s{"tape", secondsSince(start), 0, 0, 0, 0};
         s.nodesBefore = tr.dfg.size();
         s.nodesAfter = tape_->instructionCount();
@@ -434,11 +436,20 @@ BuildCache::putBuild(const std::string &key,
 BuildCacheStats
 BuildCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
     BuildCacheStats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.entries = static_cast<int64_t>(frontend_.size() + builds_.size());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.hits = hits_;
+        s.misses = misses_;
+        s.entries =
+            static_cast<int64_t>(frontend_.size() + builds_.size());
+    }
+    const jit::JitStats js = jit::KernelCache::instance().stats();
+    s.jitHits = js.hits;
+    s.jitDiskHits = js.diskHits;
+    s.jitMisses = js.misses;
+    s.jitCompileMs = js.compileMs;
+    s.jitFallbacks = js.fallbacks;
     return s;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "dfg/interp.h"
+#include "jit/kernel_cache.h"
 
 namespace cosmic::dfg {
 
@@ -57,6 +58,22 @@ parseTapeLanesEnv(const char *env)
     return static_cast<int>(v);
 }
 
+bool
+parseTapeJitEnv(const char *env)
+{
+    if (env == nullptr || *env == '\0')
+        COSMIC_FATAL("COSMIC_TAPE_JIT is set but empty: expected 0 "
+                     "(interpreter tape) or 1 (jit)");
+    if (env[0] == '0' && env[1] == '\0')
+        return false;
+    if (env[0] == '1' && env[1] == '\0')
+        return true;
+    COSMIC_FATAL("COSMIC_TAPE_JIT='"
+                 << env
+                 << "' is not a recognized value: expected 0 "
+                    "(interpreter tape) or 1 (jit)");
+}
+
 int
 defaultTapeLanes()
 {
@@ -67,8 +84,9 @@ defaultTapeLanes()
     return lanes;
 }
 
-Tape::Tape(const Translation &translation, double (*quantizer)(double))
-    : tr_(&translation), quantizer_(quantizer)
+Tape::Tape(const Translation &translation, double (*quantizer)(double),
+           TapeBackend backend)
+    : tr_(&translation), quantizer_(quantizer), backend_(backend)
 {
     const Dfg &dfg = tr_->dfg;
     const int64_t n = dfg.size();
@@ -135,6 +153,21 @@ TapeExecutor::setLaneWidth(int lanes)
                   "lane width must be 1, 4 or " << kMaxTapeLanes
                   << ", got " << lanes);
     lanes_ = lanes;
+}
+
+bool
+TapeExecutor::prepareNative()
+{
+    // Memoized per lane width — including failed resolutions, so the
+    // interpreter fallback costs one compare per batch, not a kernel
+    // cache round trip (let alone a toolchain probe).
+    if (nativeLanes_ == lanes_)
+        return native_ != nullptr;
+    nativeLanes_ = lanes_;
+    native_.reset();
+    if (jit::jitRequested(tape_.backend_))
+        native_ = jit::KernelCache::instance().acquire(tape_, lanes_);
+    return native_ != nullptr;
 }
 
 template <bool Quantized, bool GatherModel>
@@ -324,6 +357,13 @@ TapeExecutor::runBatch(std::span<const double> records,
                       tr.gradientWords,
                   "gradient accumulator shorter than gradientWords");
 
+    prepareNative();
+    if (native_) {
+        native_->runBatch(records.data(), record_count, model.data(),
+                          grad_accum.data());
+        return;
+    }
+
     const double *rec = records.data();
     const double *mod = model.data();
     const bool quantized = tape_.quantizer_ != nullptr;
@@ -430,6 +470,13 @@ TapeExecutor::sgdSweep(std::span<const double> records,
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) >= tr.modelWords,
                   "model shorter than the translation's layout");
 
+    prepareNative();
+    if (native_ && native_->sgdSweep) {
+        native_->sgdSweep(records.data(), record_count, model.data(),
+                          learning_rate);
+        return;
+    }
+
     const double *rec = records.data();
     double *mod = model.data();
     const int32_t *slots = tape_.gradSlots_.data();
@@ -452,6 +499,17 @@ TapeExecutor::sgdSweepLanes(std::span<SweepLane> lanes,
     const dfg::Translation &tr = *tape_.tr_;
     COSMIC_ASSERT(tr.gradientWords == tr.modelWords,
                   "SGD requires one gradient element per parameter");
+    // Every lane is an independent sweep and the lockstep path is
+    // defined to be bit-exact against per-lane scalar sweeps, so the
+    // native scalar sweep can drain the lanes one by one.
+    prepareNative();
+    if (native_ && native_->sgdSweep) {
+        for (SweepLane &lane : lanes)
+            native_->sgdSweep(lane.records, lane.count, lane.model,
+                              learning_rate);
+        return;
+    }
+
     const int n = static_cast<int>(lanes.size());
     const bool quantized = tape_.quantizer_ != nullptr;
     if (n == 4) {

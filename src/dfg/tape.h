@@ -43,15 +43,49 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dfg/translator.h"
 
+namespace cosmic::jit {
+struct NativeTapeKernel;
+}
+
 namespace cosmic::dfg {
 
 /** Lane stride of the SoA scratch — the widest supported lane batch. */
 inline constexpr int kMaxTapeLanes = 8;
+
+/**
+ * Which compute kernel a TapeExecutor runs.
+ *
+ *  - Interp: the in-process dispatch loop over the instruction stream
+ *    (always available).
+ *  - Jit: specialized C source emitted per (DFG, lane width, quantizer),
+ *    compiled with the system toolchain and dlopen'ed (src/jit/). Falls
+ *    back to Interp — with a counted, logged reason — when no compiler
+ *    is available or compilation fails. Bit-exact against Interp.
+ *  - Auto: follow the COSMIC_TAPE_JIT environment variable (1 = Jit,
+ *    0 = Interp, unset = Interp).
+ *
+ * A set COSMIC_TAPE_JIT always wins, even over an explicit backend
+ * choice, so a whole test/bench run can be forced through either
+ * kernel without touching code.
+ */
+enum class TapeBackend : uint8_t
+{
+    Auto,
+    Interp,
+    Jit,
+};
+
+/**
+ * Strict parser behind the COSMIC_TAPE_JIT knob (exposed for tests):
+ * @p env must be exactly "0" or "1". Throws CosmicError otherwise.
+ */
+bool parseTapeJitEnv(const char *env);
 
 /**
  * Default lane width for batched execution. Tunable per process via
@@ -108,12 +142,32 @@ class Tape
      *        buffered value, exactly as in the Interpreter (constants
      *        are quantized once, here at lowering time). Null = exact
      *        doubles.
+     * @param backend Which compute kernel executors over this tape
+     *        should run (see TapeBackend; the COSMIC_TAPE_JIT
+     *        environment variable overrides).
      */
     explicit Tape(const Translation &translation,
-                  double (*quantizer)(double) = nullptr);
+                  double (*quantizer)(double) = nullptr,
+                  TapeBackend backend = TapeBackend::Auto);
 
     const Translation &translation() const { return *tr_; }
     bool quantized() const { return quantizer_ != nullptr; }
+    double (*quantizer() const)(double) { return quantizer_; }
+    TapeBackend backend() const { return backend_; }
+
+    /** Read-only views for the native-code emitter (src/jit/). */
+    std::span<const TapeInstr> instructions() const { return instrs_; }
+    std::span<const TapeGather> dataGathers() const
+    {
+        return dataGather_;
+    }
+    std::span<const TapeGather> modelGathers() const
+    {
+        return modelGather_;
+    }
+    std::span<const int32_t> gradientSlots() const { return gradSlots_; }
+    /** Scratch image: pre-quantized constants, everything else zero. */
+    std::span<const double> constImage() const { return image_; }
 
     /** Scratch slots an executor needs (slot 0 is the pinned zero). */
     int64_t slotCount() const
@@ -138,6 +192,7 @@ class Tape
 
     const Translation *tr_;
     double (*quantizer_)(double) = nullptr;
+    TapeBackend backend_ = TapeBackend::Auto;
     std::vector<TapeInstr> instrs_;
     std::vector<TapeRun> runs_;
     std::vector<TapeGather> dataGather_;
@@ -223,6 +278,22 @@ class TapeExecutor
     /** Overrides the lane width (bench/test hook; 1, 4 or 8). */
     void setLaneWidth(int lanes);
 
+    /**
+     * Resolves the native (JIT) kernel for the tape's backend choice
+     * and the current lane width, compiling it (or hitting the kernel
+     * cache) if needed. Called lazily by runBatch/sgdSweep; exposed so
+     * tools can warm the kernel and observe the outcome.
+     *
+     * @return Whether batch calls now run native code. False when the
+     *         backend resolves to the interpreter tape — including the
+     *         counted fallback when JIT was requested but the
+     *         toolchain is missing or compilation failed.
+     */
+    bool prepareNative();
+
+    /** True when runBatch delegates to a dlopen'ed native kernel. */
+    bool nativeActive() const { return native_ != nullptr; }
+
     const Tape &tape() const { return tape_; }
 
   private:
@@ -255,6 +326,13 @@ class TapeExecutor
      *  constant image replicated across lanes. */
     std::vector<double> laneScratch_;
     int lanes_ = kMaxTapeLanes;
+    /** Resolved native kernel (null = interpreter tape); shared with
+     *  the process-wide kernel cache, which owns the dlopen handle. */
+    std::shared_ptr<const jit::NativeTapeKernel> native_;
+    /** Lane width native_ was resolved for; -1 = not yet resolved.
+     *  A failed resolution is memoized too (native_ stays null), so
+     *  the interpreter fallback costs one pointer compare per call. */
+    int nativeLanes_ = -1;
 };
 
 } // namespace cosmic::dfg

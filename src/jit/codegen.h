@@ -1,0 +1,61 @@
+/**
+ * @file
+ * C-source emission for the tape JIT backend.
+ *
+ * Turns one compiled Tape into a specialized C translation unit — one
+ * per (DFG, lane width, quantizer) — that the kernel cache compiles
+ * with the system toolchain and dlopen's. The emitted code is the
+ * tape's instruction stream lowered to straight-line expressions:
+ *
+ *  - every scratch slot becomes a C local, so the C compiler's
+ *    register allocator replaces the interpreter's slot loads/stores;
+ *  - single-use intermediate values are fused into their consumer's
+ *    expression (mul+add chains collapse to FMA-shaped expressions),
+ *    bounded by a fusion cap so pathological chains stay compilable;
+ *  - the lane dimension is unrolled into fixed-trip-count `l < W`
+ *    loops over W-element stack arrays — stride-1, no kMaxTapeLanes
+ *    stride indirection — which the C compiler auto-vectorizes;
+ *  - `cosmic_jit_sgd_sweep` folds the SGD update into the gradient
+ *    sweep: the whole model lives in C locals across the record loop
+ *    and is stored back once at the end.
+ *
+ * Bit-exactness contract (the repo's core invariant): the emitted
+ * arithmetic is the exact IEEE operation sequence of evaluateOp() and
+ * the TapeExecutor loops. F64 kernels are compiled with
+ * -ffp-contract=off (no FMA contraction) and -fno-builtin-exp/-log
+ * (no compile-time folding of the only correctly-rounded-vs-libm
+ * hazards); fusion never reassociates — it only names fewer
+ * intermediates. Q16.16 re-emits accel::quantizeToFixed verbatim
+ * (scale, saturate, llround against the same libm) and wraps every
+ * op result and input load exactly as the interpreter does, so
+ * fusion across the integer-valued domain is unrestricted.
+ */
+#pragma once
+
+#include <string>
+
+#include "dfg/tape.h"
+
+namespace cosmic::jit {
+
+/** Entry-point symbols resolved via dlsym. */
+inline constexpr char kBatchSymbol[] = "cosmic_jit_run_batch";
+inline constexpr char kSweepSymbol[] = "cosmic_jit_sgd_sweep";
+
+/** One emitted C translation unit. */
+struct KernelSource
+{
+    std::string text;
+    /** cosmic_jit_sgd_sweep was emitted (needs one gradient element
+     *  per model parameter, like TapeExecutor::sgdSweep). */
+    bool hasSweep = false;
+};
+
+/**
+ * Emits the specialized C source for @p tape at lane width @p
+ * lane_width (1, 4 or 8). The tape's quantizer must be null or
+ * accel::quantizeToFixed — the kernel cache checks before calling.
+ */
+KernelSource emitKernelSource(const dfg::Tape &tape, int lane_width);
+
+} // namespace cosmic::jit
