@@ -7,11 +7,14 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "common/rng.h"
 #include "compiler/pipeline.h"
 #include "dfg/interp.h"
+#include "dfg/rewrite.h"
 #include "dfg/tape.h"
 #include "jit/kernel_cache.h"
 #include "ml/dataset.h"
@@ -192,6 +195,26 @@ BM_AggregationRound(benchmark::State &state)
 BENCHMARK(BM_AggregationRound)->Arg(4096)->Arg(65536);
 
 void
+BM_RewriteFixpoint(benchmark::State &state)
+{
+    // The rewrite stage alone: fixpoint over a fresh copy of the raw
+    // graph each iteration (every enabled pattern, default budget).
+    auto raw = compile::translateSource(
+        faceWorkload().dslSource(state.range(0)),
+        compiler::CompileOptions{}.withDfgPasses(false));
+    for (auto _ : state) {
+        auto tr = raw;
+        auto outcome = dfg::rewriteFixpoint(tr);
+        benchmark::DoNotOptimize(&outcome);
+        state.counters["sweeps"] = static_cast<double>(outcome.sweeps);
+        state.counters["hits"] =
+            static_cast<double>(outcome.totalHits());
+    }
+    state.SetItemsProcessed(state.iterations() * raw.dfg.size());
+}
+BENCHMARK(BM_RewriteFixpoint)->Arg(1)->Arg(8);
+
+void
 BM_JitAcquireWarm(benchmark::State &state)
 {
     // Warm-path cost of the native-kernel cache: re-emit the C source,
@@ -213,6 +236,59 @@ BM_JitAcquireWarm(benchmark::State &state)
 }
 BENCHMARK(BM_JitAcquireWarm);
 
+/**
+ * One JSON line per Table 1 workload: rewrite-stage compile time
+ * against the legacy path, the tape-length delta the patterns buy,
+ * and the per-pattern hit counters. CI greps these into
+ * BENCH_hotpath.json next to the hot-path tape numbers.
+ */
+void
+reportRewriteStage()
+{
+    using clock = std::chrono::steady_clock;
+    const double scale = 16.0;
+    for (const auto &w : ml::Workload::suite()) {
+        auto src = w.dslSource(scale);
+
+        auto t0 = clock::now();
+        compile::PipelineReport report;
+        auto optimized = compile::translateSource(src, {}, &report);
+        auto t1 = clock::now();
+        compiler::CompileOptions legacy_options;
+        legacy_options.useRewritePatterns = false;
+        auto legacy = compile::translateSource(src, legacy_options);
+        (void)legacy;
+        auto t2 = clock::now();
+        auto raw = compile::translateSource(
+            src, compiler::CompileOptions{}.withDfgPasses(false));
+
+        auto ms = [](clock::time_point a, clock::time_point b) {
+            return std::chrono::duration<double, std::milli>(b - a)
+                .count();
+        };
+        dfg::Tape raw_tape(raw, nullptr, dfg::TapeBackend::Interp);
+        dfg::Tape opt_tape(optimized, nullptr,
+                           dfg::TapeBackend::Interp);
+
+        std::string hits;
+        for (const auto &p : report.patternHits) {
+            if (!hits.empty())
+                hits += ",";
+            hits += "\"" + p.name +
+                    "\":" + std::to_string(p.hits);
+        }
+        std::printf(
+            "{\"bench\":\"rewrite\",\"workload\":\"%s\","
+            "\"compile_ms_patterns\":%.3f,\"compile_ms_legacy\":%.3f,"
+            "\"tape_len_raw\":%lld,\"tape_len_opt\":%lld,"
+            "\"sweeps\":%d,\"pattern_hits\":{%s}}\n",
+            w.name.c_str(), ms(t0, t1), ms(t1, t2),
+            static_cast<long long>(raw_tape.instructions().size()),
+            static_cast<long long>(opt_tape.instructions().size()),
+            report.rewriteSweeps, hits.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -223,6 +299,8 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    reportRewriteStage();
 
     // One consolidated line per cache so CI logs show how much of the
     // run above was served from the build stack's caches.

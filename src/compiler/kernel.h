@@ -10,6 +10,8 @@
  */
 #pragma once
 
+#include <string>
+
 #include "accel/plan.h"
 #include "compiler/interconnect.h"
 #include "compiler/mapper.h"
@@ -37,6 +39,28 @@ struct CompileOptions
     bool deadNodeElim = true;
 
     /**
+     * Run the optimize stage through the pattern-based rewrite
+     * framework (dfg/rewrite.h) instead of the legacy three-pass
+     * sequence. Default on; the legacy path is kept one release
+     * behind this flag. The legacy per-pass booleans above still gate
+     * their same-named patterns (foldConstants -> "fold-constants",
+     * cse -> "cse", deadNodeElim -> "dead-node-elim"), so existing
+     * callers that disable a pass keep meaning what they meant.
+     */
+    bool useRewritePatterns = true;
+
+    /** Sweep budget for the rewrite fixpoint engine. */
+    int rewriteMaxSweeps = 8;
+
+    /**
+     * Comma-separated enabled-pattern list for the rewrite engine
+     * (empty = all registered patterns); unknown names are a
+     * configuration error. The COSMIC_REWRITE_PATTERNS environment
+     * variable, when set, overrides this field.
+     */
+    std::string rewritePatterns;
+
+    /**
      * Skip narrow-thread design points for very large DFGs during
      * planning (they cannot win and dominate exploration time); the
      * design-space-exploration figure disables this to chart the
@@ -61,7 +85,8 @@ struct CompileOptions
      */
     dfg::TapeBackend tapeBackend = dfg::TapeBackend::Auto;
 
-    /** Convenience: same options with all DFG passes toggled. */
+    /** Convenience: same options with all DFG optimization toggled
+     *  (legacy passes and the rewrite framework together). */
     CompileOptions
     withDfgPasses(bool enabled) const
     {
@@ -69,6 +94,7 @@ struct CompileOptions
         o.foldConstants = enabled;
         o.cse = enabled;
         o.deadNodeElim = enabled;
+        o.useRewritePatterns = enabled;
         return o;
     }
 };

@@ -1,9 +1,11 @@
 #include "compiler/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include "accel/fixed_point.h"
 #include "common/error.h"
@@ -49,6 +51,32 @@ appendInt(std::string &out, int64_t v)
     out += '|';
 }
 
+/**
+ * The enabled rewrite-pattern set the optimize stage will run (and
+ * the build keys must record): COSMIC_REWRITE_PATTERNS overrides the
+ * option field, the spec is resolved strictly (unknown names throw),
+ * and the legacy per-pass flags still gate their same-named patterns.
+ * Empty when useRewritePatterns is off or everything got filtered
+ * away — then the optimize stage runs no patterns.
+ */
+std::vector<std::string>
+effectiveRewritePatterns(const compiler::CompileOptions &o)
+{
+    if (!o.useRewritePatterns)
+        return {};
+    const char *env = std::getenv("COSMIC_REWRITE_PATTERNS");
+    std::vector<std::string> enabled =
+        dfg::resolvePatternList(env ? env : o.rewritePatterns);
+    auto gated = [&](const std::string &name) {
+        return (name == "fold-constants" && !o.foldConstants) ||
+               (name == "cse" && !o.cse) ||
+               (name == "dead-node-elim" && !o.deadNodeElim);
+    };
+    enabled.erase(std::remove_if(enabled.begin(), enabled.end(), gated),
+                  enabled.end());
+    return enabled;
+}
+
 /** Pass flags only — all that affects the frontend artifact. */
 std::string
 frontendOptionsKey(const compiler::CompileOptions &o)
@@ -57,6 +85,16 @@ frontendOptionsKey(const compiler::CompileOptions &o)
     appendInt(key, o.foldConstants);
     appendInt(key, o.cse);
     appendInt(key, o.deadNodeElim);
+    appendInt(key, o.useRewritePatterns);
+    appendInt(key, o.rewriteMaxSweeps);
+    // The *effective* pattern set (after the env override and the
+    // legacy-flag gating) enters the key, so changing
+    // COSMIC_REWRITE_PATTERNS is an honest cache miss, never a stale
+    // hit on a differently-optimized artifact.
+    for (const auto &name : effectiveRewritePatterns(o)) {
+        key += name;
+        key += '|';
+    }
     return key;
 }
 
@@ -171,7 +209,7 @@ PipelineReport::dfgPassCount() const
     int64_t n = 0;
     for (const auto &p : passes)
         if (p.name == "fold-constants" || p.name == "cse" ||
-            p.name == "dead-node-elim")
+            p.name == "dead-node-elim" || p.name == "rewrite")
             ++n;
     return n;
 }
@@ -203,6 +241,21 @@ PipelineReport::table() const
         std::snprintf(line, sizeof line, "%-16s %9.3f ms %22s %22s\n",
                       p.name.c_str(), p.seconds * 1e3, nodes, edges);
         out += line;
+        if (p.name == "rewrite" && !patternHits.empty()) {
+            std::snprintf(line, sizeof line,
+                          "  %-14s %d sweep%s%s\n", "fixpoint",
+                          rewriteSweeps, rewriteSweeps == 1 ? "" : "s",
+                          rewriteBudgetExhausted
+                              ? " (budget exhausted)" : "");
+            out += line;
+            for (const auto &hit : patternHits) {
+                std::snprintf(line, sizeof line, "  %-14s %9lld hit%s\n",
+                              hit.name.c_str(),
+                              static_cast<long long>(hit.hits),
+                              hit.hits == 1 ? "" : "s");
+                out += line;
+            }
+        }
     }
     std::snprintf(line, sizeof line, "%-16s %9.3f ms\n", "total",
                   totalSeconds() * 1e3);
@@ -260,20 +313,44 @@ Pipeline::optimized()
 {
     if (!optimized_) {
         optimized_.emplace(translated());
-        auto run = [&](const char *name, bool enabled, auto &&pass) {
-            if (!enabled)
-                return;
-            auto start = std::chrono::steady_clock::now();
-            dfg::PassOutcome o = pass(*optimized_);
-            report_.passes.push_back({name, secondsSince(start),
-                                      o.nodesBefore, o.nodesAfter,
-                                      o.edgesBefore, o.edgesAfter});
-        };
-        run("fold-constants", options_.foldConstants,
-            dfg::foldConstants);
-        run("cse", options_.cse, dfg::eliminateCommonSubexpressions);
-        run("dead-node-elim", options_.deadNodeElim,
-            dfg::eliminateDeadNodes);
+        if (options_.useRewritePatterns) {
+            std::vector<std::string> patterns =
+                effectiveRewritePatterns(options_);
+            if (!patterns.empty()) {
+                dfg::RewriteOptions rewrite_options;
+                rewrite_options.patterns = std::move(patterns);
+                rewrite_options.maxSweeps = options_.rewriteMaxSweeps;
+                auto start = std::chrono::steady_clock::now();
+                dfg::RewriteOutcome o =
+                    dfg::rewriteFixpoint(*optimized_, rewrite_options);
+                report_.passes.push_back(
+                    {"rewrite", secondsSince(start),
+                     o.shape.nodesBefore, o.shape.nodesAfter,
+                     o.shape.edgesBefore, o.shape.edgesAfter});
+                report_.patternHits = std::move(o.patterns);
+                report_.rewriteSweeps = o.sweeps;
+                report_.rewriteBudgetExhausted = o.budgetExhausted;
+            }
+        } else {
+            // Legacy three-pass path, kept one release behind the
+            // rewrite framework.
+            auto run = [&](const char *name, bool enabled,
+                           auto &&pass) {
+                if (!enabled)
+                    return;
+                auto start = std::chrono::steady_clock::now();
+                dfg::PassOutcome o = pass(*optimized_);
+                report_.passes.push_back({name, secondsSince(start),
+                                          o.nodesBefore, o.nodesAfter,
+                                          o.edgesBefore, o.edgesAfter});
+            };
+            run("fold-constants", options_.foldConstants,
+                dfg::foldConstants);
+            run("cse", options_.cse,
+                dfg::eliminateCommonSubexpressions);
+            run("dead-node-elim", options_.deadNodeElim,
+                dfg::eliminateDeadNodes);
+        }
     }
     return *optimized_;
 }

@@ -41,6 +41,7 @@
 #include "compiler/kernel.h"
 #include "core/cosmic.h"
 #include "dfg/passes.h"
+#include "dfg/rewrite.h"
 #include "dfg/tape.h"
 #include "dfg/translator.h"
 #include "dsl/program.h"
@@ -79,6 +80,16 @@ struct PassStats
 struct PipelineReport
 {
     std::vector<PassStats> passes;
+    /**
+     * Per-pattern hit counters of the optimize stage when it ran
+     * through the rewrite framework (one entry per enabled pattern,
+     * registry order); empty on the legacy pass path.
+     */
+    std::vector<dfg::PatternStats> patternHits;
+    /** Fixpoint sweeps the rewrite engine executed (0 = legacy path). */
+    int rewriteSweeps = 0;
+    /** True when the sweep budget stopped a still-rewriting run. */
+    bool rewriteBudgetExhausted = false;
     /** FNV-1a fingerprint of (source, platform, options). */
     uint64_t contentHash = 0;
     /**
@@ -91,7 +102,7 @@ struct PipelineReport
 
     double totalSeconds() const;
     const PassStats *pass(const std::string &name) const;
-    /** DFG-transforming passes only (fold/cse/dne). */
+    /** DFG-transforming passes only (fold/cse/dne, or "rewrite"). */
     int64_t dfgPassCount() const;
     /** Human-readable per-pass table (for --dump-passes). */
     std::string table() const;

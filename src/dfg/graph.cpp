@@ -29,6 +29,7 @@ opKindName(OpKind op)
       case OpKind::Abs: return "abs";
       case OpKind::Min: return "min";
       case OpKind::Max: return "max";
+      case OpKind::Pow: return "pow";
     }
     return "?";
 }
@@ -43,6 +44,7 @@ isNonlinear(OpKind op)
       case OpKind::Log:
       case OpKind::Exp:
       case OpKind::Sqrt:
+      case OpKind::Pow:
         return true;
       default:
         return false;

@@ -50,6 +50,8 @@ enum class OpKind : uint8_t
     Abs,
     Min,    ///< Two-operand minimum (ALU compare-select).
     Max,    ///< Two-operand maximum (ALU compare-select).
+    Pow,    ///< Power a^b (nonlinear unit; exact mul chain for small
+            ///< integer exponents, exp/log otherwise).
 };
 
 std::string opKindName(OpKind op);

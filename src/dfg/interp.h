@@ -74,6 +74,22 @@ evaluateOp(OpKind op, double a, double b, double c)
         return std::min(a, b);
       case OpKind::Max:
         return std::max(a, b);
+      case OpKind::Pow: {
+        // Small non-negative integer exponents take an exact mul
+        // chain (so pow(x, 2) == x * x bitwise and pow(x, 0) == 1.0
+        // for every x, NaN included); everything else uses the
+        // lookup-table-style exp/log path with the same domain guard
+        // as Log.
+        if (b >= 0.0 && b <= 8.0 &&
+            b == static_cast<double>(static_cast<long long>(b))) {
+            double r = 1.0;
+            long long n = static_cast<long long>(b);
+            for (long long k = 0; k < n; ++k)
+                r *= a;
+            return r;
+        }
+        return std::exp(b * std::log(std::max(a, 1e-12)));
+      }
       case OpKind::Const:
       case OpKind::Input:
         break;

@@ -1,125 +1,21 @@
 #include "dfg/passes.h"
 
-#include <cmath>
-#include <cstring>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "accel/fixed_point.h"
-#include "common/error.h"
 #include "dfg/interp.h"
+#include "dfg/rewrite.h"
 
 namespace cosmic::dfg {
 
+// The rebuild idiom (Rebuild) and the fold guard (quantizerSafeFold,
+// quantizerSafeConstant, bitEqualDouble) are shared with the pattern
+// engine and live in dfg/rewrite.cpp; these legacy passes are the
+// one-release-behind fallback the pipeline keeps selectable via
+// CompileOptions::useRewritePatterns = false.
+
 namespace {
-
-/**
- * Incremental graph rebuild: walks the source graph in node order and
- * re-emits the surviving nodes into a fresh Dfg through the public
- * builder API, tracking old-id -> new-id. Because operands always
- * precede their consumers in the source order, every operand is
- * already remapped by the time its consumer is visited, and the
- * rebuilt graph's construction order is again topological.
- */
-struct Rebuild
-{
-    const Dfg &src;
-    Dfg out;
-    std::vector<NodeId> remap;
-
-    explicit Rebuild(const Dfg &dfg)
-        : src(dfg), remap(dfg.size(), kInvalidNode)
-    {}
-
-    NodeId
-    operand(NodeId v) const
-    {
-        return v == kInvalidNode ? kInvalidNode : remap[v];
-    }
-
-    /** Re-emits node @p v unchanged (operands remapped). */
-    void
-    copyNode(NodeId v)
-    {
-        const Node &n = src.node(v);
-        switch (n.op) {
-          case OpKind::Const:
-            remap[v] = out.addConst(src.constValue(v));
-            break;
-          case OpKind::Input:
-            remap[v] = n.category == Category::Data
-                           ? out.addDataInput(src.inputPos(v),
-                                              src.elementRef(v))
-                           : out.addModelInput(src.inputPos(v),
-                                               src.elementRef(v));
-            break;
-          default:
-            remap[v] = out.addOp(n.op, remap[n.a], operand(n.b),
-                                 operand(n.c));
-            break;
-        }
-    }
-
-    /** Re-marks gradient outputs and swaps the graph into @p tr. */
-    void
-    finish(Translation &tr)
-    {
-        const auto &grads = src.gradientNodes();
-        for (size_t g = 0; g < grads.size(); ++g) {
-            NodeId v = grads[g];
-            COSMIC_ASSERT(v != kInvalidNode &&
-                              remap[v] != kInvalidNode,
-                          "pass dropped gradient output " << g);
-            out.markGradient(remap[v], static_cast<int64_t>(g),
-                             src.elementRef(v));
-        }
-        tr.dfg = std::move(out);
-    }
-};
-
-PassOutcome
-outcomeFor(const Dfg &before, const Dfg &after)
-{
-    PassOutcome o;
-    o.nodesBefore = before.size();
-    o.nodesAfter = after.size();
-    o.edgesBefore = edgeCount(before);
-    o.edgesAfter = edgeCount(after);
-    return o;
-}
-
-bool
-bitEqual(double x, double y)
-{
-    return std::memcmp(&x, &y, sizeof(double)) == 0;
-}
-
-/**
- * A fold is only legal if pre-computing the value cannot be observed
- * by either datapath. Plain doubles are exact by construction; the
- * quantized datapath (interpreter with accel::quantizeToFixed, and
- * the tape, which always quantizes) evaluates
- * Q(op(Q(va), Q(vb), Q(vc))) at runtime, while a folded constant is
- * loaded as Q(folded) — the two must agree bit-for-bit. NaN and -0.0
- * results are rejected outright: both interact badly with the
- * builder's by-value constant dedup (NaN never matches its cache key;
- * -0.0 == 0.0 would silently canonicalize the sign bit).
- */
-bool
-quantizerSafeFold(OpKind op, double va, double vb, double vc,
-                  double folded)
-{
-    if (std::isnan(folded))
-        return false;
-    if (folded == 0.0 && std::signbit(folded))
-        return false;
-    using accel::quantizeToFixed;
-    double runtime = quantizeToFixed(evaluateOp(
-        op, quantizeToFixed(va), quantizeToFixed(vb),
-        quantizeToFixed(vc)));
-    return bitEqual(quantizeToFixed(folded), runtime);
-}
 
 uint64_t
 mix64(uint64_t x)

@@ -1,0 +1,786 @@
+#include "dfg/rewrite.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "accel/fixed_point.h"
+#include "common/error.h"
+#include "dfg/interp.h"
+
+namespace cosmic::dfg {
+
+bool
+bitEqualDouble(double x, double y)
+{
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+bool
+quantizerSafeConstant(double v)
+{
+    return !std::isnan(v) && !(v == 0.0 && std::signbit(v));
+}
+
+bool
+quantizerSafeFold(OpKind op, double va, double vb, double vc,
+                  double folded)
+{
+    if (!quantizerSafeConstant(folded))
+        return false;
+    using accel::quantizeToFixed;
+    double runtime = quantizeToFixed(evaluateOp(
+        op, quantizeToFixed(va), quantizeToFixed(vb),
+        quantizeToFixed(vc)));
+    return bitEqualDouble(quantizeToFixed(folded), runtime);
+}
+
+void
+Rebuild::copyNode(NodeId v)
+{
+    const Node &n = src.node(v);
+    switch (n.op) {
+      case OpKind::Const:
+        remap[v] = out.addConst(src.constValue(v));
+        break;
+      case OpKind::Input:
+        remap[v] = n.category == Category::Data
+                       ? out.addDataInput(src.inputPos(v),
+                                          src.elementRef(v))
+                       : out.addModelInput(src.inputPos(v),
+                                           src.elementRef(v));
+        break;
+      default:
+        remap[v] = out.addOp(n.op, remap[n.a], operand(n.b),
+                             operand(n.c));
+        break;
+    }
+}
+
+void
+Rebuild::finish(Translation &tr)
+{
+    const auto &grads = src.gradientNodes();
+    for (size_t g = 0; g < grads.size(); ++g) {
+        NodeId v = grads[g];
+        COSMIC_ASSERT(v != kInvalidNode && remap[v] != kInvalidNode,
+                      "pass dropped gradient output " << g);
+        out.markGradient(remap[v], static_cast<int64_t>(g),
+                         src.elementRef(v));
+    }
+    tr.dfg = std::move(out);
+}
+
+int64_t
+RewriteOutcome::totalHits() const
+{
+    int64_t total = 0;
+    for (const auto &p : patterns)
+        total += p.hits;
+    return total;
+}
+
+namespace {
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+struct RewriteCtx;
+
+ValueFacts computeFacts(const Dfg &g, NodeId v,
+                        const std::vector<ValueFacts> &facts);
+
+/**
+ * Per-sweep rewrite context: the rebuild in progress plus value facts
+ * over the out graph, computed lazily (the out graph is built in
+ * topological order, so a node's operand facts always exist by the
+ * time its own are requested).
+ */
+struct RewriteCtx
+{
+    Rebuild &rb;
+    std::vector<ValueFacts> facts;
+
+    bool
+    isConst(NodeId v) const
+    {
+        return v != kInvalidNode && rb.out.node(v).op == OpKind::Const;
+    }
+
+    double
+    constVal(NodeId v) const
+    {
+        return rb.out.constValue(v);
+    }
+
+    const ValueFacts &
+    factsOf(NodeId v)
+    {
+        while (static_cast<NodeId>(facts.size()) <= v) {
+            NodeId u = static_cast<NodeId>(facts.size());
+            facts.push_back(computeFacts(rb.out, u, facts));
+        }
+        return facts[v];
+    }
+};
+
+/**
+ * The facts transfer function. Every claim must hold in plain double
+ * arithmetic *and* for the quantized slot values of the Q16.16
+ * datapath (which, usefully, can never hold NaN or -0.0: the
+ * quantizer maps NaN to 0 and (double)llround(raw)/65536.0 never
+ * produces a negative zero).
+ */
+ValueFacts
+computeFacts(const Dfg &g, NodeId v, const std::vector<ValueFacts> &facts)
+{
+    const Node &n = g.node(v);
+    ValueFacts f;
+    if (n.op == OpKind::Const) {
+        double value = g.constValue(v);
+        f.notNaN = !std::isnan(value);
+        f.finite = std::isfinite(value);
+        f.nonNegative = std::isnan(value) || !std::signbit(value);
+        f.notNegZero = !(value == 0.0 && std::signbit(value));
+        return f;
+    }
+    if (n.op == OpKind::Input)
+        return f; // records and model values prove nothing
+    const ValueFacts &a = facts[n.a];
+    switch (n.op) {
+      case OpKind::Add: {
+        const ValueFacts &b = facts[n.b];
+        f.notNaN = a.finite && b.finite; // inf + -inf is NaN
+        f.nonNegative = a.nonNegative && b.nonNegative;
+        // A sum is -0 only when both addends are -0 (x + -x rounds
+        // to +0 in round-to-nearest).
+        f.notNegZero = a.notNegZero || b.notNegZero;
+        break;
+      }
+      case OpKind::Sub: {
+        const ValueFacts &b = facts[n.b];
+        f.notNaN = a.finite && b.finite;
+        // x - y is -0 only for -0 - +0 (x - x is +0).
+        f.notNegZero = a.notNegZero;
+        break;
+      }
+      case OpKind::Mul: {
+        const ValueFacts &b = facts[n.b];
+        f.notNaN = a.finite && b.finite; // inf * 0 is NaN
+        f.nonNegative = a.nonNegative && b.nonNegative;
+        // Sign bits xor: two clear sign bits can't produce -0.
+        f.notNegZero = a.nonNegative && b.nonNegative;
+        break;
+      }
+      case OpKind::Div: {
+        const ValueFacts &b = facts[n.b];
+        // The runtime guards the divisor (b == 0 -> 1e-12), so
+        // finite/finite can't be 0/0; inf/inf would be NaN.
+        f.notNaN = a.finite && b.finite;
+        f.nonNegative = a.nonNegative && b.nonNegative;
+        f.notNegZero = a.nonNegative && b.nonNegative;
+        break;
+      }
+      case OpKind::Neg:
+        f.notNaN = a.notNaN;
+        f.finite = a.finite;
+        break;
+      case OpKind::CmpGt:
+      case OpKind::CmpLt:
+      case OpKind::CmpGe:
+      case OpKind::CmpLe:
+      case OpKind::CmpEq:
+        // Comparison results are exactly 0.0 or 1.0.
+        f.notNaN = f.finite = f.nonNegative = f.notNegZero = true;
+        break;
+      case OpKind::Select: {
+        // The result is one of the value operands (a NaN condition
+        // compares falsy and picks the else branch — still one of
+        // the two), so each fact is the conjunction.
+        const ValueFacts &b = facts[n.b];
+        const ValueFacts &c = facts[n.c];
+        f.notNaN = b.notNaN && c.notNaN;
+        f.finite = b.finite && c.finite;
+        f.nonNegative = b.nonNegative && c.nonNegative;
+        f.notNegZero = b.notNegZero && c.notNegZero;
+        break;
+      }
+      case OpKind::Sigmoid:
+      case OpKind::Gaussian:
+        // Range (0, 1] / [0, 1]; +-inf arguments still land in range
+        // (sigmoid(-inf) underflows to +0, never -0).
+        f.notNaN = a.notNaN;
+        f.finite = a.notNaN;
+        f.nonNegative = true;
+        f.notNegZero = true;
+        break;
+      case OpKind::Log:
+        // log(max(x, 1e-12)): NaN passes through std::max; a finite
+        // argument is clamped into [1e-12, inf) so the log is finite,
+        // and log never returns -0 on that domain.
+        f.notNaN = a.notNaN;
+        f.finite = a.notNaN && a.finite;
+        f.notNegZero = true;
+        break;
+      case OpKind::Exp:
+        f.notNaN = a.notNaN; // exp overflows to +inf, never NaN
+        f.nonNegative = true;
+        f.notNegZero = true; // underflow gives +0
+        break;
+      case OpKind::Sqrt:
+        // sqrt(max(x, 0.0)): max(-0, 0) keeps -0 and sqrt(-0) is -0,
+        // so the -0 hazard of the argument survives the clamp.
+        f.notNaN = a.notNaN;
+        f.finite = a.finite;
+        f.nonNegative = a.notNegZero;
+        f.notNegZero = a.notNegZero;
+        break;
+      case OpKind::Abs:
+        f.notNaN = a.notNaN;
+        f.finite = a.finite;
+        f.nonNegative = true;
+        f.notNegZero = true;
+        break;
+      case OpKind::Min:
+      case OpKind::Max: {
+        // The result is one of the operands.
+        const ValueFacts &b = facts[n.b];
+        f.notNaN = a.notNaN && b.notNaN;
+        f.finite = a.finite && b.finite;
+        f.nonNegative = a.nonNegative && b.nonNegative;
+        f.notNegZero = a.notNegZero && b.notNegZero;
+        break;
+      }
+      case OpKind::Pow: {
+        const ValueFacts &b = facts[n.b];
+        // Integer exponents in [0, 8] take a mul chain from 1.0 (so a
+        // NaN-free finite base stays NaN-free); everything else goes
+        // through exp(b * log(max(a, 1e-12))), which is NaN only for
+        // a NaN or infinite exponent.
+        f.notNaN = a.notNaN && b.finite;
+        f.nonNegative = a.nonNegative;
+        f.notNegZero = a.nonNegative;
+        break;
+      }
+      case OpKind::Const:
+      case OpKind::Input:
+        break;
+    }
+    return f;
+}
+
+/**
+ * One rewrite rule. The engine offers every operation node of the
+ * sweep to each enabled pattern in registry order with its operands
+ * already remapped into the out graph; the first pattern to return a
+ * replacement node wins the node. Nodes no pattern claims are copied
+ * and then shown to every pattern via observe() (how CSE learns its
+ * canonical occurrences).
+ */
+class Pattern
+{
+  public:
+    explicit Pattern(std::string name) : name_(std::move(name)) {}
+    virtual ~Pattern() = default;
+
+    /** Resets per-sweep state (the out graph is fresh each sweep). */
+    virtual void
+    beginSweep()
+    {}
+
+    /**
+     * Offers op node @p n (never Const/Input) with remapped operands;
+     * returns a replacement node in the out graph or kInvalidNode.
+     */
+    virtual NodeId rewrite(RewriteCtx &ctx, const Node &n, NodeId a,
+                           NodeId b, NodeId c) = 0;
+
+    /** Sees the copied node @p id when no pattern claimed it. */
+    virtual void
+    observe(RewriteCtx &ctx, NodeId id)
+    {
+        (void)ctx;
+        (void)id;
+    }
+
+    const std::string &
+    name() const
+    {
+        return name_;
+    }
+
+    int64_t hits = 0;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * pow(x, k) for small constant integer k. Only exponents whose
+ * expansion is bit-identical in both datapaths qualify:
+ *
+ *   k == 0: x^0 is 1.0 for *every* x (the runtime's integer-exponent
+ *           loop runs zero times), including NaN and the infinities.
+ *   k == 1: the runtime evaluates 1.0 * x, which is bitwise x for
+ *           every double; quantized, both sides load Q(x).
+ *   k == 2: the runtime evaluates (1.0 * x) * x == x * x bitwise, and
+ *           the quantized datapath sees Q(Q(x) * Q(x)) either way.
+ *
+ * k >= 3 is rejected: a mul chain would quantize each intermediate
+ * (Q(Q(x*x) * x) != Q(pow(x, 3)) in general), and non-integer or
+ * negative exponents take the exp/log path.
+ */
+class PowExpandPattern final : public Pattern
+{
+  public:
+    PowExpandPattern() : Pattern("pow-expand") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        (void)c;
+        if (n.op != OpKind::Pow || !ctx.isConst(b))
+            return kInvalidNode;
+        double k = ctx.constVal(b);
+        if (k == 0.0)
+            return ctx.rb.out.addConst(1.0);
+        if (k == 1.0)
+            return a;
+        if (k == 2.0)
+            return ctx.rb.out.addOp(OpKind::Mul, a, a);
+        return kInvalidNode;
+    }
+};
+
+/** The legacy constant folder as a pattern (same quantizer guard). */
+class FoldConstantsPattern final : public Pattern
+{
+  public:
+    FoldConstantsPattern() : Pattern("fold-constants") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        Dfg &out = ctx.rb.out;
+        if (n.op == OpKind::Select) {
+            // A constant condition picks its branch at compile time,
+            // provided truthiness survives quantization.
+            if (ctx.isConst(a) && b != kInvalidNode &&
+                c != kInvalidNode) {
+                double cond = out.constValue(a);
+                if ((cond != 0.0) ==
+                    (accel::quantizeToFixed(cond) != 0.0))
+                    return cond != 0.0 ? b : c;
+            }
+            return kInvalidNode;
+        }
+        if (!ctx.isConst(a) || (n.b != kInvalidNode && !ctx.isConst(b)) ||
+            (n.c != kInvalidNode && !ctx.isConst(c)))
+            return kInvalidNode;
+        double va = out.constValue(a);
+        double vb = b == kInvalidNode ? 0.0 : out.constValue(b);
+        double vc = c == kInvalidNode ? 0.0 : out.constValue(c);
+        double folded = evaluateOp(n.op, va, vb, vc);
+        if (!quantizerSafeFold(n.op, va, vb, vc, folded))
+            return kInvalidNode;
+        return out.addConst(folded);
+    }
+};
+
+/**
+ * x * 1 -> x and 1 * x -> x, unconditionally: multiplication by 1.0
+ * is exact for every double (sign, payload and all), and quantized
+ * both sides reduce to Q(x) since Q is idempotent.
+ */
+class MulOnePattern final : public Pattern
+{
+  public:
+    MulOnePattern() : Pattern("mul-one") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        (void)c;
+        if (n.op != OpKind::Mul)
+            return kInvalidNode;
+        if (ctx.isConst(a) && ctx.constVal(a) == 1.0)
+            return b;
+        if (ctx.isConst(b) && ctx.constVal(b) == 1.0)
+            return a;
+        return kInvalidNode;
+    }
+};
+
+/**
+ * x + 0 -> x / 0 + x -> x. The one F64 hazard is x == -0.0 (-0 + 0
+ * rounds to +0), so a +0.0 addend needs a notNegZero proof for x. A
+ * -0.0 addend is unconditionally safe: x + -0 == x bitwise for every
+ * x, and quantized slots never hold -0. (Quantized, either zero loads
+ * as +0 and Q(Q(x) + 0) == Q(x) by idempotence — safe regardless.)
+ */
+class AddZeroPattern final : public Pattern
+{
+  public:
+    AddZeroPattern() : Pattern("add-zero") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        (void)c;
+        if (n.op != OpKind::Add)
+            return kInvalidNode;
+        if (NodeId r = trySide(ctx, a, b); r != kInvalidNode)
+            return r;
+        return trySide(ctx, b, a);
+    }
+
+  private:
+    static NodeId
+    trySide(RewriteCtx &ctx, NodeId zero, NodeId other)
+    {
+        if (!ctx.isConst(zero) || ctx.constVal(zero) != 0.0)
+            return kInvalidNode;
+        if (std::signbit(ctx.constVal(zero)))
+            return other;
+        if (ctx.factsOf(other).notNegZero)
+            return other;
+        return kInvalidNode;
+    }
+};
+
+/**
+ * x * (+-0) -> that same zero constant, when x is provably a finite,
+ * non-negative, never -0 real: NaN and inf poison the product
+ * (NaN * 0 and inf * 0 are NaN) and a negative or -0 x flips the
+ * zero's sign bit. Under those facts the product equals the zero
+ * operand bit-for-bit in F64, and quantized both sides load +0.
+ */
+class MulZeroPattern final : public Pattern
+{
+  public:
+    MulZeroPattern() : Pattern("mul-zero") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        (void)c;
+        if (n.op != OpKind::Mul)
+            return kInvalidNode;
+        if (NodeId r = trySide(ctx, a, b); r != kInvalidNode)
+            return r;
+        return trySide(ctx, b, a);
+    }
+
+  private:
+    static NodeId
+    trySide(RewriteCtx &ctx, NodeId zero, NodeId other)
+    {
+        if (!ctx.isConst(zero) || ctx.constVal(zero) != 0.0)
+            return kInvalidNode;
+        const ValueFacts &f = ctx.factsOf(other);
+        if (f.finite && f.nonNegative && f.notNegZero)
+            return zero;
+        return kInvalidNode;
+    }
+};
+
+/**
+ * -(-x) -> x. Bitwise-exact in doubles (two sign-bit flips, NaN
+ * payload preserved), but Q16.16 saturation is asymmetric: negating
+ * the most negative fixed value clamps (Q(-(-32768.0)) is
+ * 32767.99998...), so the rewrite demands a proof that x never
+ * reaches the negative range.
+ */
+class DoubleNegPattern final : public Pattern
+{
+  public:
+    DoubleNegPattern() : Pattern("double-neg") {}
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        (void)b;
+        (void)c;
+        if (n.op != OpKind::Neg)
+            return kInvalidNode;
+        const Node &inner = ctx.rb.out.node(a);
+        if (inner.op != OpKind::Neg)
+            return kInvalidNode;
+        if (ctx.factsOf(inner.a).nonNegative)
+            return inner.a;
+        return kInvalidNode;
+    }
+};
+
+/**
+ * The legacy CSE canonicalizer as a pattern: the first occurrence of
+ * an (op, operands) tuple is copied and recorded via observe(); later
+ * duplicates rewrite to the canonical node. Hash buckets with a full
+ * field compare on lookup, so collisions cannot merge distinct
+ * expressions.
+ */
+class CsePattern final : public Pattern
+{
+  public:
+    CsePattern() : Pattern("cse") {}
+
+    void
+    beginSweep() override
+    {
+        buckets_.clear();
+    }
+
+    NodeId
+    rewrite(RewriteCtx &ctx, const Node &n, NodeId a, NodeId b,
+            NodeId c) override
+    {
+        auto it = buckets_.find(hashKey(n.op, a, b, c));
+        if (it == buckets_.end())
+            return kInvalidNode;
+        for (NodeId candidate : it->second) {
+            const Node &m = ctx.rb.out.node(candidate);
+            if (m.op == n.op && m.a == a && m.b == b && m.c == c)
+                return candidate;
+        }
+        return kInvalidNode;
+    }
+
+    void
+    observe(RewriteCtx &ctx, NodeId id) override
+    {
+        const Node &m = ctx.rb.out.node(id);
+        buckets_[hashKey(m.op, m.a, m.b, m.c)].push_back(id);
+    }
+
+  private:
+    static uint64_t
+    hashKey(OpKind op, NodeId a, NodeId b, NodeId c)
+    {
+        return mix64(static_cast<uint64_t>(op)) ^
+               mix64(static_cast<uint64_t>(a) + 1) ^
+               mix64(static_cast<uint64_t>(b + 1) << 21) ^
+               mix64(static_cast<uint64_t>(c + 1) << 42);
+    }
+
+    std::unordered_map<uint64_t, std::vector<NodeId>> buckets_;
+};
+
+using PatternFactoryFn = std::unique_ptr<Pattern> (*)();
+
+template <typename P>
+std::unique_ptr<Pattern>
+makePattern()
+{
+    return std::make_unique<P>();
+}
+
+struct RegistryEntry
+{
+    const char *name;
+    /** Cleanup entries run whole-graph after the node sweep (DCE). */
+    bool cleanup;
+    PatternFactoryFn make;
+};
+
+/**
+ * Registry order is match order: pow-expand must precede
+ * fold-constants (a Pow over two constants would otherwise fold
+ * before it can expand), and the cheap algebraic identities run
+ * before CSE so canonical forms are what get value-numbered.
+ */
+const RegistryEntry kRegistry[] = {
+    {"pow-expand", false, makePattern<PowExpandPattern>},
+    {"fold-constants", false, makePattern<FoldConstantsPattern>},
+    {"mul-one", false, makePattern<MulOnePattern>},
+    {"add-zero", false, makePattern<AddZeroPattern>},
+    {"mul-zero", false, makePattern<MulZeroPattern>},
+    {"double-neg", false, makePattern<DoubleNegPattern>},
+    {"cse", false, makePattern<CsePattern>},
+    {"dead-node-elim", true, nullptr},
+};
+
+/** Empty -> all; else validate, dedup, and impose registry order. */
+std::vector<std::string>
+canonicalPatternSet(const std::vector<std::string> &requested)
+{
+    if (requested.empty())
+        return registeredPatternNames();
+    for (const auto &name : requested) {
+        bool known = false;
+        for (const auto &entry : kRegistry)
+            known = known || name == entry.name;
+        if (!known) {
+            std::ostringstream all;
+            for (const auto &entry : kRegistry)
+                all << (&entry == kRegistry ? "" : ", ") << entry.name;
+            COSMIC_FATAL("unknown rewrite pattern '"
+                         << name << "' (expected one of " << all.str()
+                         << ")");
+        }
+    }
+    std::vector<std::string> canonical;
+    for (const auto &entry : kRegistry)
+        for (const auto &name : requested)
+            if (name == entry.name) {
+                canonical.push_back(entry.name);
+                break;
+            }
+    return canonical;
+}
+
+/**
+ * One forward sweep: offer every op node to the enabled patterns,
+ * copy unclaimed nodes, swap the rebuilt graph in. Returns the number
+ * of pattern firings.
+ */
+int64_t
+runNodeSweep(Translation &translation,
+             std::vector<std::unique_ptr<Pattern>> &patterns)
+{
+    const Dfg &dfg = translation.dfg;
+    Rebuild rb(dfg);
+    RewriteCtx ctx{rb, {}};
+    for (auto &p : patterns)
+        p->beginSweep();
+    int64_t hits = 0;
+    for (NodeId v = 0; v < dfg.size(); ++v) {
+        const Node &n = dfg.node(v);
+        if (n.op == OpKind::Const || n.op == OpKind::Input) {
+            rb.copyNode(v);
+            continue;
+        }
+        NodeId a = rb.remap[n.a];
+        NodeId b = rb.operand(n.b);
+        NodeId c = rb.operand(n.c);
+        NodeId replacement = kInvalidNode;
+        for (auto &p : patterns) {
+            replacement = p->rewrite(ctx, n, a, b, c);
+            if (replacement != kInvalidNode) {
+                ++p->hits;
+                ++hits;
+                break;
+            }
+        }
+        if (replacement != kInvalidNode) {
+            rb.remap[v] = replacement;
+            continue;
+        }
+        rb.remap[v] = rb.out.addOp(n.op, a, b, c);
+        for (auto &p : patterns)
+            p->observe(ctx, rb.remap[v]);
+    }
+    rb.finish(translation);
+    return hits;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+registeredPatternNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all;
+        for (const auto &entry : kRegistry)
+            all.emplace_back(entry.name);
+        return all;
+    }();
+    return names;
+}
+
+std::vector<std::string>
+resolvePatternList(const std::string &spec)
+{
+    std::vector<std::string> requested;
+    std::string token;
+    std::istringstream in(spec);
+    while (std::getline(in, token, ',')) {
+        size_t first = token.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        size_t last = token.find_last_not_of(" \t");
+        requested.push_back(token.substr(first, last - first + 1));
+    }
+    return canonicalPatternSet(requested);
+}
+
+RewriteOutcome
+rewriteFixpoint(Translation &translation, const RewriteOptions &options)
+{
+    COSMIC_ASSERT(options.maxSweeps > 0,
+                  "rewrite budget must be positive, got "
+                      << options.maxSweeps);
+    std::vector<std::string> enabled =
+        canonicalPatternSet(options.patterns);
+
+    std::vector<std::unique_ptr<Pattern>> patterns;
+    bool cleanup = false;
+    for (const auto &entry : kRegistry) {
+        bool on = false;
+        for (const auto &name : enabled)
+            on = on || name == entry.name;
+        if (!on)
+            continue;
+        if (entry.cleanup)
+            cleanup = true;
+        else
+            patterns.push_back(entry.make());
+    }
+
+    RewriteOutcome outcome;
+    outcome.shape.nodesBefore = translation.dfg.size();
+    outcome.shape.edgesBefore = edgeCount(translation.dfg);
+
+    // Termination: no pattern increases the op-node count, and every
+    // firing either removes a node or retires an irreproducible match
+    // (a Pow becomes a Mul), so total hits are bounded and a quiet
+    // sweep is reached; maxSweeps is the safety valve, not the
+    // expected exit.
+    int64_t cleanup_hits = 0;
+    bool converged = false;
+    while (!converged && outcome.sweeps < options.maxSweeps) {
+        ++outcome.sweeps;
+        int64_t sweep_hits =
+            patterns.empty() ? 0 : runNodeSweep(translation, patterns);
+        if (cleanup) {
+            PassOutcome removed = eliminateDeadNodes(translation);
+            int64_t dead = removed.nodesBefore - removed.nodesAfter;
+            cleanup_hits += dead;
+            sweep_hits += dead;
+        }
+        converged = sweep_hits == 0;
+    }
+    outcome.budgetExhausted = !converged;
+
+    for (const auto &name : enabled) {
+        PatternStats stats;
+        stats.name = name;
+        if (name == "dead-node-elim") {
+            stats.hits = cleanup_hits;
+        } else {
+            for (const auto &p : patterns)
+                if (p->name() == name)
+                    stats.hits = p->hits;
+        }
+        outcome.patterns.push_back(std::move(stats));
+    }
+    outcome.shape.nodesAfter = translation.dfg.size();
+    outcome.shape.edgesAfter = edgeCount(translation.dfg);
+    return outcome;
+}
+
+} // namespace cosmic::dfg

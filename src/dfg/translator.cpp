@@ -254,8 +254,9 @@ Translator::evalExpr(const dsl::Expr &expr, int line)
         NodeId arg = evalExpr(*c.arg, line);
         if (dsl::builtinArity(c.builtin) == 2) {
             NodeId arg2 = evalExpr(*c.arg2, line);
-            OpKind op = c.builtin == dsl::Builtin::Min ? OpKind::Min
-                                                       : OpKind::Max;
+            OpKind op = c.builtin == dsl::Builtin::Min   ? OpKind::Min
+                        : c.builtin == dsl::Builtin::Max ? OpKind::Max
+                                                         : OpKind::Pow;
             return out_.dfg.addOp(op, arg, arg2);
         }
         OpKind op;

@@ -15,6 +15,7 @@ lookupBuiltin(const std::string &name, Builtin &out)
         {"log", Builtin::Log},         {"exp", Builtin::Exp},
         {"sqrt", Builtin::Sqrt},       {"abs", Builtin::Abs},
         {"min", Builtin::Min},         {"max", Builtin::Max},
+        {"pow", Builtin::Pow},
     };
     auto it = table.find(name);
     if (it == table.end())
@@ -52,6 +53,7 @@ builtinName(Builtin b)
       case Builtin::Abs: return "abs";
       case Builtin::Min: return "min";
       case Builtin::Max: return "max";
+      case Builtin::Pow: return "pow";
     }
     return "?";
 }
@@ -59,7 +61,9 @@ builtinName(Builtin b)
 int
 builtinArity(Builtin b)
 {
-    return b == Builtin::Min || b == Builtin::Max ? 2 : 1;
+    return b == Builtin::Min || b == Builtin::Max || b == Builtin::Pow
+               ? 2
+               : 1;
 }
 
 namespace {

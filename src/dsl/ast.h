@@ -50,6 +50,7 @@ enum class Builtin
     Abs,
     Min,
     Max,
+    Pow,
 };
 
 /** Number of arguments a builtin takes (1 or 2). */

@@ -46,16 +46,23 @@ constexpr int64_t kRegModeMaxInstrs = 64;
  */
 constexpr int kChunkStmts = 64;
 
-/** Hex-float literal: exact round trip for every finite double. */
+/**
+ * Hex-float literal: exact round trip for every finite double.
+ * Negative values are parenthesized — a bare leading '-' pastes into
+ * '--' after a unary minus (Neg/Sigmoid/Gaussian emit "-<operand>"),
+ * which C parses as a pre-decrement and rejects.
+ */
 std::string
 lit(double v)
 {
     if (std::isnan(v))
         return "NAN";
     if (std::isinf(v))
-        return v > 0 ? "INFINITY" : "-INFINITY";
+        return v > 0 ? "INFINITY" : "(-INFINITY)";
     char buf[48];
     std::snprintf(buf, sizeof buf, "%a", v);
+    if (buf[0] == '-')
+        return "(" + std::string(buf) + ")";
     return buf;
 }
 
@@ -102,6 +109,11 @@ operandWeights(OpKind op, int w[3])
       case OpKind::Max:
         w[0] = 2;
         w[1] = 2;
+        break;
+      case OpKind::Pow:
+        // Lowered as a helper-function call, each operand named once.
+        w[0] = 1;
+        w[1] = 1;
         break;
       case OpKind::Select:
         w[0] = 1;
@@ -451,6 +463,9 @@ Emitter::opExpr(const TapeInstr &in, const Ctx &ctx) const
         e = "(" + a + " < " + b + " ? " + b + " : " + a + ")";
         break;
       }
+      case OpKind::Pow:
+        e = "cosmic_pow(" + A() + ", " + B() + ")";
+        break;
       case OpKind::Const:
       case OpKind::Input:
         COSMIC_FATAL("jit: non-operation " << dfg::opKindName(in.op)
@@ -660,6 +675,28 @@ Emitter::emit()
                 "        return -2147483648.0 / 65536.0;\n"
                 "    return (double)llround(s) / 65536.0;\n"
                 "}\n";
+    {
+        bool has_pow = false;
+        for (const TapeInstr &in : tape_.instructions())
+            has_pow = has_pow || in.op == dfg::OpKind::Pow;
+        if (has_pow)
+            // dfg::evaluateOp's Pow, verbatim: an exact mul chain for
+            // small non-negative integer exponents, the Log-guarded
+            // exp/log path otherwise (a < 1e-12 ? 1e-12 : a matches
+            // std::max(a, 1e-12) bit-for-bit, NaN included).
+            head += "static double cosmic_pow(double a, double b)\n"
+                    "{\n"
+                    "    if (b >= 0.0 && b <= 8.0 &&"
+                    " b == (double)(long long)b) {\n"
+                    "        double r = 1.0;\n"
+                    "        long long k, n = (long long)b;\n"
+                    "        for (k = 0; k < n; ++k)\n"
+                    "            r *= a;\n"
+                    "        return r;\n"
+                    "    }\n"
+                    "    return exp(b * log(a < 1e-12 ? 1e-12 : a));\n"
+                    "}\n";
+    }
     emitBatch();
     KernelSource src;
     src.hasSweep = tr.gradientWords == tr.modelWords;

