@@ -42,13 +42,8 @@ measuredBreakdown()
         std::vector<std::string> row = {w.name};
         double rps = 0.0;
         for (int64_t b : batches) {
-            sys::ClusterConfig cfg;
-            cfg.nodes = 3;
-            cfg.groups = 1;
-            cfg.minibatchPerNode = b;
-            cfg.recordsPerNode = 256;
-            sys::ClusterRuntime runtime(w, 64.0, cfg);
-            auto report = runtime.train(1);
+            auto report = bench::trainMeasured(
+                w.name, 64.0, bench::smallCluster(3, b, 256, 1), 1);
             double compute = mean(report.maxNodeComputeSeconds);
             double iter = mean(report.iterationSeconds);
             row.push_back(
@@ -73,15 +68,9 @@ void
 perIterationBreakdown()
 {
     for (bool overlap : {false, true}) {
-        sys::ClusterConfig cfg;
-        cfg.nodes = 4;
-        cfg.groups = 1;
-        cfg.minibatchPerNode = 64;
-        cfg.recordsPerNode = 256;
+        sys::ClusterConfig cfg = bench::smallCluster(4, 64, 256, 1);
         cfg.overlapIterations = overlap;
-        sys::ClusterRuntime runtime(ml::Workload::byName("stock"),
-                                    64.0, cfg);
-        auto report = runtime.train(2);
+        auto report = bench::trainMeasured("stock", 64.0, cfg, 2);
 
         TablePrinter table(
             std::string("Per-iteration breakdown (stock, 4 nodes, ") +

@@ -38,14 +38,9 @@ struct NetSeriesPoint
 NetSeriesPoint
 measureBackend(int nodes, net::TransportKind kind)
 {
-    sys::ClusterConfig cfg;
-    cfg.nodes = nodes;
-    cfg.minibatchPerNode = 32;
-    cfg.recordsPerNode = 64;
+    sys::ClusterConfig cfg = bench::smallCluster(nodes, 32, 64);
     cfg.transport.kind = kind;
-    sys::ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
-                                cfg);
-    auto report = runtime.train(1);
+    auto report = bench::trainMeasured("stock", 64.0, cfg, 1);
     NetSeriesPoint p;
     p.nodes = nodes;
     p.backend =
@@ -76,19 +71,14 @@ OverlapSeriesPoint
 measureOverlap(int nodes, net::TransportKind kind, bool overlap,
                int max_staleness)
 {
-    sys::ClusterConfig cfg;
-    cfg.nodes = nodes;
-    cfg.groups = nodes >= 8 ? nodes / 4 : 0;
-    cfg.minibatchPerNode = 32;
-    cfg.recordsPerNode = 64;
+    sys::ClusterConfig cfg = bench::smallCluster(
+        nodes, 32, 64, nodes >= 8 ? nodes / 4 : 0);
     cfg.transport.kind = kind;
     cfg.overlapIterations = overlap;
     cfg.maxStaleness = max_staleness;
     if (max_staleness > 0)
         cfg.aggregation.deterministic = false;
-    sys::ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0,
-                                cfg);
-    auto report = runtime.train(4);
+    auto report = bench::trainMeasured("stock", 64.0, cfg, 4);
     OverlapSeriesPoint p;
     p.nodes = nodes;
     p.backend =

@@ -33,6 +33,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bench_support.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "compiler/pipeline.h"
@@ -237,19 +238,14 @@ main()
     // layer (tape executors fed through the nodes' thread pools),
     // then the same cluster with 8 SGD shards per node so each
     // accelerator thread drives a multi-lane sweep.
-    sys::ClusterConfig cfg;
-    cfg.nodes = 4;
-    cfg.minibatchPerNode = 64;
-    cfg.recordsPerNode = 256;
-    sys::ClusterRuntime runtime(ml::Workload::byName("tumor"), scale,
-                                cfg);
-    auto base = measureIteration(runtime);
+    sys::ClusterConfig cfg = bench::smallCluster(4, 64, 256);
+    auto runtime = bench::makeRuntime("tumor", scale, cfg);
+    auto base = measureIteration(*runtime);
 
     sys::ClusterConfig lane_cfg = cfg;
     lane_cfg.sgdShardsPerNode = 8;
-    sys::ClusterRuntime lane_runtime(ml::Workload::byName("tumor"),
-                                     scale, lane_cfg);
-    auto lanes = measureIteration(lane_runtime);
+    auto lane_runtime = bench::makeRuntime("tumor", scale, lane_cfg);
+    auto lanes = measureIteration(*lane_runtime);
 
     std::cout << "\nCluster iteration (tumor, 4 nodes, b=64): "
               << TablePrinter::num(base.iterSec * 1e3, 3)

@@ -237,4 +237,32 @@ gpuEstimate(const WorkloadSummary &summary, const ml::Workload &workload,
         node_batch, summary.modelBytes, cfg, total_records);
 }
 
+
+sys::ClusterConfig
+smallCluster(int nodes, int64_t minibatch_per_node,
+             int64_t records_per_node, int groups)
+{
+    sys::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.groups = groups;
+    cfg.minibatchPerNode = minibatch_per_node;
+    cfg.recordsPerNode = records_per_node;
+    return cfg;
+}
+
+std::unique_ptr<sys::ClusterRuntime>
+makeRuntime(const std::string &workload, double scale,
+            const sys::ClusterConfig &cfg)
+{
+    return std::make_unique<sys::ClusterRuntime>(
+        ml::Workload::byName(workload), scale, cfg);
+}
+
+sys::TrainingReport
+trainMeasured(const std::string &workload, double scale,
+              const sys::ClusterConfig &cfg, int epochs)
+{
+    return makeRuntime(workload, scale, cfg)->train(epochs);
+}
+
 } // namespace cosmic::bench

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "accel/platform.h"
 #include "core/cosmic.h"
 #include "ml/workloads.h"
+#include "system/cluster_runtime.h"
 
 namespace cosmic::bench {
 
@@ -79,5 +81,27 @@ gpuEstimate(const WorkloadSummary &summary, const ml::Workload &workload,
 
 /** The paper's default mini-batch size. */
 constexpr int64_t kDefaultMinibatch = 10000;
+
+/**
+ * The scaled-down cluster shape every measured (functional-runtime)
+ * bench uses: @p nodes nodes, one aggregation tier unless @p groups
+ * says otherwise, small per-node batch/record counts so a run takes
+ * milliseconds on the host CPU.
+ */
+sys::ClusterConfig smallCluster(int nodes, int64_t minibatch_per_node,
+                                int64_t records_per_node,
+                                int groups = 0);
+
+/** A functional runtime for @p workload (a Table 1 name) at
+ *  1/@p scale dimensions under @p cfg. */
+std::unique_ptr<sys::ClusterRuntime>
+makeRuntime(const std::string &workload, double scale,
+            const sys::ClusterConfig &cfg);
+
+/** makeRuntime + train in one call — the common measured-bench body. */
+sys::TrainingReport trainMeasured(const std::string &workload,
+                                  double scale,
+                                  const sys::ClusterConfig &cfg,
+                                  int epochs);
 
 } // namespace cosmic::bench

@@ -8,7 +8,7 @@
  * partial updates/model broadcasts cross actual sockets through the
  * CoSMIC wire protocol.
  *
- * Two ways to run it:
+ * Four ways to run it:
  *
  *   # Multi-process on loopback: fork N local node processes.
  *   cosmicd --launch 4 --workload stock --epochs 2
@@ -16,6 +16,14 @@
  *   # One node of a real cluster: every machine runs one of these
  *   # with the same rendezvous list (node i listens on the i-th).
  *   cosmicd --node 0 --peers 10.0.0.1:7000,10.0.0.2:7000 ...
+ *
+ *   # Multi-tenant training service: accept DSL programs + dataset
+ *   # descriptors over the wire protocol, schedule them FIFO over a
+ *   # node budget (see src/system/service.h). Runs until SIGTERM.
+ *   cosmicd --serve 127.0.0.1:7100 --service-nodes 8 --max-concurrent 2
+ *
+ *   # Submit one job to a running service and stream its progress.
+ *   cosmicd --submit 127.0.0.1:7100 --workload stock --epochs 2
  *
  * `--launch N --verify` additionally runs the identical training
  * in-process and asserts the final models match bit for bit — the
@@ -32,10 +40,13 @@
  * before any process dials.
  */
 #include <cinttypes>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/wait.h>
@@ -51,6 +62,7 @@
 #include "net/transport.h"
 #include "system/cluster_runtime.h"
 #include "system/node_runtime.h"
+#include "system/service.h"
 
 using namespace cosmic;
 
@@ -75,6 +87,18 @@ struct Options
     net::PayloadKind payload = net::PayloadKind::F64;
     uint64_t seed = 0x5eed;
     std::string out;
+
+    // Service front-door mode (--serve) and its scheduler budget.
+    std::string serve;
+    std::string portFile;
+    int serviceNodes = 8;
+    int maxConcurrent = 2;
+    int maxQueued = 16;
+    int peThreads = 0;
+
+    // Client mode (--submit): ship one job to a running service.
+    std::string submit;
+    int nodes = 2;
 };
 
 void
@@ -89,6 +113,17 @@ usage()
         "                        and require a bit-identical model\n"
         "  --node I --peers L    run node I; L = host:port,... (one\n"
         "                        per node, shared by all processes)\n"
+        "  --serve HOST:PORT     multi-tenant training service (port 0\n"
+        "                        = ephemeral; runs until SIGTERM)\n"
+        "  --port-file FILE      (with --serve) write the bound port\n"
+        "  --service-nodes N     service node-slot budget (default 8)\n"
+        "  --max-concurrent C    jobs training at once (default 2)\n"
+        "  --max-queued Q        wait-queue depth (default 16)\n"
+        "  --pe-threads T        per-node PE-thread budget to carve\n"
+        "                        across tenants (0 = off)\n"
+        "  --submit HOST:PORT    submit one job to a service, stream\n"
+        "                        progress, exit 0 when it completes\n"
+        "  --nodes N             (with --submit) job node count\n"
         "  --workload NAME       benchmark workload (default stock)\n"
         "  --scale S             dimension scale-down (default 16)\n"
         "  --epochs E            training epochs (default 2)\n"
@@ -102,6 +137,40 @@ usage()
         "  --seed S              dataset/model seed\n"
         "  --out FILE            master writes the final model (hex\n"
         "                        floats, one per line)\n");
+}
+
+/** Strict numeric parsing: the whole argument must be consumed —
+ *  "4x" or "" never silently trains the wrong cluster. */
+bool
+parseIntArg(const char *flag, const char *value, long long &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoll(value, &end, 0);
+    if (*value == '\0' || end == value || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "cosmicd: malformed value '%s' for %s\n", value,
+                     flag);
+        return false;
+    }
+    return true;
+}
+
+bool
+parseDoubleArg(const char *flag, const char *value, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtod(value, &end);
+    if (*value == '\0' || end == value || *end != '\0' ||
+        errno == ERANGE || !std::isfinite(out)) {
+        std::fprintf(stderr,
+                     "cosmicd: malformed value '%s' for %s\n", value,
+                     flag);
+        return false;
+    }
+    return true;
 }
 
 std::vector<std::string>
@@ -131,59 +200,112 @@ parseArgs(int argc, char **argv, Options &opt)
         }
         return argv[++i];
     };
+    long long n = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *v = nullptr;
         if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--launch") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--launch", v, n))
                 return false;
-            opt.launch = std::atoi(v);
+            opt.launch = static_cast<int>(n);
         } else if (arg == "--node") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--node", v, n))
                 return false;
-            opt.node = std::atoi(v);
+            opt.node = static_cast<int>(n);
         } else if (arg == "--peers") {
             if (!(v = need(i)))
                 return false;
             opt.peers = splitList(v);
+            if (opt.peers.empty()) {
+                std::fprintf(stderr, "cosmicd: --peers is empty\n");
+                return false;
+            }
+            // Validate every endpoint now: a malformed peer must be
+            // a usage error, not a mid-rendezvous exception.
+            for (const auto &peer : opt.peers) {
+                try {
+                    net::parseHostPort(peer);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr,
+                                 "cosmicd: bad --peers entry '%s': "
+                                 "%s\n",
+                                 peer.c_str(), e.what());
+                    return false;
+                }
+            }
         } else if (arg == "--workload") {
             if (!(v = need(i)))
                 return false;
             opt.workload = v;
         } else if (arg == "--scale") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseDoubleArg("--scale", v,
+                                                  opt.scale))
                 return false;
-            opt.scale = std::atof(v);
         } else if (arg == "--epochs") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--epochs", v, n))
                 return false;
-            opt.epochs = std::atoi(v);
+            opt.epochs = static_cast<int>(n);
         } else if (arg == "--groups") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--groups", v, n))
                 return false;
-            opt.groups = std::atoi(v);
+            opt.groups = static_cast<int>(n);
         } else if (arg == "--minibatch") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--minibatch", v, n))
                 return false;
-            opt.minibatch = std::atoll(v);
+            opt.minibatch = n;
         } else if (arg == "--records") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--records", v, n))
                 return false;
-            opt.records = std::atoll(v);
+            opt.records = n;
         } else if (arg == "--lr") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseDoubleArg("--lr", v, opt.lr))
                 return false;
-            opt.lr = std::atof(v);
         } else if (arg == "--threads") {
-            if (!(v = need(i)))
+            if (!(v = need(i)) || !parseIntArg("--threads", v, n))
                 return false;
-            opt.threads = std::atoi(v);
+            opt.threads = static_cast<int>(n);
         } else if (arg == "--seed") {
+            if (!(v = need(i)) || !parseIntArg("--seed", v, n))
+                return false;
+            opt.seed = static_cast<uint64_t>(n);
+        } else if (arg == "--serve") {
             if (!(v = need(i)))
                 return false;
-            opt.seed = std::strtoull(v, nullptr, 0);
+            opt.serve = v;
+        } else if (arg == "--port-file") {
+            if (!(v = need(i)))
+                return false;
+            opt.portFile = v;
+        } else if (arg == "--service-nodes") {
+            if (!(v = need(i)) ||
+                !parseIntArg("--service-nodes", v, n))
+                return false;
+            opt.serviceNodes = static_cast<int>(n);
+        } else if (arg == "--max-concurrent") {
+            if (!(v = need(i)) ||
+                !parseIntArg("--max-concurrent", v, n))
+                return false;
+            opt.maxConcurrent = static_cast<int>(n);
+        } else if (arg == "--max-queued") {
+            if (!(v = need(i)) ||
+                !parseIntArg("--max-queued", v, n))
+                return false;
+            opt.maxQueued = static_cast<int>(n);
+        } else if (arg == "--pe-threads") {
+            if (!(v = need(i)) ||
+                !parseIntArg("--pe-threads", v, n))
+                return false;
+            opt.peThreads = static_cast<int>(n);
+        } else if (arg == "--submit") {
+            if (!(v = need(i)))
+                return false;
+            opt.submit = v;
+        } else if (arg == "--nodes") {
+            if (!(v = need(i)) || !parseIntArg("--nodes", v, n))
+                return false;
+            opt.nodes = static_cast<int>(n);
         } else if (arg == "--out") {
             if (!(v = need(i)))
                 return false;
@@ -218,6 +340,25 @@ parseArgs(int argc, char **argv, Options &opt)
                          argv[i]);
             return false;
         }
+    }
+    for (const std::string &endpoint : {opt.serve, opt.submit}) {
+        if (endpoint.empty())
+            continue;
+        try {
+            net::parseHostPort(endpoint);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "cosmicd: bad endpoint '%s': %s\n",
+                         endpoint.c_str(), e.what());
+            return false;
+        }
+    }
+    const int modes = (opt.launch > 0) + (opt.node >= 0) +
+                      !opt.serve.empty() + !opt.submit.empty();
+    if (modes > 1) {
+        std::fprintf(stderr,
+                     "cosmicd: --launch, --node, --serve and "
+                     "--submit are mutually exclusive\n");
+        return false;
     }
     return true;
 }
@@ -494,6 +635,121 @@ runLaunch(const Options &opt)
     return 0;
 }
 
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void
+onStopSignal(int)
+{
+    g_stop_serving = 1;
+}
+
+/** The service front door: accept jobs over the wire until SIGTERM
+ *  (or SIGINT), then drain-free stop and report the tally. */
+int
+runServe(const Options &opt)
+{
+    sys::SchedulerConfig cfg;
+    cfg.totalNodes = opt.serviceNodes;
+    cfg.maxConcurrent = opt.maxConcurrent;
+    cfg.maxQueued = opt.maxQueued;
+    cfg.peThreadsPerNode = opt.peThreads;
+
+    sys::ServiceFrontDoor door(cfg, opt.serve);
+    std::printf("cosmicd: serving on port %u (%d node slots, %d "
+                "concurrent, queue %d)\n",
+                door.port(), cfg.totalNodes, cfg.maxConcurrent,
+                cfg.maxQueued);
+    std::fflush(stdout);
+    if (!opt.portFile.empty()) {
+        // The port file is the rendezvous for scripted clients: write
+        // to a temp name and rename so a reader never sees a partial
+        // write.
+        const std::string tmp = opt.portFile + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cosmicd: cannot write %s\n",
+                         opt.portFile.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n", door.port());
+        std::fclose(f);
+        std::rename(tmp.c_str(), opt.portFile.c_str());
+    }
+
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+    while (!g_stop_serving)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    door.stop();
+    const sys::SchedulerStats stats = door.scheduler().stats();
+    std::printf("cosmicd: served %" PRIu64 " jobs (%" PRIu64
+                " completed, %" PRIu64 " failed, %" PRIu64
+                " cancelled, %" PRIu64 " rejected)\n",
+                stats.submitted, stats.completed, stats.failed,
+                stats.cancelled, stats.rejected);
+    return 0;
+}
+
+/** Ships one job to a running service, streams its progress, and
+ *  exits 0 only when the job completes. */
+int
+runSubmit(const Options &opt)
+{
+    sys::JobSpec spec;
+    spec.workload = opt.workload;
+    spec.scale = opt.scale;
+    spec.epochs = opt.epochs;
+    spec.cluster = clusterConfigOf(opt, opt.nodes);
+
+    sys::ServiceClient client(opt.submit);
+    sys::JobProgress ack;
+    const uint64_t id = client.submit(spec, &ack);
+    if (ack.state == sys::JobState::Rejected) {
+        std::fprintf(stderr, "cosmicd: job rejected: %s\n",
+                     ack.error.c_str());
+        return 1;
+    }
+    std::printf("cosmicd: job %" PRIu64 " (%s, %d nodes, %s) %s\n",
+                id, opt.workload.c_str(), opt.nodes,
+                opt.payload == net::PayloadKind::F64 ? "f64" : "q16",
+                sys::jobStateName(ack.state));
+
+    int last_epoch = -1;
+    const sys::JobProgress done = client.wait(
+        id, [&](const sys::JobProgress &p) {
+            if (p.epochsDone != last_epoch && p.epochsDone > 0 &&
+                p.state == sys::JobState::Running) {
+                std::printf("  epoch %d/%d: loss %.4f\n",
+                            p.epochsDone, p.totalEpochs, p.lastLoss);
+                last_epoch = p.epochsDone;
+            }
+        });
+    if (done.state != sys::JobState::Done) {
+        std::fprintf(stderr, "cosmicd: job %" PRIu64 " %s%s%s\n", id,
+                     sys::jobStateName(done.state),
+                     done.error.empty() ? "" : ": ",
+                     done.error.c_str());
+        return 1;
+    }
+    const std::vector<double> model = client.result(id);
+    std::printf("cosmicd: job %" PRIu64 " done — %zu-word model, "
+                "final loss %.4f, queue wait %.3fs\n",
+                id, model.size(), done.lastLoss, done.queueWaitSec);
+    if (!opt.out.empty()) {
+        std::FILE *f = std::fopen(opt.out.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cosmicd: cannot write %s\n",
+                         opt.out.c_str());
+            return 1;
+        }
+        for (double v : model)
+            std::fprintf(f, "%la\n", v);
+        std::fclose(f);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -505,6 +761,10 @@ main(int argc, char **argv)
         return 2;
     }
     try {
+        if (!opt.serve.empty())
+            return runServe(opt);
+        if (!opt.submit.empty())
+            return runSubmit(opt);
         if (opt.launch > 0)
             return runLaunch(opt);
         if (opt.node >= 0) {

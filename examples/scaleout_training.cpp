@@ -1,15 +1,16 @@
 /**
  * @file
- * Scale-out training with the functional runtime: a 16-node cluster
+ * Scale-out training through the service stack: a 16-node cluster
  * (System Director roles, Sigma-node thread pools, circular buffers,
- * hierarchical aggregation) trains logistic regression end to end, and
- * the analytic cluster model reports where a paper-scale deployment's
- * time would go.
+ * hierarchical aggregation) trains logistic regression end to end as
+ * one sys::Session — the same job/progress layer cosmicd --serve
+ * schedules — and the analytic cluster model reports where a
+ * paper-scale deployment's time would go.
  */
 #include <cstdio>
 
 #include "core/cosmic.h"
-#include "system/cluster_runtime.h"
+#include "system/session.h"
 
 using namespace cosmic;
 
@@ -17,21 +18,29 @@ int
 main()
 {
     const auto &workload = ml::Workload::byName("tumor");
-    const double scale = 16.0;
 
-    // --- Functional distributed training ---------------------------
-    sys::ClusterConfig cfg;
-    cfg.nodes = 16;
-    cfg.groups = 4;
-    cfg.acceleratorThreadsPerNode = 2;
-    cfg.minibatchPerNode = 32;
-    cfg.recordsPerNode = 128;
-    cfg.learningRate = 0.5;
+    // --- Functional distributed training, as one service job -------
+    sys::JobSpec spec;
+    spec.workload = workload.name;
+    spec.scale = 16.0;
+    spec.epochs = 8;
+    spec.cluster.nodes = 16;
+    spec.cluster.groups = 4;
+    spec.cluster.acceleratorThreadsPerNode = 2;
+    spec.cluster.minibatchPerNode = 32;
+    spec.cluster.recordsPerNode = 128;
+    spec.cluster.learningRate = 0.5;
 
-    sys::ClusterRuntime runtime(workload, scale, cfg);
+    sys::Session session(spec);
+    session.setProgressSink([](const sys::JobProgress &p) {
+        if (p.state == sys::JobState::Running && p.epochsDone > 0)
+            std::printf("  epoch %d/%d: holdout loss %.4f\n",
+                        p.epochsDone, p.totalEpochs, p.lastLoss);
+    });
+    session.prepare();
 
     std::printf("Cluster topology (System Director):\n");
-    for (const auto &n : runtime.topology().nodes) {
+    for (const auto &n : session.runtime().topology().nodes) {
         std::string parent =
             n.parent >= 0 ? " -> sigma " + std::to_string(n.parent)
                           : std::string();
@@ -40,14 +49,13 @@ main()
                     parent.c_str());
     }
 
-    auto report = runtime.train(8);
-    std::printf("\nDistributed training of %s (%s), %d iterations:\n",
+    std::printf("\nDistributed training of %s (%s):\n",
                 workload.name.c_str(),
-                ml::algorithmName(workload.algorithm).c_str(),
+                ml::algorithmName(workload.algorithm).c_str());
+    const auto &report = session.run();
+    std::printf("=> %s after %d iterations\n",
+                sys::jobStateName(session.progress().state),
                 report.iterations);
-    for (size_t e = 0; e < report.epochLoss.size(); ++e)
-        std::printf("  epoch %zu: holdout loss %.4f\n", e,
-                    report.epochLoss[e]);
 
     // --- Where the time goes at paper scale -------------------------
     auto built = core::CosmicStack::buildWorkload(

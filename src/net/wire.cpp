@@ -124,7 +124,7 @@ peekFrame(const uint8_t *data, size_t size, WireHeader &hdr,
         return FrameStatus::Corrupt;
     if (frame_raw > static_cast<uint8_t>(FrameKind::Partial) ||
         payload_raw > static_cast<uint8_t>(PayloadKind::Q16) ||
-        kind_raw > static_cast<uint8_t>(sys::MsgKind::Model))
+        kind_raw > static_cast<uint8_t>(sys::MsgKind::CancelJob))
         return FrameStatus::Corrupt;
     hdr.frame = static_cast<FrameKind>(frame_raw);
     hdr.payload = static_cast<PayloadKind>(payload_raw);
@@ -177,6 +177,32 @@ quantizePayload(std::vector<double> &payload)
 {
     for (double &v : payload)
         v = accel::quantizeToFixed(v);
+}
+
+uint32_t
+packText(const std::string &text, std::vector<double> &words)
+{
+    COSMIC_ASSERT(text.size() <= size_t(kMaxFrameWords) * 8,
+                  "service text of " << text.size()
+                  << " bytes exceeds the wire limit");
+    words.assign((text.size() + 7) / 8, 0.0);
+    if (!text.empty())
+        std::memcpy(words.data(), text.data(), text.size());
+    return static_cast<uint32_t>(text.size());
+}
+
+std::string
+unpackText(const sys::Message &msg)
+{
+    const size_t capacity = msg.payload.size() * 8;
+    if (msg.offset > capacity)
+        COSMIC_FATAL("service frame declares "
+                     << msg.offset << " text bytes but carries only "
+                     << capacity);
+    std::string text(msg.offset, '\0');
+    if (msg.offset)
+        std::memcpy(text.data(), msg.payload.data(), msg.offset);
+    return text;
 }
 
 } // namespace cosmic::net

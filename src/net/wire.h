@@ -13,7 +13,8 @@
  *        8     1  protocol version (kWireVersion)
  *        9     1  frame kind (Hello | Partial)
  *       10     1  payload kind (F64 | Q16)
- *       11     1  message kind (Update | Model)
+ *       11     1  message kind (Update | Model | SubmitJob |
+ *                 JobStatus | JobResult | CancelJob)
  *       12     4  from — sending node id (int32)
  *       16     8  seq — iteration sequence number (uint64)
  *       24     4  contributors — k-of-n weight (int32)
@@ -39,11 +40,21 @@
  * Quantization is idempotent, so a value that is already a Q16.16
  * point (e.g. a master model quantized once at the source) round-trips
  * bit-exactly through any number of hops.
+ *
+ * Service frames (msgKinds 2-5, the cosmicd front door) reuse the same
+ * format. Text bodies — a SubmitJob's DSL program + dataset
+ * descriptor, a failed job's error string — ride as raw bytes packed
+ * 8-per-word into an F64 payload (packText/unpackText below); because
+ * the F64 codec memcpy's words verbatim, arbitrary byte patterns
+ * survive the trip. Service frames therefore always use the F64
+ * payload kind, whatever encoding the job's own training traffic
+ * selects.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "system/buffer_pool.h"
@@ -144,5 +155,19 @@ void decodeMessage(const WireHeader &hdr, const uint8_t *data,
  * to stay bit-identical with the TCP backend in Q16 mode.
  */
 void quantizePayload(std::vector<double> &payload);
+
+/**
+ * Packs @p text into a payload-word vector (8 bytes per F64 word,
+ * zero-padded tail) for a service frame. The exact byte length rides
+ * in the frame's `offset` field — set @p msg.offset from the return
+ * value and ship with PayloadKind::F64.
+ * @return The text's byte length.
+ */
+uint32_t packText(const std::string &text, std::vector<double> &words);
+
+/** Recovers a packText'd string from a decoded service message
+ *  (@p msg.offset carries the byte length). Throws CosmicError when
+ *  the declared length does not fit the payload. */
+std::string unpackText(const sys::Message &msg);
 
 } // namespace cosmic::net

@@ -39,13 +39,27 @@ namespace cosmic::sys {
 
 /** What a message's payload means to the receiver. The barrier
  *  protocol could tell the two apart by phase; the pipelined protocol
- *  interleaves them on one inbox, so the kind must ride the wire. */
+ *  interleaves them on one inbox, so the kind must ride the wire.
+ *
+ *  Kinds 2-5 are the front-door service protocol (client <-> cosmicd
+ *  --serve): they never appear on the node-to-node aggregation mesh,
+ *  but they share the frame format so one wire layer carries both. */
 enum class MsgKind : uint8_t
 {
     /** A partial update flowing *up* the Sigma tree. */
     Update = 0,
     /** A model broadcast flowing *down* the Sigma tree. */
     Model = 1,
+    /** Client -> front door: a job spec (DSL program + dataset
+     *  descriptor) packed as text in the payload words. */
+    SubmitJob = 2,
+    /** Front door -> client: one job's state/progress snapshot
+     *  (also a client -> front door poll when the payload is empty). */
+    JobStatus = 3,
+    /** Front door -> client: a finished job's final model. */
+    JobResult = 4,
+    /** Client -> front door: cancel the job in `seq`. */
+    CancelJob = 5,
 };
 
 /** One network message: a partial update (or broadcast model). */

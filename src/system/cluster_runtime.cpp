@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -12,30 +13,81 @@
 
 namespace cosmic::sys {
 
-namespace {
-
-dfg::Translation
-translateWorkload(const ml::Workload &workload, double scale,
-                  const compiler::CompileOptions &options)
+void
+ClusterConfig::validate() const
 {
-    // Cached compile-pipeline frontend: repeated runtimes over the
-    // same workload share one parse/translate/optimize.
-    return compile::translateCached(workload.dslSource(scale), options)
-        ->translation;
+    if (nodes <= 0)
+        COSMIC_FATAL("ClusterConfig: nodes must be positive (got "
+                     << nodes << ")");
+    if (groups < 0 || groups > nodes)
+        COSMIC_FATAL("ClusterConfig: groups (" << groups
+                     << ") must lie in [0, nodes = " << nodes << "]");
+    if (acceleratorThreadsPerNode <= 0)
+        COSMIC_FATAL("ClusterConfig: acceleratorThreadsPerNode must "
+                     "be positive (got "
+                     << acceleratorThreadsPerNode << ")");
+    if (sgdShardsPerNode < 0)
+        COSMIC_FATAL("ClusterConfig: sgdShardsPerNode must be >= 0 "
+                     "(got " << sgdShardsPerNode << ")");
+    if (!std::isfinite(learningRate) || learningRate <= 0.0)
+        COSMIC_FATAL("ClusterConfig: learningRate must be a positive "
+                     "finite value (got " << learningRate << ")");
+    if (minibatchPerNode <= 0)
+        COSMIC_FATAL("ClusterConfig: minibatchPerNode must be "
+                     "positive (got " << minibatchPerNode << ")");
+    if (recordsPerNode <= 0)
+        COSMIC_FATAL("ClusterConfig: recordsPerNode must be positive "
+                     "(got " << recordsPerNode << ")");
+    if (maxStragglerDelayMs < 0.0)
+        COSMIC_FATAL("ClusterConfig: maxStragglerDelayMs must be "
+                     ">= 0 (got " << maxStragglerDelayMs << ")");
+    if (maxStaleness < 0)
+        COSMIC_FATAL("ClusterConfig: maxStaleness must be >= 0 (got "
+                     << maxStaleness << ")");
+    if (maxStaleness > 0 && !overlapIterations)
+        COSMIC_FATAL(
+            "ClusterConfig: maxStaleness = "
+            << maxStaleness
+            << " requires overlapIterations — bounded-staleness "
+               "async SGD is a pipelined protocol; set "
+               "overlapIterations = true (or maxStaleness = 0)");
+    if (streamChunkWords < 0)
+        COSMIC_FATAL("ClusterConfig: streamChunkWords must be >= 0 "
+                     "(got " << streamChunkWords << ")");
 }
-
-} // namespace
 
 ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
                                const ClusterConfig &config)
+    : ClusterRuntime(workload, scale, config,
+                     // Cached compile-pipeline frontend: repeated
+                     // runtimes (and tenants) over the same workload
+                     // share one parse/translate/optimize.
+                     compile::translateCached(workload.dslSource(scale),
+                                              config.compile))
+{
+}
+
+ClusterRuntime::ClusterRuntime(
+    const ml::Workload &workload, double scale,
+    const ClusterConfig &config,
+    std::shared_ptr<const compile::FrontendArtifact> frontend)
     : workload_(workload), scale_(scale), config_(config),
-      translation_(translateWorkload(workload, scale, config.compile)),
+      frontend_(std::move(frontend)),
       topology_(SystemDirector::assign(
           config.nodes, config.groups > 0
                             ? config.groups
                             : SystemDirector::defaultGroups(config.nodes))),
       reference_(workload_, scale)
 {
+    config_.validate();
+    COSMIC_ASSERT(frontend_, "ClusterRuntime needs a compiled frontend");
+    if (config_.streamChunkWords > frontend_->translation.modelWords)
+        COSMIC_FATAL("ClusterConfig: streamChunkWords ("
+                     << config_.streamChunkWords
+                     << ") exceeds the model width ("
+                     << frontend_->translation.modelWords
+                     << " words); chunks wider than the vector "
+                        "cannot stream");
     Rng rng(config_.seed);
     NodeComputeConfig node_config;
     node_config.acceleratorThreads = config_.acceleratorThreadsPerNode;
@@ -58,7 +110,7 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
 
     for (int i = 0; i < config_.nodes; ++i) {
         nodes_.push_back(std::make_unique<TrainingNode>(
-            translation_,
+            frontend_->translation,
             full.partition(i * config_.recordsPerNode,
                            config_.recordsPerNode),
             node_config));
@@ -120,6 +172,12 @@ ClusterRuntime::ClusterRuntime(const ml::Workload &workload, double scale,
     aggregationSec_.resize(config_.nodes, 0.0);
 }
 
+const dfg::Translation &
+ClusterRuntime::translation() const
+{
+    return frontend_->translation;
+}
+
 ClusterRuntime::~ClusterRuntime()
 {
     // Stop the workers before tearing down the fabric they block on.
@@ -146,7 +204,7 @@ ClusterRuntime::makeNodeRuntime(int id)
     nc.maxStaleness = config_.maxStaleness;
     nc.streamChunkWords = config_.streamChunkWords;
     return std::make_unique<NodeRuntime>(
-        translation_, nc, *nodes_[id], *transports_[id],
+        frontend_->translation, nc, *nodes_[id], *transports_[id],
         engines_[id].get(), *pool_);
 }
 
@@ -286,17 +344,17 @@ ClusterRuntime::netStats() const
 }
 
 TrainingReport
-ClusterRuntime::train(int epochs)
+ClusterRuntime::train(int epochs, RunControl *control)
 {
     if (pipelineActive_)
-        return trainPipelined(epochs);
+        return trainPipelined(epochs, control);
     TrainingReport report;
 
     Rng rng(config_.seed + 1);
     std::vector<double> model =
         ml::DatasetGenerator::initialModel(workload_, scale_, rng);
     COSMIC_ASSERT(static_cast<int64_t>(model.size()) ==
-                      translation_.modelWords,
+                      frontend_->translation.modelWords,
                   "initial model does not match the translation layout");
 
     report.epochLoss.push_back(reference_.meanLoss(
@@ -306,8 +364,14 @@ ClusterRuntime::train(int epochs)
         (config_.recordsPerNode + config_.minibatchPerNode - 1) /
         config_.minibatchPerNode;
     uint64_t seq = 0;
-    for (int e = 0; e < epochs; ++e) {
+    for (int e = 0; e < epochs && !report.cancelled; ++e) {
         for (int64_t i = 0; i < iters_per_epoch; ++i) {
+            // Cooperative cancel: the iteration boundary is the only
+            // point where no node holds in-flight protocol state.
+            if (control && control->cancel.load()) {
+                report.cancelled = true;
+                break;
+            }
             auto start = std::chrono::steady_clock::now();
             IterationStats stats;
             std::vector<double> next =
@@ -331,8 +395,12 @@ ClusterRuntime::train(int epochs)
             report.aggregationSecondsTotal.push_back(
                 stats.sumAggregationSec);
         }
+        if (report.cancelled)
+            break;
         report.epochLoss.push_back(reference_.meanLoss(
             holdout_.data, holdout_.count, model));
+        if (control && control->onEpoch)
+            control->onEpoch(e + 1, report.epochLoss.back(), seq);
     }
     report.iterations = static_cast<int>(seq);
     report.finalModel = std::move(model);
@@ -419,7 +487,7 @@ class PipelineCollector : public NodeRuntime::PipelineSink
 } // namespace
 
 TrainingReport
-ClusterRuntime::trainPipelined(int epochs)
+ClusterRuntime::trainPipelined(int epochs, RunControl *control)
 {
     TrainingReport report;
 
@@ -427,7 +495,7 @@ ClusterRuntime::trainPipelined(int epochs)
     std::vector<double> model0 =
         ml::DatasetGenerator::initialModel(workload_, scale_, rng);
     COSMIC_ASSERT(static_cast<int64_t>(model0.size()) ==
-                      translation_.modelWords,
+                      frontend_->translation.modelWords,
                   "initial model does not match the translation layout");
     report.epochLoss.push_back(
         reference_.meanLoss(holdout_.data, holdout_.count, model0));
@@ -469,9 +537,21 @@ ClusterRuntime::trainPipelined(int epochs)
         last_arrival = now;
         pool_->release(std::move(model));
         model = std::move(entry.second);
-        if ((k + 1) % static_cast<uint64_t>(iters_per_epoch) == 0)
+        if ((k + 1) % static_cast<uint64_t>(iters_per_epoch) == 0) {
             report.epochLoss.push_back(reference_.meanLoss(
                 holdout_.data, holdout_.count, model));
+            if (control && control->onEpoch)
+                control->onEpoch(
+                    static_cast<int>((k + 1) /
+                                     static_cast<uint64_t>(
+                                         iters_per_epoch)),
+                    report.epochLoss.back(), k + 1);
+        }
+        // The free-running nodes are committed to their scheduled
+        // rounds (stopping them mid-protocol would strand in-flight
+        // partials), so a cancel is recorded but the run drains.
+        if (control && control->cancel.load())
+            report.cancelled = true;
     }
     nodeWorkers_->waitIdle();
 

@@ -23,7 +23,9 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +42,10 @@
 #include "system/node_runtime.h"
 #include "system/thread_pool.h"
 #include "system/training_node.h"
+
+namespace cosmic::compile {
+struct FrontendArtifact;
+}
 
 namespace cosmic::sys {
 
@@ -107,7 +113,7 @@ struct ClusterConfig
      * still waits for the previous round's broadcast before
      * computing, so the trajectory is bit-identical to the barrier
      * protocol — but epoch-loss evaluation and slow receivers no
-     * longer stall the cluster. Implied by maxStaleness > 0.
+     * longer stall the cluster. Required when maxStaleness > 0.
      * Crash-fault plans fall back to the barrier protocol (eviction
      * and topology repair need the iteration boundary).
      */
@@ -116,14 +122,49 @@ struct ClusterConfig
      * Bounded-staleness async SGD: a node may compute round k from a
      * model up to this many epochs old, and Sigma nodes reject
      * partials lagging further than this. 0 = synchronous (exact
-     * freshness). Setting this > 0 activates pipelined iterations.
+     * freshness). A value > 0 without overlapIterations is rejected
+     * by validate() — async SGD is a pipelined protocol, so asking
+     * for staleness with the pipeline off is a contradiction.
      */
     int maxStaleness = 0;
     /** Streaming aggregation: split partial updates into chunks of
      *  this many words so partial sums flow up the Sigma tree while
      *  the rest of the vector is in flight. 0 = whole-vector
-     *  messages (the original zero-copy path). */
+     *  messages (the original zero-copy path). Must not exceed the
+     *  workload's model width (checked at runtime construction). */
     int64_t streamChunkWords = 0;
+
+    /**
+     * Rejects nonsensical knob combinations with a clear CosmicError
+     * instead of letting them silently misbehave: non-positive
+     * nodes/threads/batch/record counts, groups exceeding nodes, a
+     * non-finite or non-positive learning rate, negative staleness or
+     * chunk words, and a staleness budget without pipelined
+     * iterations (maxStaleness > 0 requires overlapIterations — a
+     * bounded-staleness run *is* a pipelined run, and asking for one
+     * while leaving the pipeline off is a contradiction). Called by
+     * ClusterRuntime's constructor; model-width-dependent checks
+     * (streamChunkWords vs the translation) happen there too.
+     */
+    void validate() const;
+};
+
+/**
+ * Cooperative controls a Session threads into a running train() call:
+ * `cancel` is checked at every iteration boundary of the barrier loop
+ * (the pipelined loop finishes its scheduled rounds — its nodes
+ * free-run — but the report is still marked cancelled), and onEpoch
+ * fires after each epoch-loss evaluation with the epochs completed so
+ * far, the loss, and the iterations executed. Both hooks are
+ * observation-only: a run with a null or untouched RunControl is
+ * bit-identical to one without.
+ */
+struct RunControl
+{
+    std::atomic<bool> cancel{false};
+    std::function<void(int epochsDone, double loss,
+                       uint64_t iterations)>
+        onEpoch;
 };
 
 /** Per-iteration performance counters (observability). */
@@ -150,6 +191,8 @@ struct TrainingReport
     std::vector<double> epochLoss;
     std::vector<double> finalModel;
     int iterations = 0;
+    /** True when a RunControl cancel stopped the run early. */
+    bool cancelled = false;
     ClusterTopology topology;
 
     /** Wall-clock seconds per iteration (observability). */
@@ -197,10 +240,29 @@ class ClusterRuntime
      */
     ClusterRuntime(const ml::Workload &workload, double scale,
                    const ClusterConfig &config);
+
+    /**
+     * Session-layer constructor: runs over a caller-owned compiled
+     * frontend artifact (from compile::translateCached) instead of
+     * compiling internally. This is the PopART-style session/devicex
+     * split: the Session owns the compiled artifacts, the runtime is
+     * the execution engine over them. The artifact's source must be
+     * the workload's program at @p scale (the dataset/reference
+     * machinery is descriptor-driven); the delegating constructor
+     * above is exactly this with a translateCached call inline.
+     */
+    ClusterRuntime(
+        const ml::Workload &workload, double scale,
+        const ClusterConfig &config,
+        std::shared_ptr<const compile::FrontendArtifact> frontend);
     ~ClusterRuntime();
 
-    /** Runs @p epochs epochs of parallelized SGD; returns the report. */
-    TrainingReport train(int epochs);
+    /**
+     * Runs @p epochs epochs of parallelized SGD; returns the report.
+     * @param control Optional cooperative cancel/progress hooks
+     *        (observation-only: a null control changes nothing).
+     */
+    TrainingReport train(int epochs, RunControl *control = nullptr);
 
     /** One synchronous iteration over the hierarchy; returns the new
      *  globally aggregated model. Exposed for tests.
@@ -211,7 +273,7 @@ class ClusterRuntime
 
     /** The current role map — repairs replace it between iterations. */
     const ClusterTopology &topology() const { return topology_; }
-    const dfg::Translation &translation() const { return translation_; }
+    const dfg::Translation &translation() const;
 
     /** The shared payload recycler (test hook: its allocations()
      *  counter must stop advancing once the hot path is warm). */
@@ -233,7 +295,7 @@ class ClusterRuntime
      *  maxStaleness): launches every node's free-running pipelined
      *  role and consumes the master's model stream, overlapping
      *  epoch-loss evaluation with the cluster's next rounds. */
-    TrainingReport trainPipelined(int epochs);
+    TrainingReport trainPipelined(int epochs, RunControl *control);
 
     /** Folds the iteration's suspect reports into miss streaks and
      *  evicts nodes past the threshold via Director repair. */
@@ -241,7 +303,9 @@ class ClusterRuntime
     ml::Workload workload_;
     double scale_;
     ClusterConfig config_;
-    dfg::Translation translation_;
+    /** The session-owned compiled frontend (translation + report);
+     *  shared across sessions by the content-hashed BuildCache. */
+    std::shared_ptr<const compile::FrontendArtifact> frontend_;
     ClusterTopology topology_;
     ml::Reference reference_;
     ml::Dataset holdout_;

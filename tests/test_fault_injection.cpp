@@ -569,6 +569,7 @@ TEST(FaultInjectionCluster, RandomizedChaosAsyncPipelineStaysSafe)
     auto cfg = chaosCluster(8, 2);
     tightWindows(cfg);
     cfg.maxStaleness = 2;
+    cfg.overlapIterations = true;
     // Re-build the randomized schedule without its crash component so
     // the pipelined (not the barrier-fallback) protocol runs.
     auto plan = FaultPlan::randomized(seed, cfg.nodes, 6);
@@ -619,6 +620,7 @@ TEST(FaultInjectionCluster, AsyncPipelineAbsorbsDroppedBroadcast)
     // broadcast (only the one delivery is eaten).
     auto cfg = chaosCluster(8, 2);
     cfg.maxStaleness = 2;
+    cfg.overlapIterations = true;
     const int sigma = 4; // second group's Sigma under (8, 2)
     cfg.faultPlan.drop(0, sigma, 1);
 

@@ -176,6 +176,7 @@ TEST(PipelinedCluster, AsyncStaysWithinStalenessBound)
     // round by more than the configured bound.
     ClusterConfig cfg = smallCluster(8, 2);
     cfg.maxStaleness = 2;
+    cfg.overlapIterations = true;
     cfg.aggregation.deterministic = false; // async folds streamingly
     ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
     TrainingReport report = runtime.train(4);
@@ -196,6 +197,7 @@ TEST(PipelinedCluster, AsyncBatchedGradientConverges)
     cfg.mode = TrainingMode::BatchedGradient;
     cfg.learningRate = 0.4;
     cfg.maxStaleness = 1;
+    cfg.overlapIterations = true;
     cfg.aggregation.deterministic = false;
     ClusterRuntime runtime(ml::Workload::byName("tumor"), 64.0, cfg);
     TrainingReport report = runtime.train(4);
@@ -208,6 +210,7 @@ TEST(PipelinedCluster, AsyncOverTcpConverges)
     ClusterConfig cfg = smallCluster();
     cfg.transport.kind = net::TransportKind::Tcp;
     cfg.maxStaleness = 2;
+    cfg.overlapIterations = true;
     cfg.aggregation.deterministic = false;
     ClusterRuntime runtime(ml::Workload::byName("stock"), 64.0, cfg);
     TrainingReport report = runtime.train(4);
