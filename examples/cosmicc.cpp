@@ -14,6 +14,7 @@
  *     --benchmark <name>                compile a suite benchmark
  *     --scale <s>                       divide large dims by s
  *     --dse                             print the explored space
+ *     --elastic                         also explore elastic points
  *     --emit-verilog                    print the generated modules
  *     --emit-microcode <pe>             print one PE's microcode
  *     --emit-rom <pe>                   print one PE's $readmemh image
@@ -53,6 +54,8 @@ usage()
         "  --scale <s>                       divide large dims by s\n"
         "  --dse                             print the explored "
         "design space\n"
+        "  --elastic                         also explore elastic "
+        "(dataflow-fired) design points\n"
         "  --emit-verilog                    print generated modules\n"
         "  --emit-microcode <pe>             print one PE's microcode\n"
         "  --emit-rom <pe>                   print one PE's ROM image\n"
@@ -86,6 +89,7 @@ main(int argc, char **argv)
     std::string source_path;
     double scale = 1.0;
     bool dse = false;
+    bool elastic = false;
     bool emit_verilog = false;
     bool emit_dot = false;
     bool dump_passes = false;
@@ -110,6 +114,8 @@ main(int argc, char **argv)
             scale = std::stod(next());
         } else if (arg == "--dse") {
             dse = true;
+        } else if (arg == "--elastic") {
+            elastic = true;
         } else if (arg == "--emit-verilog") {
             emit_verilog = true;
         } else if (arg == "--emit-microcode") {
@@ -153,7 +159,9 @@ main(int argc, char **argv)
         }
 
         auto platform = platformByName(platform_name);
-        compile::Pipeline pipeline(source, platform);
+        compiler::CompileOptions options;
+        options.elasticMode = elastic;
+        compile::Pipeline pipeline(source, platform, options);
         auto built = pipeline.finish();
         const auto &plan = built.planResult.plan;
         const auto &kernel = built.planResult.kernel;
@@ -208,14 +216,34 @@ main(int argc, char **argv)
                     100.0 * replay.avgPeUtilization,
                     100.0 * replay.peakPeUtilization);
 
+        if (built.planResult.elasticPlacement) {
+            const auto &placement = *built.planResult.elasticPlacement;
+            std::printf("elastic        chosen: %zu FIFO links, %lld "
+                        "buffer bytes/thread (budget %lld), %lld "
+                        "cycles/record\n",
+                        placement.links.size(),
+                        static_cast<long long>(
+                            placement.bufferBytesPerThread),
+                        static_cast<long long>(
+                            placement.budgetBytesPerThread),
+                        static_cast<long long>(
+                            placement.cyclesPerRecord));
+        }
+
         if (dse) {
             std::printf("\nDesign space:\n");
             for (size_t p = 0; p < built.planResult.explored.size();
                  ++p) {
                 const auto &point = built.planResult.explored[p];
-                std::printf("  T%-3d x R%-3d  %12.0f records/s%s\n",
+                char detail[64] = "";
+                if (point.elastic)
+                    std::snprintf(detail, sizeof(detail),
+                                  "  elastic %lld B",
+                                  static_cast<long long>(
+                                      point.bufferBytes));
+                std::printf("  T%-3d x R%-3d  %12.0f records/s%s%s\n",
                             point.threads, point.rowsPerThread,
-                            point.recordsPerSecond,
+                            point.recordsPerSecond, detail,
                             p == built.planResult.chosenIndex
                                 ? "  <= chosen" : "");
             }

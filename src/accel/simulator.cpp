@@ -15,8 +15,9 @@ using dfg::NodeId;
 using dfg::OpKind;
 
 CycleSimulator::CycleSimulator(const dfg::Translation &translation,
-                               const compiler::CompiledKernel &kernel)
-    : tr_(translation), kernel_(kernel),
+                               const compiler::CompiledKernel &kernel,
+                               double (*quantizer)(double))
+    : tr_(translation), kernel_(kernel), quantizer_(quantizer),
       bus_(compiler::BusKind::Hierarchical, kernel.mapping.columns,
            kernel.mapping.rowsPerThread)
 {
@@ -72,7 +73,8 @@ CycleSimulator::CycleSimulator(const dfg::Translation &translation,
     for (NodeId v = 0; v < tr_.dfg.size(); ++v) {
         const auto &node = tr_.dfg.node(v);
         if (node.op == OpKind::Const)
-            value_[v] = tr_.dfg.constValue(v);
+            value_[v] = quantizer_ ? quantizer_(tr_.dfg.constValue(v))
+                                   : tr_.dfg.constValue(v);
         else if (node.op == OpKind::Input)
             inputs_.push_back(v);
     }
@@ -87,6 +89,7 @@ CycleSimulator::run(std::span<const double> record,
     const auto &issue = kernel_.schedule.issueCycle;
 
     SimulationResult result;
+    ReentrancyGuard::Scope in_use(guard_);
     COSMIC_ASSERT(static_cast<int64_t>(record.size()) >=
                       tr_.recordWords,
                   "record too short");
@@ -108,6 +111,8 @@ CycleSimulator::run(std::span<const double> record,
         value[v] = node.category == dfg::Category::Data
                        ? record[dfg.inputPos(v)]
                        : model[dfg.inputPos(v)];
+        if (quantizer_)
+            value[v] = quantizer_(value[v]);
     }
 
     auto fail = [&](NodeId v, NodeId o, int64_t arrival) {
@@ -155,6 +160,8 @@ CycleSimulator::run(std::span<const double> record,
         }
         value[v] = dfg::evaluateOp(node.op, operands[0], operands[1],
                                    operands[2]);
+        if (quantizer_)
+            value[v] = quantizer_(value[v]);
         finish[v] = issue[v] + compiler::Scheduler::opLatency(node.op);
         produced[v] = 1;
         result.cycles = std::max(result.cycles, finish[v]);

@@ -15,17 +15,61 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "accel/plan.h"
+#include "common/error.h"
 #include "compiler/interconnect.h"
 #include "compiler/kernel.h"
 #include "dfg/translator.h"
 
 namespace cosmic::accel {
+
+/**
+ * Debug-build tripwire against concurrent use of a single-owner object.
+ *
+ * The simulators reuse per-instance scratch buffers, so their run
+ * methods are `const` but not thread-safe. Entering a Scope while
+ * another Scope is alive on the same guard means two threads share one
+ * instance's scratch — that used to corrupt results silently; now it
+ * fails loudly. Release (NDEBUG) builds compile the check away.
+ */
+class ReentrancyGuard
+{
+#ifndef NDEBUG
+  public:
+    class Scope
+    {
+      public:
+        explicit Scope(const ReentrancyGuard &guard) : guard_(guard)
+        {
+            COSMIC_ASSERT(!guard_.inUse_.exchange(true),
+                          "concurrent use of a non-thread-safe "
+                          "simulator instance (one instance per thread)");
+        }
+        ~Scope() { guard_.inUse_.store(false); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        const ReentrancyGuard &guard_;
+    };
+
+  private:
+    mutable std::atomic<bool> inUse_{false};
+#else
+  public:
+    class Scope
+    {
+      public:
+        explicit Scope(const ReentrancyGuard &) {}
+    };
+#endif
+};
 
 /** Result of simulating one training record. */
 struct SimulationResult
@@ -51,8 +95,16 @@ struct SimulationResult
 class CycleSimulator
 {
   public:
+    /**
+     * @param quantizer Optional value-rounding hook applied to every
+     *        buffered value (constants, inputs and operation results) —
+     *        models the PEs' 32-bit fixed-point datapath exactly like
+     *        the quantized Interpreter (accel::quantizeToFixed). Null =
+     *        exact doubles.
+     */
     CycleSimulator(const dfg::Translation &translation,
-                   const compiler::CompiledKernel &kernel);
+                   const compiler::CompiledKernel &kernel,
+                   double (*quantizer)(double) = nullptr);
 
     /**
      * Runs one record through the array.
@@ -89,6 +141,7 @@ class CycleSimulator
 
     const dfg::Translation &tr_;
     const compiler::CompiledKernel &kernel_;
+    double (*quantizer_)(double) = nullptr;
     /** Interconnect timing model, built once per simulator. */
     compiler::InterconnectModel bus_;
     /** Operations in issue order (precomputed). */
@@ -101,6 +154,8 @@ class CycleSimulator
     mutable std::vector<double> value_;
     mutable std::vector<int64_t> finish_;
     mutable std::vector<char> produced_;
+    /** Trips on concurrent run() calls in debug builds. */
+    ReentrancyGuard guard_;
 };
 
 } // namespace cosmic::accel

@@ -85,6 +85,24 @@ struct CompileOptions
      */
     dfg::TapeBackend tapeBackend = dfg::TapeBackend::Auto;
 
+    /**
+     * Explore elastic (dataflow-fired) execution in the planner's
+     * design-space exploration: on top of every static design point,
+     * evaluate the same mapping with ready/valid firing and optimized
+     * inter-PE FIFOs (accel/elastic.h, accel/buffer_opt.h), charging
+     * the FIFO bytes against the platform's BRAM budget. The
+     * COSMIC_ELASTIC environment variable ("0"/"1"), when set,
+     * overrides this field.
+     */
+    bool elasticMode = false;
+
+    /**
+     * Per-thread byte budget for the elastic inter-PE FIFOs
+     * (0 = whatever BRAM the platform has left after the plan's
+     * data/model/interim buffers, split across threads).
+     */
+    int64_t elasticBufferBudgetBytes = 0;
+
     /** Convenience: same options with all DFG optimization toggled
      *  (legacy passes and the rewrite framework together). */
     CompileOptions
@@ -98,6 +116,18 @@ struct CompileOptions
         return o;
     }
 };
+
+/**
+ * Strict parser behind the COSMIC_ELASTIC knob (exposed for tests):
+ * "0" and "1" are the only recognized values; anything else — including
+ * a set-but-empty variable — is a configuration error, never a silent
+ * default.
+ */
+bool parseElasticEnv(const char *env);
+
+/** options.elasticMode after the COSMIC_ELASTIC override (a *set*
+ *  variable overrides even an explicit field value). */
+bool effectiveElasticMode(const CompileOptions &options);
 
 /** The fully compiled accelerator program for one plan. */
 struct CompiledKernel

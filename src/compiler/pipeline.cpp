@@ -108,6 +108,11 @@ fullOptionsKey(const compiler::CompileOptions &o)
     appendInt(key, o.forceThreads);
     appendInt(key, o.forceRowsPerThread);
     appendInt(key, static_cast<int64_t>(o.tapeBackend));
+    // The *effective* elastic mode (after the COSMIC_ELASTIC override)
+    // enters the key: elastic exploration changes the chosen design
+    // point, so flipping the env var must be an honest cache miss.
+    appendInt(key, effectiveElasticMode(o));
+    appendInt(key, o.elasticBufferBudgetBytes);
     return key;
 }
 

@@ -99,9 +99,36 @@ Planner::plan(const dfg::Translation &tr, const PlatformSpec &platform,
     // The schedule depends only on the thread's PE sub-array, i.e. on
     // rows-per-thread — compile once per distinct row count.
     std::map<int, compiler::CompiledKernel> kernels_by_rows;
+    // The elastic probe likewise depends only on the kernel (rows); the
+    // BRAM budget depends on the thread count, so fitting is per point.
+    const bool elastic = compiler::effectiveElasticMode(options);
+    std::map<int, accel::BufferPlacement> probes_by_rows;
 
     double best_throughput = -1.0;
     int64_t best_pes = 0;
+    auto consider = [&](const DesignPoint &point,
+                        const AcceleratorPlan &plan,
+                        const accel::BufferPlacement *placement) {
+        result.explored.push_back(point);
+        // "Smallest, best-performing": strictly better throughput wins;
+        // a tie (within 0.5%) goes to the design with fewer PEs.
+        double throughput = point.recordsPerSecond;
+        int64_t pes = plan.totalPes();
+        bool better = throughput > best_throughput * 1.005;
+        bool tied_smaller = throughput > best_throughput * 0.995 &&
+                            best_pes > 0 && pes < best_pes;
+        if (better || tied_smaller) {
+            best_throughput = std::max(throughput, best_throughput);
+            best_pes = pes;
+            result.plan = plan;
+            result.chosenIndex = result.explored.size() - 1;
+            if (placement)
+                result.elasticPlacement = *placement;
+            else
+                result.elasticPlacement.reset();
+        }
+    };
+
     for (const auto &[threads, rows] : points) {
         AcceleratorPlan plan = makePlan(tr, platform, threads, rows);
         auto it = kernels_by_rows.find(rows);
@@ -121,20 +148,45 @@ Planner::plan(const dfg::Translation &tr, const PlatformSpec &platform,
         point.cyclesPerRecord = perf.cyclesPerRecordPerThread();
         point.recordsPerSecond = tr.minibatch / batch.totalSec();
         point.memoryBound = perf.memoryBound();
-        result.explored.push_back(point);
+        consider(point, plan, nullptr);
 
-        // "Smallest, best-performing": strictly better throughput wins;
-        // a tie (within 0.5%) goes to the design with fewer PEs.
-        double throughput = point.recordsPerSecond;
-        int64_t pes = plan.totalPes();
-        bool better = throughput > best_throughput * 1.005;
-        bool tied_smaller = throughput > best_throughput * 0.995 &&
-                            best_pes > 0 && pes < best_pes;
-        if (better || tied_smaller) {
-            best_throughput = std::max(throughput, best_throughput);
-            best_pes = pes;
-            result.plan = plan;
-            result.chosenIndex = result.explored.size() - 1;
+        if (!elastic)
+            continue;
+
+        // Elastic variant of the same point: the same mapping fired
+        // dataflow-style, with the FIFO placement fitted to this thread
+        // count's BRAM share. A placement that cannot fit is not a
+        // feasible design — recorded for the exploration chart but
+        // never chosen.
+        auto probe_it = probes_by_rows.find(rows);
+        if (probe_it == probes_by_rows.end()) {
+            probe_it = probes_by_rows
+                           .emplace(rows, accel::BufferOptimizer::probe(
+                                              tr, it->second, plan))
+                           .first;
+        }
+        accel::BufferPlacement placement = accel::BufferOptimizer::fit(
+            tr, it->second, probe_it->second,
+            accel::BufferOptimizer::budgetPerThread(
+                plan, options.elasticBufferBudgetBytes));
+
+        accel::PerfParams eparams = perf.params();
+        eparams.computeCyclesPerRecord = placement.cyclesPerRecord;
+        accel::PerfEstimator eperf(eparams);
+
+        DesignPoint epoint;
+        epoint.threads = threads;
+        epoint.rowsPerThread = rows;
+        epoint.elastic = true;
+        epoint.bufferBytes = placement.bufferBytesPerThread;
+        epoint.cyclesPerRecord = eperf.cyclesPerRecordPerThread();
+        epoint.recordsPerSecond =
+            tr.minibatch / eperf.batchTime(tr.minibatch).totalSec();
+        epoint.memoryBound = eperf.memoryBound();
+        if (placement.withinBudget) {
+            consider(epoint, plan, &placement);
+        } else {
+            result.explored.push_back(epoint);
         }
     }
 

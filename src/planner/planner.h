@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "accel/buffer_opt.h"
 #include "accel/perf.h"
 #include "accel/plan.h"
 #include "compiler/kernel.h"
@@ -40,6 +42,11 @@ struct DesignPoint
     /** Mini-batch throughput in records per second for the chip. */
     double recordsPerSecond = 0.0;
     bool memoryBound = false;
+    /** Elastic (dataflow-fired) variant of the static point above. */
+    bool elastic = false;
+    /** Inter-PE FIFO bytes per thread (elastic points only); charged
+     *  against the platform's BRAM budget alongside t_max. */
+    int64_t bufferBytes = 0;
 };
 
 /** The chosen plan plus the full exploration record. */
@@ -52,6 +59,9 @@ struct PlanResult
     int64_t maxThreadsBound = 0;
     /** Index of the chosen point within `explored`. */
     size_t chosenIndex = 0;
+    /** FIFO placement of the chosen point, when it is elastic
+     *  (explored[chosenIndex].elastic). */
+    std::optional<accel::BufferPlacement> elasticPlacement;
 };
 
 /** The architecture layer's planning engine. */

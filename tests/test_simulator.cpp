@@ -88,6 +88,65 @@ TEST(CycleSimulator, CyclesConsistentWithSchedule)
     EXPECT_GT(sim.messages, 0);
 }
 
+// A minimal hand-built kernel (no compiler in the loop): Add on PE 0
+// feeds Mul on PE 1, and both are issued at cycle 0, so the Mul
+// consumes its cross-PE operand before it can possibly have arrived.
+// This pins down the violation path itself, independent of whether the
+// scheduler can ever emit such a schedule.
+TEST(CycleSimulator, ReportsPreArrivalConsumptionOnHandBuiltKernel)
+{
+    dfg::Translation tr;
+    const auto x = tr.dfg.addDataInput(0, {});
+    const auto y = tr.dfg.addDataInput(1, {});
+    const auto sum = tr.dfg.addOp(dfg::OpKind::Add, x, y);
+    const auto prod = tr.dfg.addOp(dfg::OpKind::Mul, sum, y);
+    tr.dfg.markGradient(prod, 0, {});
+    tr.recordWords = 2;
+    tr.modelWords = 0;
+    tr.gradientWords = 1;
+    tr.minibatch = 1;
+
+    compiler::CompiledKernel kernel;
+    kernel.mapping.peOf.assign(tr.dfg.size(), -1);
+    kernel.mapping.peOf[sum] = 0;
+    kernel.mapping.peOf[prod] = 1;
+    kernel.mapping.numPes = 2;
+    kernel.mapping.columns = 2;
+    kernel.mapping.rowsPerThread = 1;
+    kernel.schedule.issueCycle.assign(tr.dfg.size(), -1);
+    kernel.schedule.issueCycle[sum] = 0;
+    kernel.schedule.issueCycle[prod] = 0;
+    kernel.schedule.makespan = 2;
+
+    CycleSimulator simulator(tr, kernel);
+    const double record[2] = {3.0, 4.0};
+    auto sim = simulator.run(record, std::span<const double>());
+    EXPECT_FALSE(sim.ok);
+    EXPECT_NE(sim.violation.find("only arrives"), std::string::npos)
+        << sim.violation;
+    // The violation names the consumer, its PE, and the operand.
+    EXPECT_NE(sim.violation.find("PE 1"), std::string::npos)
+        << sim.violation;
+}
+
+#ifndef NDEBUG
+TEST(ReentrancyGuard, TripsOnConcurrentScopes)
+{
+    ReentrancyGuard guard;
+    ReentrancyGuard::Scope outer(guard);
+    EXPECT_THROW({ ReentrancyGuard::Scope inner(guard); }, CosmicError);
+    // The outer scope still owns the guard; releasing and re-entering
+    // must succeed.
+}
+
+TEST(ReentrancyGuard, ReleasesOnScopeExit)
+{
+    ReentrancyGuard guard;
+    { ReentrancyGuard::Scope first(guard); }
+    ReentrancyGuard::Scope second(guard);
+}
+#endif
+
 TEST(CycleSimulator, DetectsImpossibleSchedule)
 {
     const auto &w = ml::Workload::byName("tumor");
